@@ -1,0 +1,49 @@
+"""Ablation — queue capacity and back-pressure (DESIGN.md decision).
+
+Finite event/timing queues model the FPGA FIFOs and bound memory on long
+runs; back-pressure stalls the execution controller without ever changing
+the output schedule.  The ablation sweeps capacity and shows stall time
+rising as queues shrink while the pulse schedule stays bit-identical.
+"""
+
+from repro.core import MachineConfig, QuMA
+from repro.reporting import format_table
+
+from conftest import emit
+
+BODY = "\n".join("Wait 40\nPulse {q2}, X90" for _ in range(60)) + "\nhalt"
+
+
+def run_with_capacity(capacity: int):
+    machine = QuMA(MachineConfig(qubits=(2,), queue_capacity=capacity))
+    machine.load(BODY)
+    result = machine.run()
+    assert result.completed
+    td0 = machine.tcu.td_to_ns(0)
+    schedule = tuple(r.time - td0
+                     for r in machine.trace.filter(kind="pulse_start"))
+    return result, schedule
+
+
+def test_capacity_vs_stalls(benchmark):
+    def sweep():
+        return {cap: run_with_capacity(cap) for cap in (2, 4, 8, 16, 64)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    rows = [[cap, f"{res.stall_ns} ns", len(res.timing_violations)]
+            for cap, (res, _) in sorted(results.items())]
+    emit(format_table(
+        ["queue capacity", "exec-controller stall", "violations"],
+        rows, title="Ablation: queue capacity vs back-pressure stalls"))
+
+    schedules = {sched for _, sched in results.values()}
+    # The output schedule is identical at every capacity ...
+    assert len(schedules) == 1
+    assert len(next(iter(schedules))) == 60
+    # ... while smaller queues stall the controller more.
+    assert results[2][0].stall_ns > results[64][0].stall_ns
+    # Ample capacity: the controller never blocks on this workload.
+    assert results[64][0].stall_ns == 0
+    # And no capacity setting causes timing violations.
+    assert all(res.timing_violations == [] for res, _ in results.values())

@@ -1,0 +1,77 @@
+"""E6 — Figure 9: the AllXY experiment.
+
+Runs the complete stack — OpenQL-like program, compiler, assembler, QuMA
+machine, simulated transmon, readout chain, data collection unit — and
+regenerates the Figure 9 staircase with the deviation metric.  The paper
+reports deviation = 0.012 at N = 25600; the bench's default N = 512
+reproduces the staircase with statistical error ~ 1/sqrt(N).
+
+A second run injects a 10% amplitude miscalibration and checks the
+classic AllXY error signature (distorted middle plateau, larger
+deviation).
+"""
+
+import numpy as np
+
+from repro.core import MachineConfig
+from repro.experiments import run_allxy
+from repro.pulse import PulseCalibration
+from repro.reporting import format_table, sparkline
+
+from conftest import emit
+
+
+def test_figure9_allxy_staircase(benchmark, allxy_rounds):
+    result = benchmark.pedantic(
+        lambda: run_allxy(MachineConfig(qubits=(2,), trace_enabled=False),
+                          n_rounds=allxy_rounds),
+        rounds=1, iterations=1, warmup_rounds=0)
+
+    rows = []
+    for i in range(0, 42, 2):
+        rows.append([i // 2, result.labels[i], f"{result.ideal[i]:.2f}",
+                     f"{result.fidelity[i]:.3f}", f"{result.fidelity[i+1]:.3f}"])
+    emit(format_table(["#", "pair", "ideal", "meas a", "meas b"], rows,
+                      title=f"Figure 9: AllXY (N = {allxy_rounds})"))
+    emit("ideal   : " + sparkline(result.ideal, 0, 1))
+    emit("measured: " + sparkline(result.fidelity, 0, 1))
+    emit(f"deviation: {result.deviation:.4f}   (paper: 0.012 at N = 25600)")
+
+    # Shape assertions: the staircase's three levels are well separated.
+    assert result.fidelity[:10].mean() < 0.1
+    assert abs(result.fidelity[10:34].mean() - 0.5) < 0.08
+    assert result.fidelity[34:].mean() > 0.9
+    assert result.deviation < 0.05
+    # No timing violations over the full run.
+    assert result.run.result.timing_violations == []
+    benchmark.extra_info["deviation"] = result.deviation
+    benchmark.extra_info["n_rounds"] = allxy_rounds
+
+
+def test_figure9_allxy_error_signature(benchmark):
+    """Miscalibrated pulses produce the recognizable AllXY signature."""
+    n_rounds = 96
+
+    def run_pair():
+        good = run_allxy(MachineConfig(qubits=(2,), trace_enabled=False),
+                         n_rounds=n_rounds)
+        bad = run_allxy(MachineConfig(
+            qubits=(2,), trace_enabled=False,
+            calibration=PulseCalibration(amplitude_error=0.10)),
+            n_rounds=n_rounds)
+        return good, bad
+
+    good, bad = benchmark.pedantic(run_pair, rounds=1, iterations=1,
+                                   warmup_rounds=0)
+    emit("calibrated  : " + sparkline(good.fidelity, 0, 1)
+         + f"   deviation {good.deviation:.3f}")
+    emit("10% overdrive: " + sparkline(bad.fidelity, 0, 1)
+         + f"   deviation {bad.deviation:.3f}")
+
+    assert bad.deviation > 2 * good.deviation
+    # The signature lives in the middle plateau: the pi/2-pi combinations
+    # tilt while the first five pairs stay near zero.
+    assert bad.fidelity[:10].mean() < 0.15
+    mid_spread_bad = np.ptp(bad.fidelity[10:34])
+    mid_spread_good = np.ptp(good.fidelity[10:34])
+    assert mid_spread_bad > mid_spread_good

@@ -1,0 +1,62 @@
+"""E12 — Section 8: T1, T2 Ramsey, and T2 Echo experiments.
+
+The paper validates QuMA by running these standard experiments; the
+reproduction checks that the control stack faithfully recovers the
+*configured* device coherence times from full-stack sweeps.
+"""
+
+from repro.core import MachineConfig
+from repro.experiments import run_echo, run_ramsey, run_t1
+from repro.qubit import TransmonParams
+from repro.reporting import format_table, sparkline
+
+from conftest import emit
+
+QUBIT = TransmonParams(t1_ns=6000.0, t2_ns=4000.0)
+
+
+def config() -> MachineConfig:
+    return MachineConfig(qubits=(2,), transmons=(QUBIT,), trace_enabled=False)
+
+
+def test_section8_t1(benchmark):
+    result = benchmark.pedantic(lambda: run_t1(config(), n_rounds=64),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    emit("T1 decay: " + sparkline(result.population, 0, 1))
+    emit(format_table(
+        ["quantity", "configured", "fitted"],
+        [["T1", f"{QUBIT.t1_ns / 1000:.2f} us",
+          f"{result.fitted_tau_ns / 1000:.2f} us"]],
+        title="Section 8: T1 experiment"))
+    assert abs(result.fitted_tau_ns - QUBIT.t1_ns) / QUBIT.t1_ns < 0.25
+    benchmark.extra_info["fitted_t1_us"] = result.fitted_tau_ns / 1000
+
+
+def test_section8_t2_ramsey(benchmark):
+    detuning = 0.4e6
+    result = benchmark.pedantic(
+        lambda: run_ramsey(config(), artificial_detuning_hz=detuning,
+                           n_rounds=64),
+        rounds=1, iterations=1, warmup_rounds=0)
+    emit("Ramsey fringes: " + sparkline(result.population, 0, 1))
+    emit(format_table(
+        ["quantity", "configured", "fitted"],
+        [["T2*", f"{QUBIT.t2_ns / 1000:.2f} us",
+          f"{result.fitted_tau_ns / 1000:.2f} us"],
+         ["fringe", f"{detuning / 1e6:.2f} MHz",
+          f"{result.fit.frequency * 1e9 / 1e6:.2f} MHz"]],
+        title="Section 8: T2 Ramsey experiment"))
+    assert abs(result.fit.frequency * 1e9 - detuning) / detuning < 0.15
+    assert abs(result.fitted_tau_ns - QUBIT.t2_ns) / QUBIT.t2_ns < 0.4
+
+
+def test_section8_t2_echo(benchmark):
+    result = benchmark.pedantic(lambda: run_echo(config(), n_rounds=64),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    emit("Echo decay: " + sparkline(result.population, 0, 1))
+    emit(format_table(
+        ["quantity", "configured", "fitted"],
+        [["T2 echo", f"{QUBIT.t2_ns / 1000:.2f} us (Markovian: ~T2)",
+          f"{result.fitted_tau_ns / 1000:.2f} us"]],
+        title="Section 8: T2 Echo experiment"))
+    assert abs(result.fitted_tau_ns - QUBIT.t2_ns) / QUBIT.t2_ns < 0.4

@@ -1,0 +1,138 @@
+"""E4/E5/E14 — Table 5 + Table 6 + Algorithm 2: multilevel decoding.
+
+Regenerates the four-level decoding of the AllXY instructions — QIS
+stream, QuMIS microinstructions, micro-operations at the u-op units, and
+codeword triggers at the CTPGs/MDUs — and the CNOT microprogram
+expansion of Algorithm 2.
+"""
+
+from repro.core import MachineConfig, QuMA
+from repro.isa import disassemble
+from repro.reporting import format_table
+from repro.utils.units import ns_to_cycles
+
+from conftest import emit
+
+ONE_ROUND_QIS = """
+    mov r15, 40000
+    QNopReg r15
+    Apply I, q2
+    Apply I, q2
+    Measure q2, r7
+    halt
+"""
+
+
+def run_traced() -> QuMA:
+    machine = QuMA(MachineConfig(qubits=(2,)))
+    machine.load(ONE_ROUND_QIS)
+    result = machine.run()
+    assert result.completed
+    return machine
+
+
+def test_table5_decoding_levels(benchmark):
+    machine = benchmark.pedantic(run_traced, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    trace = machine.trace
+
+    # Level 1: the QIS instruction stream issued by the execution controller.
+    issued = [r.detail["text"] for r in trace.filter(kind="issue")]
+    emit(format_table(["QIS stream"], [[t] for t in issued],
+                      title="Table 5 level 1: input to the execution controller"))
+    assert "QNopReg r15" in issued
+    assert issued.count("Apply I, q2") == 2
+    assert "Measure q2, r7" in issued
+
+    # Level 2: microcode expansions (QIS -> QuMIS).
+    expansions = [r.detail for r in trace.filter(unit="microcode", kind="expand")]
+    emit(format_table(["expanded", "detail"],
+                      [[d.get("what"), {k: v for k, v in d.items() if k != "what"}]
+                       for d in expansions],
+                      title="Table 5 level 2: physical microcode unit output"))
+    whats = [d.get("what") for d in expansions]
+    assert whats == ["QNopReg", "Apply", "Apply", "Measure"]
+
+    # Level 3: micro-operations fired into the u-op unit, with T_D stamps.
+    uops = trace.filter(unit="uop2", kind="uop")
+    td = [ns_to_cycles(r.time - machine.tcu.td_to_ns(0)) for r in uops]
+    emit(format_table(["T_D (cycles)", "micro-op"],
+                      [[t, r.detail["name"]] for t, r in zip(td, uops)],
+                      title="Table 5 level 3: input to u-op unit0"))
+    # Table 5: I at T_D = 40000 and 40004.
+    assert td == [40000, 40004]
+
+    # Level 4: codeword triggers at the CTPG and the MD dispatch to the MDU.
+    codewords = trace.filter(unit="ctpg2", kind="codeword")
+    cw_td = [ns_to_cycles(r.time - machine.tcu.td_to_ns(0)) for r in codewords]
+    rows = [[t, f"CW {r.detail['codeword']} -> ctpg2"]
+            for t, r in zip(cw_td, codewords)]
+    mpg = trace.filter(unit="digital_out", kind="mpg_trigger")
+    for r in mpg:
+        rows.append([ns_to_cycles(r.time - machine.tcu.td_to_ns(0)),
+                     f"CW {r.detail['codeword']} -> measurement pulse"])
+    md = trace.filter(kind="md_dispatch")
+    for r in md:
+        rows.append([ns_to_cycles(r.time - machine.tcu.td_to_ns(0)),
+                     f"MD(r{r.detail['rd']}) -> {r.detail['mdu']}"])
+    emit(format_table(["T_D (cycles)", "codeword trigger"], sorted(rows),
+                      title="Table 5 level 4: input to the CTPGs / MDU"))
+    # Codewords leave Delta (1 cycle) after the micro-operations.
+    delta = ns_to_cycles(machine.config.uop_delay_ns)
+    assert cw_td == [40000 + delta, 40004 + delta]
+    # MPG and MD dispatch at T_D = 40008, bypassing the u-op unit.
+    assert [ns_to_cycles(r.time - machine.tcu.td_to_ns(0)) for r in mpg] == [40008]
+    assert [ns_to_cycles(r.time - machine.tcu.td_to_ns(0)) for r in md] == [40008]
+
+
+def test_table6_qumis_semantics(benchmark):
+    """Table 6: the four QuMIS instructions assemble and disassemble to
+    their defined forms."""
+    from repro.isa import assemble
+
+    source = "\n".join([
+        "Wait 40000",
+        "Pulse ({q0}, X180), ({q1, q2}, Y90)",
+        "MPG {q2}, 300",
+        "MD {q2}, r7",
+        "MD {q2}",
+    ])
+
+    program = benchmark(assemble, source)
+    rendered = [disassemble(i) for i in program.instructions]
+    emit(format_table(["QuMIS instruction"], [[r] for r in rendered],
+                      title="Table 6: the quantum microinstruction set"))
+    assert rendered[0] == "Wait 40000"
+    assert rendered[1] == "Pulse ({q0}, X180), ({q1, q2}, Y90)"
+    assert rendered[2] == "MPG {q2}, 300"
+    assert rendered[3] == "MD {q2}, r7"
+    assert rendered[4] == "MD {q2}"
+
+
+def test_algorithm2_cnot_microprogram(benchmark):
+    """Algorithm 2: CNOT expands to mY90 / CZ / Y90 with 4/8/4 waits."""
+    def expand_cnot():
+        machine = QuMA(MachineConfig(qubits=(0, 1), flux_pairs=((0, 1),)))
+        machine.define_microprogram("CNOT", 2, """
+            Pulse {q0}, mY90
+            Wait 4
+            Pulse {q0, q1}, CZ
+            Wait 8
+            Pulse {q0}, Y90
+            Wait 4
+        """)
+        program = machine.assemble("CNOT q0, q1")
+        return machine.microcode.expand(program.instructions[0])
+
+    expansion = benchmark(expand_cnot)
+    rendered = [disassemble(i) for i in expansion]
+    emit(format_table(["microinstruction"], [[r] for r in rendered],
+                      title="Algorithm 2: microprogram for CNOT q0, q1"))
+    assert rendered == [
+        "Pulse {q0}, mY90",
+        "Wait 4",
+        "Pulse {q0, q1}, CZ",
+        "Wait 8",
+        "Pulse {q0}, Y90",
+        "Wait 4",
+    ]

@@ -1,0 +1,75 @@
+"""E9 — Section 6: single-instruction-stream scalability and VLIW.
+
+"The limited time for executing instructions ... may form a challenge in
+QuMA when more qubits ask for a higher operation output rate while only a
+single instruction stream is used.  A VLIW architecture can be adopted to
+provide much larger instruction issue rate."
+
+The bench computes the demand/capacity crossover for the 200 MHz core and
+shows the qubit ceiling scaling linearly with issue width, plus a
+measured corroboration: the execution controller's actual issue rate on a
+dense pulse program.
+"""
+
+from repro.baseline import issue_rate_table
+from repro.baseline.comparison import max_qubits_single_stream
+from repro.core import MachineConfig, QuMA
+from repro.reporting import format_table
+
+from conftest import emit
+
+
+def test_section6_issue_rate_crossover(benchmark):
+    qubit_counts = [1, 10, 50, 100, 200, 500, 1000]
+    rows = benchmark(issue_rate_table, qubit_counts)
+
+    table_rows = [[r.issue_width, r.n_qubits, f"{r.required_mips:.0f}",
+                   f"{r.capacity_mips:.0f}",
+                   "SATURATED" if r.saturated else "ok"] for r in rows]
+    emit(format_table(
+        ["issue width", "qubits", "required MIPS", "capacity MIPS", ""],
+        table_rows, title="Section 6: instruction issue demand vs capacity "
+                          "(1 Mop/s per qubit, 2 instr/op, 200 MHz core)"))
+
+    # Single stream: the ceiling sits at 100 qubits for this op rate.
+    assert max_qubits_single_stream() == 100
+    by_width = {}
+    for r in rows:
+        if not r.saturated:
+            by_width[r.issue_width] = max(by_width.get(r.issue_width, 0),
+                                          r.n_qubits)
+    # VLIW widths raise the ceiling monotonically.
+    assert by_width[1] < by_width[2] <= by_width[4]
+    # Width 4 carries 200 qubits where width 1 saturates.
+    width1 = {r.n_qubits: r.saturated for r in rows if r.issue_width == 1}
+    width4 = {r.n_qubits: r.saturated for r in rows if r.issue_width == 4}
+    assert width1[200] and not width4[200]
+
+
+def test_measured_issue_rate_on_dense_program(benchmark):
+    """The machine's measured sustained issue rate bounds how many qubits
+    one stream could feed; compare against the model's assumption."""
+    body = "\n".join("Wait 4\nPulse {q2}, X90" for _ in range(200))
+
+    def run_dense():
+        machine = QuMA(MachineConfig(qubits=(2,), trace_enabled=False,
+                                     queue_capacity=512))
+        machine.load(body + "\nhalt")
+        result = machine.run()
+        assert result.completed
+        return machine, result
+
+    machine, result = benchmark.pedantic(run_dense, rounds=1, iterations=1,
+                                         warmup_rounds=0)
+    # Issue time: one instruction per 5 ns cycle while not stalled.
+    issue_ns = machine.config.classical_issue_ns
+    mips = 1e3 / issue_ns
+    emit(format_table(
+        ["metric", "value"],
+        [["instructions executed", result.instructions_executed],
+         ["stall time", f"{result.stall_ns} ns"],
+         ["per-instruction issue", f"{issue_ns} ns"],
+         ["sustained issue rate", f"{mips:.0f} MIPS"]],
+        title="Measured execution-controller issue rate"))
+    assert result.instructions_executed == 401
+    assert mips == 200.0

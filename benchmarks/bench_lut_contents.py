@@ -1,0 +1,28 @@
+"""E1 — Table 1: the CTPG lookup-table content for single-qubit gates.
+
+Regenerates the codeword -> pulse mapping and its memory footprint, and
+benchmarks LUT construction.
+"""
+
+from repro.pulse import build_single_qubit_lut
+from repro.reporting import format_table
+
+from conftest import emit
+
+
+def test_table1_lut_contents(benchmark):
+    lut = benchmark(build_single_qubit_lut)
+
+    rows = []
+    for cw in lut.codewords():
+        w = lut.lookup(cw)
+        rows.append([cw, w.name, f"{w.duration_ns} ns", f"{w.memory_bytes:.0f} B"])
+    emit(format_table(["Codeword", "Pulse", "Duration", "Memory"], rows,
+                      title="Table 1: codeword-triggered pulse generation LUT"))
+
+    # Table 1 ordering: I, X180, X90, mX90, Y180, Y90, mY90.
+    assert [lut.lookup(c).name for c in range(7)] == [
+        "I", "X180", "X90", "mX90", "Y180", "Y90", "mY90"]
+    # Section 5.1.1: the 7-pulse AllXY LUT consumes 420 bytes.
+    assert lut.memory_bytes() == 420.0
+    benchmark.extra_info["memory_bytes"] = lut.memory_bytes()

@@ -1,0 +1,78 @@
+"""E3 — Tables 2-4: timing-control-unit queue states during AllXY.
+
+Loads the first two AllXY rounds (I-I and X180-X180, as in the paper's
+tables), fills the queues with T_D held, then steps the timing controller
+and snapshots the queues at T_D = 0, 40000 and 40008 cycles.
+"""
+
+from repro.core import MachineConfig, QuMA
+from repro.reporting import format_queue_tables
+
+from conftest import emit
+
+TWO_ROUNDS = """
+    mov r15, 40000
+    QNopReg r15
+    Pulse {q2}, I
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}, r7
+    QNopReg r15
+    Pulse {q2}, X180
+    Wait 4
+    Pulse {q2}, X180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}, r7
+    halt
+"""
+
+
+def fill_queues() -> QuMA:
+    machine = QuMA(MachineConfig(qubits=(2,), td_auto_start=False))
+    machine.load(TWO_ROUNDS)
+    machine.run(until=lambda: machine.exec_ctrl.halted)
+    return machine
+
+
+def test_tables_2_3_4_queue_states(benchmark):
+    machine = benchmark.pedantic(fill_queues, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+
+    # Table 2: after executing the instructions, before T_D starts.
+    snap0 = machine.tcu.snapshot()
+    emit(format_queue_tables(snap0, td_cycles=0))
+    assert snap0["timing"] == ["(4, 6)", "(4, 5)", "(40000, 4)",
+                               "(4, 3)", "(4, 2)", "(40000, 1)"]
+    assert snap0["pulse"] == ["(X180, 5)", "(X180, 4)", "(I, 2)", "(I, 1)"]
+    assert snap0["mpg"] == ["(6)", "(3)"]
+    assert snap0["md"] == ["(r7, 6)", "(r7, 3)"]
+
+    # Table 3: T_D = 40000 — the first time point fired, I issued.
+    machine.start_timing()
+    machine.run(until=lambda: machine.tcu.labels_fired >= 1)
+    assert machine.tcu.td_cycles() == 40000
+    snap1 = machine.tcu.snapshot()
+    emit(format_queue_tables(snap1, td_cycles=40000))
+    assert snap1["timing"] == ["(4, 6)", "(4, 5)", "(40000, 4)",
+                               "(4, 3)", "(4, 2)"]
+    assert snap1["pulse"] == ["(X180, 5)", "(X180, 4)", "(I, 2)"]
+    assert snap1["mpg"] == ["(6)", "(3)"]
+    assert snap1["md"] == ["(r7, 6)", "(r7, 3)"]
+
+    # Table 4: T_D = 40008 — labels 2 and 3 fired (second I, MPG+MD).
+    machine.run(until=lambda: machine.tcu.labels_fired >= 3)
+    assert machine.tcu.td_cycles() == 40008
+    snap2 = machine.tcu.snapshot()
+    emit(format_queue_tables(snap2, td_cycles=40008))
+    assert snap2["timing"] == ["(4, 6)", "(4, 5)", "(40000, 4)"]
+    assert snap2["pulse"] == ["(X180, 5)", "(X180, 4)"]
+    assert snap2["mpg"] == ["(6)"]
+    assert snap2["md"] == ["(r7, 6)"]
+
+    # Run to completion: everything drains, no violations.
+    result = machine.run()
+    assert result.completed
+    assert result.timing_violations == []

@@ -1,0 +1,81 @@
+"""E8 — Section 6: QuMA versus the APS2-style distributed architecture.
+
+Quantifies the paper's comparison on AllXY and on scaling multi-qubit
+workloads: number of binaries, waveform memory, synchronization stalls,
+upload time, and recalibration cost.
+"""
+
+from repro.baseline import (
+    APS2Config,
+    allxy_spec,
+    compare_architectures,
+    reconfiguration_cost,
+    synthetic_spec,
+)
+from repro.reporting import format_table
+
+from conftest import emit
+
+
+def test_section6_allxy_comparison(benchmark):
+    cmp = benchmark(compare_architectures, allxy_spec())
+
+    rows = [
+        ["binaries", cmp.quma_binaries, cmp.aps2_binaries],
+        ["waveform memory", f"{cmp.quma_memory_bytes:.0f} B",
+         f"{cmp.aps2_memory_bytes:.0f} B"],
+        ["sync stalls", f"{cmp.quma_sync_stall_ns} ns",
+         f"{cmp.aps2_sync_stall_ns} ns"],
+        ["config upload", f"{cmp.quma_upload_s * 1e6:.0f} us",
+         f"{cmp.aps2_upload_s * 1e6:.0f} us"],
+    ]
+    emit(format_table(["property", "QuMA", "APS2 model"], rows,
+                      title="Section 6: architecture comparison on AllXY"))
+
+    # QuMA: one binary; APS2: one per module plus the TDM.
+    assert cmp.quma_binaries == 1
+    assert cmp.aps2_binaries >= 2
+    assert cmp.aps2_memory_bytes > cmp.quma_memory_bytes
+    assert cmp.quma_upload_s < cmp.aps2_upload_s
+
+
+def test_section6_multiqubit_scaling(benchmark):
+    """With more qubits the APS2 model multiplies binaries and sync
+    stalls; QuMA keeps one binary and label-based synchronization."""
+    def sweep():
+        out = []
+        for n_qubits in (1, 2, 4, 8):
+            spec = synthetic_spec(n_combinations=50, ops_per_combination=4,
+                                  n_qubits=n_qubits, sync_points=2)
+            out.append((n_qubits, compare_architectures(
+                spec, APS2Config(n_modules=9, sync_latency_ns=100))))
+        return out
+
+    results = benchmark(sweep)
+    rows = [[n, c.quma_binaries, c.aps2_binaries,
+             f"{c.memory_ratio:.1f}x", c.aps2_sync_stall_ns]
+            for n, c in results]
+    emit(format_table(
+        ["qubits", "QuMA binaries", "APS2 binaries", "APS2/QuMA memory",
+         "APS2 sync stall (ns)"],
+        rows, title="Section 6: scaling the workload"))
+
+    for n, c in results:
+        assert c.quma_binaries == 1
+        assert c.aps2_binaries == n + 1
+        assert c.quma_sync_stall_ns == 0
+    # Sync dead time grows with the workload on the distributed system.
+    assert results[-1][1].aps2_sync_stall_ns > 0
+
+
+def test_recalibration_cost(benchmark):
+    """Changing one pulse's calibration: QuMA re-uploads one LUT entry,
+    the waveform method re-uploads every waveform containing the op."""
+    cost = benchmark(reconfiguration_cost, allxy_spec(), "X180")
+    emit(format_table(
+        ["architecture", "bytes re-uploaded"],
+        [["QuMA (one LUT entry)", f"{cost['quma_bytes']:.0f}"],
+         ["APS2 model (affected waveforms)", f"{cost['aps2_bytes']:.0f}"]],
+        title="Recalibrating the X180 pulse"))
+    assert cost["quma_bytes"] == 60.0
+    assert cost["aps2_bytes"] >= 10 * cost["quma_bytes"]

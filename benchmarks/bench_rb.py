@@ -1,0 +1,69 @@
+"""E13 — Section 8: single-qubit randomized benchmarking.
+
+Random Clifford sequences through the full stack; the survival decay
+A*p^m + B yields the error per Clifford, which should track the
+decoherence budget of the configured qubit.
+"""
+
+import numpy as np
+
+from repro.core import MachineConfig
+from repro.experiments import run_rb
+from repro.qubit import TransmonParams
+from repro.reporting import format_table, sparkline
+
+from conftest import emit
+
+QUBIT = TransmonParams(t1_ns=6000.0, t2_ns=4000.0)
+
+
+def test_section8_randomized_benchmarking(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_rb(MachineConfig(qubits=(2,), transmons=(QUBIT,),
+                                     trace_enabled=False),
+                       lengths=[1, 6, 14, 30, 60], sequences_per_length=3,
+                       n_rounds=24, seed=7),
+        rounds=1, iterations=1, warmup_rounds=0)
+
+    emit(format_table(
+        ["m (Cliffords)", "survival"],
+        [[int(m), f"{s:.3f}"] for m, s in zip(result.lengths, result.survival)],
+        title="Section 8: randomized benchmarking"))
+    emit("survival: " + sparkline(result.survival, 0, 1))
+    emit(f"pulses/Clifford: {result.pulses_per_clifford:.3f}   "
+         f"p = {result.fit.p:.4f}   r = {result.error_per_clifford:.4f}")
+
+    # Monotone-ish decay with length.
+    assert result.survival[0] > result.survival[-1]
+    # Decoherence-limited error per Clifford: ~1.8 pulses x 20 ns against
+    # T2 = 4 us puts r in the 1e-3 .. 5e-2 band.
+    assert 1e-3 < result.error_per_clifford < 5e-2
+    # Coarse decoherence-budget estimate: duration per Clifford over T2.
+    clifford_ns = result.pulses_per_clifford * 20.0
+    budget = clifford_ns / QUBIT.t2_ns
+    assert result.error_per_clifford < 10 * budget
+    benchmark.extra_info["error_per_clifford"] = result.error_per_clifford
+
+
+def test_rb_tracks_coherence(benchmark):
+    """The fitted error rate orders qubits by their coherence."""
+    def run_two():
+        out = {}
+        for label, t1, t2 in [("good", 8000.0, 6000.0),
+                              ("bad", 1500.0, 1200.0)]:
+            q = TransmonParams(t1_ns=t1, t2_ns=t2)
+            out[label] = run_rb(
+                MachineConfig(qubits=(2,), transmons=(q,), trace_enabled=False),
+                lengths=[1, 10, 26], sequences_per_length=2, n_rounds=24,
+                seed=4)
+        return out
+
+    results = benchmark.pedantic(run_two, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    emit(format_table(
+        ["qubit", "survival @ m=26", "error/Clifford"],
+        [[k, f"{v.survival[-1]:.3f}", f"{v.error_per_clifford:.4f}"]
+         for k, v in results.items()],
+        title="RB vs qubit coherence"))
+    assert results["bad"].survival[-1] < results["good"].survival[-1] - 0.1
+    assert results["bad"].error_per_clifford > results["good"].error_per_clifford

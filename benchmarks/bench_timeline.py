@@ -1,0 +1,81 @@
+"""E2 — Figures 3 and 5: the AllXY round timeline.
+
+Reconstructs the waveform/timing diagram of one AllXY round from the
+architectural trace: initialization wait, two back-to-back 20 ns gates,
+and the measurement pulse starting exactly when the second gate ends,
+with measurement discrimination overlapping measurement pulse generation.
+"""
+
+from repro.core import MachineConfig, QuMA
+from repro.reporting import format_table, render_pulse_lanes
+from repro.utils.units import ns_to_cycles
+
+from conftest import emit
+
+ONE_ROUND = """
+    mov r15, 40000
+    QNopReg r15
+    Pulse {q2}, X90
+    Wait 4
+    Pulse {q2}, X90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}, r7
+    halt
+"""
+
+
+def run_round() -> QuMA:
+    machine = QuMA(MachineConfig(qubits=(2,)))
+    machine.load(ONE_ROUND)
+    result = machine.run()
+    assert result.completed
+    return machine
+
+
+def test_figure5_allxy_timeline(benchmark):
+    machine = benchmark.pedantic(run_round, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    trace = machine.trace
+    td0 = machine.tcu.td_to_ns(0)
+
+    events = []
+    for r in trace.filter(kind="fire"):
+        events.append((r.time, f"timing label {r.detail['label']} "
+                               f"(T_D = {r.detail['td']} cycles)"))
+    pulse_starts = trace.filter(kind="pulse_start")
+    for r in pulse_starts:
+        events.append((r.time, f"gate pulse {r.detail['name']} starts "
+                               f"({r.detail['duration_ns']} ns)"))
+    msmt = trace.filter(kind="msmt_pulse_start")
+    for r in msmt:
+        events.append((r.time, f"measurement pulse starts "
+                               f"({r.detail['duration_ns']} ns)"))
+    results = trace.filter(kind="result")
+    for r in results:
+        events.append((r.time, f"measurement result = {r.detail['value']}"))
+
+    rows = [[t, f"{(t - td0) / 1000:.3f}", what]
+            for t, what in sorted(events)]
+    emit(format_table(["t (ns)", "since T_D start (us)", "event"], rows,
+                      title="Figure 3/5: one AllXY round in the timeline"))
+
+    # Figure 3's waveform row: where the envelopes actually play.
+    first_pulse = min(r.time for r in pulse_starts)
+    emit(render_pulse_lanes(trace, first_pulse - 40, first_pulse + 1700))
+
+    # Figure 5's structure: init wait of 200 us to the first gate point.
+    fire_times = [r.time for r in trace.filter(kind="fire")]
+    assert ns_to_cycles(fire_times[0] - td0) == 40000
+    # The two gates play exactly back to back (20 ns apart) ...
+    g1, g2 = (r.time for r in pulse_starts)
+    assert g2 - g1 == 20
+    # ... and the measurement pulse starts the instant the second ends.
+    assert msmt[0].time == g2 + 20
+    # MPG and MD fire at the same time point (overlapping boxes in Fig. 5).
+    md = trace.filter(kind="md_dispatch")
+    mpg = trace.filter(kind="mpg_trigger")
+    assert md[0].time == mpg[0].time
+    # The discrimination result lands after the 1.5 us integration window.
+    assert results[0].time - msmt[0].time >= 1500
+    benchmark.extra_info["gate_spacing_ns"] = g2 - g1

@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures (see the
+experiment index in DESIGN.md) and asserts the *shape* of the result —
+who wins, by roughly what factor, where crossovers fall — rather than the
+authors' absolute testbed numbers.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+paper-style tables each bench prints.
+"""
+
+import os
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a paper-style artifact (visible with -s)."""
+    print("\n" + text)
+
+
+@pytest.fixture
+def allxy_rounds() -> int:
+    """Averaging rounds for the AllXY benches.
+
+    The paper uses N = 25600; the default here keeps the bench under ten
+    seconds while preserving the staircase and the deviation metric
+    (statistical error scales as 1/sqrt(N)).  Override with the
+    ALLXY_ROUNDS environment variable.
+    """
+    return int(os.environ.get("ALLXY_ROUNDS", "512"))

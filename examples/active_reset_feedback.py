@@ -1,0 +1,59 @@
+"""Fast feedback control: measurement-conditioned active qubit reset.
+
+The paper's architecture motivates hardware measurement discrimination
+with feedback "well below the typical qubit coherence time" (Section
+4.2.1).  This example excites the qubit, measures it into register r7,
+and conditionally applies X180 when the result is 1 — active reset.  The
+execution controller stalls on the pending register until the MDU
+write-back arrives, then branches.
+
+Run:  python examples/active_reset_feedback.py
+"""
+
+from repro import MachineConfig, QuMA
+
+PROGRAM = """
+    mov r0, 1               # constant for the branch
+    mov r10, 0              # count of resets applied
+    Wait 4
+    Pulse {q2}, X90         # random-ish preparation: 50/50 outcome
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}, r7             # r7 marked pending until discrimination
+    bne r7, r0, no_flip     # stalls here until the result lands
+    Wait 400                # 2 us: covers the measurement + MDU latency
+    Pulse {q2}, X180        # measured 1 -> flip back to |0>
+    addi r10, r10, 1
+    jmp verify
+no_flip:
+    Wait 400                # same spacing on the no-flip path
+verify:
+    Wait 4
+    MPG {q2}, 300           # verification measurement
+    MD {q2}, r8
+    halt
+"""
+
+
+def main() -> None:
+    resets, verified_zero = 0, 0
+    shots = 20
+    for seed in range(shots):
+        machine = QuMA(MachineConfig(qubits=(2,), seed=seed))
+        machine.load(PROGRAM)
+        result = machine.run()
+        assert result.completed
+        resets += machine.registers.read(10)
+        verified_zero += 1 - machine.registers.read(8)
+        if seed == 0:
+            stall = result.stall_ns
+            print(f"feedback stall on first shot: {stall} ns "
+                  f"(measurement 1500 ns + discrimination pipeline)")
+
+    print(f"\nshots:                 {shots}")
+    print(f"resets applied:        {resets} (expect ~half: X90 preparation)")
+    print(f"verified |0> after:    {verified_zero}/{shots}")
+
+
+if __name__ == "__main__":
+    main()

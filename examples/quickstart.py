@@ -1,0 +1,44 @@
+"""Quickstart: assemble a QuMIS program, run it on QuMA, read the result.
+
+The program excites qubit 2 with two back-to-back X90 pulses and measures
+it, with the binary result written back to register r7 — the minimal tour
+of codeword-triggered pulses, queue-based timing, and hardware
+discrimination.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MachineConfig, QuMA
+
+PROGRAM = """
+    Wait 4                  # first deterministic time point (20 ns)
+    Pulse {q2}, X90         # half rotation ...
+    Wait 4
+    Pulse {q2}, X90         # ... and the other half: |0> -> |1>
+    Wait 4
+    MPG {q2}, 300           # 1.5 us measurement pulse
+    MD {q2}, r7             # discriminate; write result to r7
+    halt
+"""
+
+
+def main() -> None:
+    machine = QuMA(MachineConfig(qubits=(2,)))
+    machine.load(PROGRAM)
+    result = machine.run()
+
+    print("completed:          ", result.completed)
+    print("simulated time:     ", result.duration_ns, "ns")
+    print("instructions:       ", result.instructions_executed)
+    print("timing violations:  ", len(result.timing_violations))
+    print("measurement result: ", machine.registers.read(7),
+          "(two X90s invert the qubit, so expect 1)")
+
+    print("\narchitectural trace:")
+    for record in machine.trace.filter(kinds=["fire", "pulse_start",
+                                              "msmt_pulse_start", "result"]):
+        print("   ", record)
+
+
+if __name__ == "__main__":
+    main()

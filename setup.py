@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Allows `pip install -e . --no-use-pep517 --no-build-isolation` (the legacy
+editable path) on machines where PEP 517 editable builds are unavailable.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — reproduction of "An Experimental Microarchitecture for a
+Superconducting Quantum Processor" (Fu et al., MICRO 2017).
+
+Public API highlights
+---------------------
+* :class:`repro.QuMA` / :class:`repro.MachineConfig` — the assembled
+  quantum microarchitecture over a simulated transmon device.
+* :func:`repro.assemble` — the QIS + QuMIS assembler.
+* :mod:`repro.compiler` — the OpenQL-like high-level frontend.
+* :mod:`repro.experiments` — AllXY, Rabi, T1/Ramsey/Echo, randomized
+  benchmarking, with fitting utilities.
+* :mod:`repro.baseline` — the APS2-style architecture model used for the
+  Section 6 comparison.
+"""
+
+from repro.core import MachineConfig, QuMA
+from repro.core.quma import RunResult
+from repro.isa import Program, assemble, disassemble_program
+from repro.pulse import PulseCalibration
+from repro.qubit import TransmonParams
+from repro.readout import ReadoutParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuMA",
+    "MachineConfig",
+    "RunResult",
+    "Program",
+    "assemble",
+    "disassemble_program",
+    "PulseCalibration",
+    "TransmonParams",
+    "ReadoutParams",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Arbitrary waveform generator boards: DACs and the CTPG.
+
+Each of the control box's AWG boards (Section 7.1) holds a micro-operation
+unit and a codeword-triggered pulse generation unit feeding two 14-bit
+DACs (I and Q).
+"""
+
+from repro.awg.dac import dac_quantize
+from repro.awg.ctpg import CodewordTriggeredPulseGenerator
+
+__all__ = ["dac_quantize", "CodewordTriggeredPulseGenerator"]

@@ -1,0 +1,25 @@
+"""14-bit digital-to-analog conversion for the I/Q envelope channels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dac_quantize(samples: np.ndarray, bits: int = 14,
+                 full_scale: float = 1.0) -> np.ndarray:
+    """Quantize a complex envelope to the DAC grid (I and Q separately).
+
+    Values are clipped to [-full_scale, full_scale - lsb], mirroring a
+    signed DAC.  Returns a complex array on the quantized grid.
+    """
+    if bits < 1:
+        raise ValueError("need at least 1 bit")
+    levels = 1 << (bits - 1)
+    step = full_scale / levels
+
+    def _one(channel: np.ndarray) -> np.ndarray:
+        clipped = np.clip(channel, -full_scale, full_scale - step)
+        return np.round(clipped / step) * step
+
+    samples = np.asarray(samples, dtype=complex)
+    return _one(samples.real) + 1j * _one(samples.imag)

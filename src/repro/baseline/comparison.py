@@ -1,0 +1,145 @@
+"""Quantitative QuMA-vs-baseline comparisons (Sections 5.1.1 and 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.aps2 import APS2Config, APS2System
+from repro.baseline.spec import ExperimentSpec
+from repro.pulse.waveform import SAMPLE_BITS
+from repro.utils.errors import ConfigurationError
+
+
+def codeword_memory_bytes(spec: ExperimentSpec,
+                          sample_bits: int = SAMPLE_BITS,
+                          sample_rate_gsps: float = 1.0) -> float:
+    """QuMA's codeword-triggered method: only unique primitives stored.
+
+    Section 5.1.1: the AllXY LUT stores 7 pulses = 420 bytes, independent
+    of how many combinations the experiment runs.
+    """
+    samples_per_op = int(spec.op_duration_ns * sample_rate_gsps)
+    n_unique = len(spec.unique_operations())
+    bits = n_unique * samples_per_op * 2 * sample_bits
+    return bits / 8.0 * spec.n_qubits
+
+
+def waveform_memory_bytes(spec: ExperimentSpec,
+                          sample_bits: int = SAMPLE_BITS,
+                          sample_rate_gsps: float = 1.0) -> float:
+    """The conventional full-waveform method (one qubit's worth)."""
+    samples_per_op = int(spec.op_duration_ns * sample_rate_gsps)
+    bits = spec.total_operation_slots() * samples_per_op * 2 * sample_bits
+    return bits / 8.0 * spec.n_qubits
+
+
+def upload_seconds(n_bytes: float, bandwidth_bytes_per_s: float = 3e6) -> float:
+    """Configuration upload time over the control link.
+
+    Default bandwidth models the control box's USB/50 MHz communication
+    clock path (a few MB/s of effective payload).
+    """
+    if bandwidth_bytes_per_s <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    return n_bytes / bandwidth_bytes_per_s
+
+
+def reconfiguration_cost(spec: ExperimentSpec, changed_op: str,
+                         aps2: APS2System | None = None) -> dict[str, float]:
+    """Bytes to re-upload when one primitive pulse is recalibrated."""
+    aps2 = aps2 if aps2 is not None else APS2System()
+    samples_per_op = spec.op_duration_ns  # 1 GSa/s
+    quma_bytes = samples_per_op * 2 * SAMPLE_BITS / 8.0 * spec.n_qubits
+    if changed_op not in spec.unique_operations():
+        quma_bytes = 0.0
+    return {
+        "quma_bytes": quma_bytes,
+        "aps2_bytes": aps2.reupload_bytes_for_change(spec, changed_op),
+    }
+
+
+@dataclass(frozen=True)
+class ArchitectureComparison:
+    """One row set of the Section 6 comparison."""
+
+    spec_name: str
+    quma_binaries: int
+    aps2_binaries: int
+    quma_memory_bytes: float
+    aps2_memory_bytes: float
+    quma_sync_stall_ns: int
+    aps2_sync_stall_ns: int
+    quma_upload_s: float
+    aps2_upload_s: float
+
+    @property
+    def memory_ratio(self) -> float:
+        return self.aps2_memory_bytes / self.quma_memory_bytes
+
+
+def compare_architectures(spec: ExperimentSpec,
+                          aps2_config: APS2Config | None = None,
+                          bandwidth_bytes_per_s: float = 3e6) -> ArchitectureComparison:
+    """Side-by-side comparison for one workload.
+
+    QuMA: one binary, codeword LUT memory, no sync stalls (events fire at
+    timing labels).  APS2: one binary per module plus TDM, full waveform
+    memory, sync stalls at every alignment point.
+    """
+    aps2 = APS2System(aps2_config)
+    compiled = aps2.compile_experiment(spec)
+    quma_memory = codeword_memory_bytes(spec)
+    return ArchitectureComparison(
+        spec_name=spec.name,
+        quma_binaries=1,
+        aps2_binaries=compiled.n_binaries,
+        quma_memory_bytes=quma_memory,
+        aps2_memory_bytes=compiled.waveform_memory_bytes,
+        quma_sync_stall_ns=0,
+        aps2_sync_stall_ns=compiled.sync_stall_ns,
+        quma_upload_s=upload_seconds(quma_memory, bandwidth_bytes_per_s),
+        aps2_upload_s=upload_seconds(compiled.upload_bytes, bandwidth_bytes_per_s),
+    )
+
+
+@dataclass(frozen=True)
+class IssueRateRow:
+    """One point of the Section 6 issue-rate scalability analysis."""
+
+    n_qubits: int
+    required_mips: float      #: instruction issue demand, millions/s
+    capacity_mips: float      #: what the stream(s) can deliver
+    issue_width: int
+    saturated: bool
+
+
+def issue_rate_table(qubit_counts: list[int],
+                     op_rate_per_qubit_hz: float = 1e6,
+                     instructions_per_op: float = 2.0,
+                     core_clock_hz: float = 200e6,
+                     issue_widths: tuple[int, ...] = (1, 2, 4)) -> list[IssueRateRow]:
+    """Section 6: 'more qubits ask for a higher operation output rate
+    while only a single instruction stream is used'; VLIW relaxes it.
+
+    Each qubit demands ``op_rate_per_qubit_hz`` operations per second and
+    each operation costs ``instructions_per_op`` instructions (a Pulse
+    plus a Wait, in the AllXY shape).
+    """
+    rows = []
+    for width in issue_widths:
+        capacity = core_clock_hz * width / 1e6
+        for n in qubit_counts:
+            required = n * op_rate_per_qubit_hz * instructions_per_op / 1e6
+            rows.append(IssueRateRow(
+                n_qubits=n, required_mips=required, capacity_mips=capacity,
+                issue_width=width, saturated=required > capacity))
+    return rows
+
+
+def max_qubits_single_stream(op_rate_per_qubit_hz: float = 1e6,
+                             instructions_per_op: float = 2.0,
+                             core_clock_hz: float = 200e6,
+                             issue_width: int = 1) -> int:
+    """Largest qubit count a stream of the given width can feed."""
+    per_qubit = op_rate_per_qubit_hz * instructions_per_op
+    return int(core_clock_hz * issue_width // per_qubit)

@@ -1,0 +1,70 @@
+"""Architecture-neutral experiment descriptions for cost comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """What an experiment asks of a control system.
+
+    ``sequences`` lists the operation combinations to run (per qubit);
+    each is a list of operation names.  Every operation is a calibrated
+    pulse of ``op_duration_ns`` (the paper's accounting uses a uniform
+    20 ns single-qubit pulse).
+    """
+
+    name: str
+    sequences: tuple[tuple[str, ...], ...]
+    op_duration_ns: int = 20
+    n_qubits: int = 1
+    #: Synchronization points per sequence (multi-qubit alignment events).
+    sync_points_per_sequence: int = 0
+
+    def __post_init__(self):
+        if not self.sequences:
+            raise ConfigurationError("spec needs at least one sequence")
+        if self.op_duration_ns <= 0:
+            raise ConfigurationError("op duration must be positive")
+
+    def unique_operations(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for seq in self.sequences:
+            for op in seq:
+                seen.setdefault(op, None)
+        return list(seen)
+
+    def total_operation_slots(self) -> int:
+        return sum(len(seq) for seq in self.sequences)
+
+
+def allxy_spec() -> ExperimentSpec:
+    """The AllXY experiment as a cost spec (Section 5.1.1's example)."""
+    from repro.experiments.allxy import ALLXY_PAIRS
+
+    names = {"i": "I", "x": "X180", "y": "Y180", "x90": "X90", "y90": "Y90"}
+    sequences = tuple(tuple(names[g] for g in pair) for pair in ALLXY_PAIRS)
+    return ExperimentSpec(name="AllXY", sequences=sequences)
+
+
+def synthetic_spec(n_combinations: int, ops_per_combination: int,
+                   n_primitives: int = 7, n_qubits: int = 1,
+                   sync_points: int = 0) -> ExperimentSpec:
+    """A parameterized workload for scaling sweeps.
+
+    Combinations cycle through ``n_primitives`` distinct operations, the
+    structure of growing gate-characterization or algorithm suites.
+    """
+    if n_primitives < 1:
+        raise ConfigurationError("need at least one primitive")
+    primitives = [f"OP{i}" for i in range(n_primitives)]
+    sequences = tuple(
+        tuple(primitives[(c * ops_per_combination + i) % n_primitives]
+              for i in range(ops_per_combination))
+        for c in range(n_combinations))
+    return ExperimentSpec(name=f"synthetic_{n_combinations}x{ops_per_combination}",
+                          sequences=sequences, n_qubits=n_qubits,
+                          sync_points_per_sequence=sync_points)

@@ -1,0 +1,34 @@
+"""Trigger distribution module model.
+
+Section 6: "the TDM distributes trigger signals to perform
+parallelism/synchronization of multiple outputs via an interconnect
+network.  The main disadvantage [is] that no output instructions can be
+processed when synchronization is required, and the interconnect network
+is cumbersome and fragile when scaling up."
+"""
+
+from __future__ import annotations
+
+from repro.utils.errors import ConfigurationError
+
+
+class TriggerDistributionModule:
+    """Sync-cost model: every sync point stalls all module outputs."""
+
+    def __init__(self, n_modules: int, sync_latency_ns: int = 100):
+        if n_modules < 1:
+            raise ConfigurationError("TDM needs at least one module")
+        if sync_latency_ns < 0:
+            raise ConfigurationError("negative sync latency")
+        self.n_modules = n_modules
+        self.sync_latency_ns = int(sync_latency_ns)
+
+    def interconnect_links(self) -> int:
+        """Point-to-point trigger links the TDM must fan out."""
+        return self.n_modules
+
+    def total_stall_ns(self, n_sync_points: int) -> int:
+        """Output dead time: no output instruction issues during sync."""
+        if n_sync_points < 0:
+            raise ConfigurationError("negative sync count")
+        return n_sync_points * self.sync_latency_ns

@@ -1,0 +1,144 @@
+"""Command-line interface: assemble, disassemble, run, and experiments.
+
+Usage::
+
+    python -m repro assemble prog.qasm -o prog.bin
+    python -m repro disassemble prog.bin
+    python -m repro run prog.qasm --qubits 2 --trace
+    python -m repro allxy --rounds 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import MachineConfig
+from repro.core.quma import QuMA
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble_program
+from repro.isa.program import Program
+from repro.utils.errors import ReproError
+
+
+def _parse_qubits(text: str) -> tuple[int, ...]:
+    return tuple(int(q.strip()) for q in text.split(",") if q.strip())
+
+
+def cmd_assemble(args: argparse.Namespace) -> int:
+    with open(args.source) as f:
+        program = assemble(f.read())
+    blob = program.to_binary()
+    out = args.output or (args.source.rsplit(".", 1)[0] + ".bin")
+    with open(out, "wb") as f:
+        f.write(blob)
+    print(f"{len(program)} instructions -> {len(blob)} bytes -> {out}")
+    return 0
+
+
+def cmd_disassemble(args: argparse.Namespace) -> int:
+    with open(args.binary, "rb") as f:
+        program = Program.from_binary(f.read())
+    sys.stdout.write(disassemble_program(program))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.config:
+        from repro.core.config_io import load_config
+
+        config = load_config(args.config)
+        config.trace_enabled = args.trace or config.trace_enabled
+    else:
+        config = MachineConfig(qubits=_parse_qubits(args.qubits),
+                               seed=args.seed,
+                               trace_enabled=args.trace)
+    machine = QuMA(config)
+    if args.program.endswith(".bin"):
+        with open(args.program, "rb") as f:
+            machine.load(f.read())
+    elif args.program.endswith(".qpkg"):
+        from repro.isa.package import load_package
+
+        program, microprograms = load_package(args.program)
+        for name, (n_params, body) in microprograms.items():
+            machine.define_microprogram(name, n_params, body)
+        # Instructions carry operation *names*; the machine resolves them
+        # against its own table (which must define them — standard Table 1
+        # names always do).
+        machine.exec_ctrl.load(program)
+    else:
+        with open(args.program) as f:
+            machine.load(f.read())
+    result = machine.run()
+    print(f"completed:            {result.completed}")
+    print(f"simulated time:       {result.duration_ns} ns")
+    print(f"instructions:         {result.instructions_executed}")
+    print(f"measurements:         {result.measurements}")
+    print(f"timing violations:    {len(result.timing_violations)}")
+    nonzero = {f"r{i}": v for i, v in enumerate(result.registers) if v}
+    print(f"non-zero registers:   {nonzero}")
+    if args.trace:
+        print("\ntrace:")
+        for record in machine.trace:
+            print("  ", record)
+    return 0 if result.completed else 1
+
+
+def cmd_allxy(args: argparse.Namespace) -> int:
+    from repro.experiments.allxy import run_allxy
+    from repro.reporting.tables import sparkline
+
+    result = run_allxy(MachineConfig(qubits=(2,), trace_enabled=False,
+                                     seed=args.seed),
+                       n_rounds=args.rounds)
+    print("ideal   :", sparkline(result.ideal, 0, 1))
+    print("measured:", sparkline(result.fidelity, 0, 1))
+    print(f"deviation: {result.deviation:.4f} "
+          f"(paper: 0.012 at N = 25600; this run N = {args.rounds})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QuMA reproduction toolchain (Fu et al., MICRO 2017)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("assemble", help="assemble QIS+QuMIS source to binary")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_assemble)
+
+    p = sub.add_parser("disassemble", help="disassemble a binary")
+    p.add_argument("binary")
+    p.set_defaults(func=cmd_disassemble)
+
+    p = sub.add_parser("run", help="run a program on the simulated machine")
+    p.add_argument("program", help=".qasm text or .bin binary")
+    p.add_argument("--qubits", default="2", help="comma-separated chip labels")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", action="store_true", help="print the trace")
+    p.add_argument("--config", default=None,
+                   help="JSON machine configuration (see docs)")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("allxy", help="run the Figure 9 AllXY experiment")
+    p.add_argument("--rounds", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_allxy)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

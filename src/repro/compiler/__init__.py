@@ -1,0 +1,29 @@
+"""OpenQL-like compiler frontend (Section 7.2).
+
+The paper's experiments are written in OpenQL, "a quantum programming
+language based on C++ with a compiler that can translate the OpenQL
+description into the auxiliary classical instructions and QuMIS
+instructions".  This subpackage is the Python equivalent: a
+:class:`QuantumProgram` of :class:`Kernel` objects is decomposed to the
+primitive pulse set, scheduled onto the 5 ns timing grid, and lowered to
+QIS + QuMIS assembly in the shape of Algorithm 3.
+"""
+
+from repro.compiler.ir import Op, OpKind
+from repro.compiler.program import QuantumProgram, Kernel
+from repro.compiler.decomposition import decompose
+from repro.compiler.scheduling import schedule, Point
+from repro.compiler.codegen import CompilerOptions, CompiledProgram, compile_program
+
+__all__ = [
+    "Op",
+    "OpKind",
+    "QuantumProgram",
+    "Kernel",
+    "decompose",
+    "schedule",
+    "Point",
+    "CompilerOptions",
+    "CompiledProgram",
+    "compile_program",
+]

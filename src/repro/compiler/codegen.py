@@ -1,0 +1,110 @@
+"""Code generation: scheduled kernels to QIS + QuMIS assembly.
+
+Emits programs in the shape of Algorithm 3: registers hold the
+initialization wait and the averaging-loop bounds; each kernel body is a
+sequence of QNopReg/Wait/Pulse/MPG/MD instructions; the outer loop repeats
+every kernel N times with ``addi``/``bne``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.decomposition import decompose
+from repro.compiler.ir import OpKind
+from repro.compiler.program import QuantumProgram
+from repro.compiler.scheduling import Point, schedule
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Knobs for lowering (paper defaults)."""
+
+    n_rounds: int = 1           #: averaging rounds (N; Fig. 9 uses 25600)
+    init_cycles: int = 40000    #: prepz wait (200 us)
+    gate_slot_cycles: int = 4   #: per-gate slot (20 ns)
+    two_qubit_slot_cycles: int = 8  #: flux-pulse slot (40 ns, Algorithm 2)
+    msmt_cycles: int = 300      #: measurement pulse duration (1.5 us)
+    init_register: int = 15     #: register holding the init wait (r15)
+    counter_register: int = 1   #: loop counter (r1)
+    rounds_register: int = 2    #: loop bound (r2)
+
+    def __post_init__(self):
+        if self.n_rounds < 1:
+            raise ConfigurationError("need at least one round")
+        regs = {self.init_register, self.counter_register, self.rounds_register}
+        if len(regs) != 3:
+            raise ConfigurationError("compiler registers must be distinct")
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """Compiler output: assembly text plus run metadata."""
+
+    asm: str
+    k_points: int    #: measurements per round (data collection unit K)
+    n_rounds: int
+    point_count: int  #: deterministic time points per round
+
+
+def _emit_point(point: Point, options: CompilerOptions, lines: list[str]) -> int:
+    """Emit one time point; returns the number of measurements emitted."""
+    measures = 0
+    if point.is_register_wait:
+        lines.append(f"    QNopReg r{options.init_register}")
+    else:
+        lines.append(f"    Wait {point.interval_cycles}")
+    for op in point.events:
+        if op.kind is OpKind.PULSE:
+            qset = "{" + ", ".join(f"q{q}" for q in op.qubits) + "}"
+            lines.append(f"    Pulse {qset}, {op.name}")
+        elif op.kind is OpKind.MEASURE:
+            (q,) = op.qubits
+            duration = op.duration_cycles if op.duration_cycles else options.msmt_cycles
+            lines.append(f"    MPG {{q{q}}}, {duration}")
+            if op.rd is not None:
+                lines.append(f"    MD {{q{q}}}, r{op.rd}")
+            else:
+                lines.append(f"    MD {{q{q}}}")
+            measures += 1
+        else:
+            raise ConfigurationError(f"unexpected event kind {op.kind}")
+    return measures
+
+
+def compile_program(program: QuantumProgram,
+                    options: CompilerOptions | None = None) -> CompiledProgram:
+    """Lower a :class:`QuantumProgram` to assembly text."""
+    options = options if options is not None else CompilerOptions()
+    lines: list[str] = [f"# compiled from OpenQL-like program {program.name!r}"]
+    uses_prepz = any(op.kind is OpKind.PREPZ
+                     for k in program.kernels for op in k.ops)
+    if uses_prepz:
+        lines.append(f"    mov r{options.init_register}, {options.init_cycles}")
+    looped = options.n_rounds > 1
+    if looped:
+        lines.append(f"    mov r{options.counter_register}, 0")
+        lines.append(f"    mov r{options.rounds_register}, {options.n_rounds}")
+        lines.append("Outer_Loop:")
+
+    k_points = 0
+    point_count = 0
+    for kernel in program.kernels:
+        lines.append(f"    # kernel {kernel.name}")
+        ops = decompose(kernel.ops)
+        points = schedule(ops, options.gate_slot_cycles, options.msmt_cycles,
+                          options.two_qubit_slot_cycles)
+        for point in points:
+            k_points += _emit_point(point, options, lines)
+            point_count += 1
+
+    if looped:
+        lines.append(f"    addi r{options.counter_register}, "
+                     f"r{options.counter_register}, 1")
+        lines.append(f"    bne r{options.counter_register}, "
+                     f"r{options.rounds_register}, Outer_Loop")
+    lines.append("    halt")
+    return CompiledProgram(asm="\n".join(lines) + "\n",
+                           k_points=k_points, n_rounds=options.n_rounds,
+                           point_count=point_count)

@@ -1,0 +1,40 @@
+"""Gate decomposition to the primitive pulse set.
+
+Composite gates are rewritten into Table 1 primitives (plus CZ):
+
+* ``cnot c,t``  ->  ``mY90 t; CZ c,t; Y90 t``  (Section 5.3.2)
+* ``h q``       ->  ``Y90 q; X180 q``          (H = X . Ry(pi/2))
+* ``z q``       ->  ``Y180 q; X180 q``         (Z = X . Y up to phase)
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Op, OpKind
+from repro.utils.errors import ConfigurationError
+
+
+def _decompose_one(op: Op) -> list[Op]:
+    if op.kind is not OpKind.COMPOSITE:
+        return [op]
+    if op.name == "cnot":
+        control, target = op.qubits
+        return [
+            Op("mY90", (target,), OpKind.PULSE),
+            Op("CZ", (control, target), OpKind.PULSE),
+            Op("Y90", (target,), OpKind.PULSE),
+        ]
+    if op.name == "h":
+        (q,) = op.qubits
+        return [Op("Y90", (q,), OpKind.PULSE), Op("X180", (q,), OpKind.PULSE)]
+    if op.name == "z":
+        (q,) = op.qubits
+        return [Op("Y180", (q,), OpKind.PULSE), Op("X180", (q,), OpKind.PULSE)]
+    raise ConfigurationError(f"no decomposition rule for {op.name!r}")
+
+
+def decompose(ops: list[Op]) -> list[Op]:
+    """Rewrite all composite ops; the result contains no COMPOSITE kinds."""
+    out: list[Op] = []
+    for op in ops:
+        out.extend(_decompose_one(op))
+    return out

@@ -1,0 +1,34 @@
+"""Compiler intermediate representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class OpKind(Enum):
+    """What a kernel operation lowers to."""
+
+    PULSE = "pulse"      #: a primitive micro-operation (Pulse instruction)
+    MEASURE = "measure"  #: MPG + MD pair
+    PREPZ = "prepz"      #: initialization by waiting (register-held interval)
+    WAIT = "wait"        #: explicit idle interval in cycles
+    COMPOSITE = "composite"  #: decomposed before scheduling
+
+
+@dataclass(frozen=True)
+class Op:
+    """One kernel operation."""
+
+    name: str
+    qubits: tuple[int, ...]
+    kind: OpKind
+    #: PULSE: gate slot in cycles.  WAIT: idle cycles.  MEASURE: pulse
+    #: duration in cycles (0 = use the machine default).
+    duration_cycles: int = 0
+    #: MEASURE: destination register for the binary result, or None.
+    rd: int | None = None
+
+    def __post_init__(self):
+        if not self.qubits and self.kind is not OpKind.WAIT:
+            raise ValueError(f"op {self.name!r} needs at least one qubit")

@@ -1,0 +1,139 @@
+"""QuantumProgram / Kernel: the user-facing program builder."""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Op, OpKind
+from repro.utils.errors import ConfigurationError
+
+#: Gate-method name -> primitive operation name (Table 1 spellings).
+_PRIMITIVE_GATES = {
+    "i": "I",
+    "x": "X180",
+    "x180": "X180",
+    "x90": "X90",
+    "mx90": "mX90",
+    "y": "Y180",
+    "y180": "Y180",
+    "y90": "Y90",
+    "my90": "mY90",
+}
+
+#: Gates decomposed by the compiler (see decomposition.py).
+_COMPOSITE_GATES = {"cnot", "h", "z"}
+
+
+class Kernel:
+    """A straight-line sequence of quantum operations."""
+
+    def __init__(self, name: str, qubits: tuple[int, ...]):
+        self.name = name
+        self.qubits = tuple(qubits)
+        self.ops: list[Op] = []
+
+    def _check_qubit(self, qubit: int) -> None:
+        if qubit not in self.qubits:
+            raise ConfigurationError(
+                f"kernel {self.name!r} does not own qubit q{qubit}")
+
+    def gate(self, name: str, *qubits: int) -> "Kernel":
+        """Append a named gate; returns self for chaining."""
+        key = name.lower()
+        for q in qubits:
+            self._check_qubit(q)
+        if key in _PRIMITIVE_GATES:
+            if len(qubits) != 1:
+                raise ConfigurationError(f"{name} is a single-qubit gate")
+            self.ops.append(Op(_PRIMITIVE_GATES[key], qubits, OpKind.PULSE))
+        elif key == "cz":
+            if len(qubits) != 2:
+                raise ConfigurationError("cz takes two qubits")
+            self.ops.append(Op("CZ", qubits, OpKind.PULSE))
+        elif key in _COMPOSITE_GATES:
+            expected = 2 if key == "cnot" else 1
+            if len(qubits) != expected:
+                raise ConfigurationError(f"{name} takes {expected} qubit(s)")
+            self.ops.append(Op(key, qubits, OpKind.COMPOSITE))
+        else:
+            raise ConfigurationError(f"unknown gate {name!r}")
+        return self
+
+    # Convenience spellings -------------------------------------------------
+
+    def i(self, q: int) -> "Kernel":
+        return self.gate("i", q)
+
+    def x(self, q: int) -> "Kernel":
+        return self.gate("x", q)
+
+    def y(self, q: int) -> "Kernel":
+        return self.gate("y", q)
+
+    def z(self, q: int) -> "Kernel":
+        return self.gate("z", q)
+
+    def h(self, q: int) -> "Kernel":
+        return self.gate("h", q)
+
+    def x90(self, q: int) -> "Kernel":
+        return self.gate("x90", q)
+
+    def y90(self, q: int) -> "Kernel":
+        return self.gate("y90", q)
+
+    def mx90(self, q: int) -> "Kernel":
+        return self.gate("mx90", q)
+
+    def my90(self, q: int) -> "Kernel":
+        return self.gate("my90", q)
+
+    def cz(self, a: int, b: int) -> "Kernel":
+        return self.gate("cz", a, b)
+
+    def cnot(self, control: int, target: int) -> "Kernel":
+        return self.gate("cnot", control, target)
+
+    def prepz(self, qubit: int) -> "Kernel":
+        """Initialize by waiting multiple T1 (the AllXY init)."""
+        self._check_qubit(qubit)
+        self.ops.append(Op("prepz", (qubit,), OpKind.PREPZ))
+        return self
+
+    def wait(self, cycles: int, *qubits: int) -> "Kernel":
+        """Explicit idle interval on the given qubits (all if omitted)."""
+        if cycles < 1:
+            raise ConfigurationError("wait must be at least 1 cycle")
+        targets = qubits if qubits else self.qubits
+        for q in targets:
+            self._check_qubit(q)
+        self.ops.append(Op("wait", tuple(targets), OpKind.WAIT,
+                           duration_cycles=cycles))
+        return self
+
+    def measure(self, qubit: int, rd: int | None = None,
+                duration_cycles: int = 0) -> "Kernel":
+        """Measure; optionally write the binary result to register ``rd``."""
+        self._check_qubit(qubit)
+        self.ops.append(Op("measure", (qubit,), OpKind.MEASURE,
+                           duration_cycles=duration_cycles, rd=rd))
+        return self
+
+
+class QuantumProgram:
+    """A named sequence of kernels over a fixed qubit set."""
+
+    def __init__(self, name: str, qubits: tuple[int, ...] | list[int]):
+        if not qubits:
+            raise ConfigurationError("program needs at least one qubit")
+        self.name = name
+        self.qubits = tuple(qubits)
+        self.kernels: list[Kernel] = []
+
+    def new_kernel(self, name: str) -> Kernel:
+        kernel = Kernel(name, self.qubits)
+        self.kernels.append(kernel)
+        return kernel
+
+    def measure_count(self) -> int:
+        """Total MD events per round (the data collection unit's K)."""
+        return sum(1 for k in self.kernels for op in k.ops
+                   if op.kind is OpKind.MEASURE)

@@ -1,0 +1,95 @@
+"""ASAP scheduling onto the 5 ns timing grid.
+
+Produces the time-point structure that QuMIS expresses directly: a list of
+:class:`Point` entries, each an interval (in cycles) from the previous
+point plus the events firing there.  ``prepz`` compiles to a
+register-held interval (``QNopReg``) so the initialization time can be
+changed at runtime, exactly as Algorithm 3 does with r15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import Op, OpKind
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class Point:
+    """One deterministic time point.
+
+    ``interval_cycles`` is None for a register-held interval (prepz) whose
+    value is read from the init register at runtime.
+    """
+
+    interval_cycles: int | None
+    events: list[Op] = field(default_factory=list)
+
+    @property
+    def is_register_wait(self) -> bool:
+        return self.interval_cycles is None
+
+
+def schedule(ops: list[Op], gate_slot_cycles: int = 4,
+             msmt_cycles: int = 300,
+             two_qubit_slot_cycles: int = 8) -> list[Point]:
+    """ASAP-schedule decomposed ops into time points.
+
+    Pulses trigger at their start cycle and occupy their qubit(s) for the
+    gate slot; measurements occupy until the measurement pulse ends.
+    Operations on disjoint qubits pack into the same point when their
+    start cycles coincide.  ``prepz`` is a barrier: it flushes the current
+    segment and restarts the cycle count after a register-held wait.
+    """
+    if gate_slot_cycles < 1:
+        raise ConfigurationError("gate slot must be at least 1 cycle")
+
+    points: list[Point] = []
+    ready: dict[int, int] = {}
+    starts: dict[int, list[Op]] = {}
+
+    def flush_segment(after_register_wait: bool) -> None:
+        previous = 0
+        first = True
+        for start in sorted(starts):
+            events = starts[start]
+            interval = start - previous
+            if first and interval == 0 and after_register_wait and points:
+                # Events at cycle 0 fire at the register-wait point itself.
+                points[-1].events.extend(events)
+            else:
+                # A fresh point needs a positive interval on the grid.
+                points.append(Point(max(interval, 1), list(events)))
+            previous = start
+            first = False
+        starts.clear()
+
+    segment_after_register = False
+    for op in ops:
+        if op.kind is OpKind.COMPOSITE:
+            raise ConfigurationError("schedule() requires decomposed ops")
+        if op.kind is OpKind.PREPZ:
+            flush_segment(segment_after_register)
+            points.append(Point(None))
+            ready = {}
+            segment_after_register = True
+            continue
+        if op.kind is OpKind.WAIT:
+            base = max((ready.get(q, 0) for q in op.qubits), default=0)
+            for q in op.qubits:
+                ready[q] = base + op.duration_cycles
+            continue
+        start = max((ready.get(q, 0) for q in op.qubits), default=0)
+        if op.kind is OpKind.MEASURE:
+            duration = op.duration_cycles if op.duration_cycles else msmt_cycles
+        elif len(op.qubits) > 1:
+            # Flux pulses are longer (~40 ns); Algorithm 2 waits 8 cycles.
+            duration = two_qubit_slot_cycles
+        else:
+            duration = gate_slot_cycles
+        for q in op.qubits:
+            ready[q] = start + duration
+        starts.setdefault(start, []).append(op)
+    flush_segment(segment_after_register)
+    return points

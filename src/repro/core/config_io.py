@@ -1,0 +1,94 @@
+"""Machine-configuration serialization.
+
+A `MachineConfig` round-trips through plain JSON so experiment setups are
+shareable, diffable artifacts — the reproduction's equivalent of the
+control box's configuration files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.core.config import MachineConfig
+from repro.pulse.lut import PulseCalibration
+from repro.qubit.transmon import TransmonParams
+from repro.readout.resonator import ReadoutParams
+from repro.utils.errors import ConfigurationError
+
+
+def config_to_dict(config: MachineConfig) -> dict:
+    """A JSON-serializable dict capturing the full machine setup."""
+    return {
+        "qubits": list(config.qubits),
+        "transmons": [asdict(t) for t in config.transmons],
+        "readout": asdict(config.readout),
+        "readouts": [asdict(r) for r in config.readouts],
+        "calibration": asdict(config.calibration),
+        "flux_pairs": [list(p) for p in config.flux_pairs],
+        "two_qubit_ops": list(config.two_qubit_ops),
+        "f_ssb_hz": config.f_ssb_hz,
+        "drive_detuning_hz": config.drive_detuning_hz,
+        "uop_delay_ns": config.uop_delay_ns,
+        "ctpg_delay_ns": config.ctpg_delay_ns,
+        "msmt_path_delay_ns": config.msmt_path_delay_ns,
+        "classical_issue_ns": config.classical_issue_ns,
+        "classical_jitter_ns": config.classical_jitter_ns,
+        "issue_width": config.issue_width,
+        "queue_capacity": config.queue_capacity,
+        "td_auto_start": config.td_auto_start,
+        "gate_slot_cycles": config.gate_slot_cycles,
+        "msmt_cycles": config.msmt_cycles,
+        "msmt_codeword": config.msmt_codeword,
+        "dcu_points": config.dcu_points,
+        "calibration_shots": config.calibration_shots,
+        "seed": config.seed,
+        "trace_enabled": config.trace_enabled,
+    }
+
+
+def config_from_dict(data: dict) -> MachineConfig:
+    """Rebuild a MachineConfig; unknown keys are rejected loudly."""
+    known = {
+        "qubits", "transmons", "readout", "readouts", "calibration",
+        "flux_pairs", "two_qubit_ops", "f_ssb_hz", "drive_detuning_hz",
+        "uop_delay_ns", "ctpg_delay_ns", "msmt_path_delay_ns",
+        "classical_issue_ns", "classical_jitter_ns", "issue_width",
+        "queue_capacity", "td_auto_start", "gate_slot_cycles",
+        "msmt_cycles", "msmt_codeword", "dcu_points", "calibration_shots",
+        "seed", "trace_enabled",
+    }
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(f"unknown config keys: {sorted(unknown)}")
+    kwargs = dict(data)
+    if "qubits" in kwargs:
+        kwargs["qubits"] = tuple(kwargs["qubits"])
+    if "transmons" in kwargs:
+        kwargs["transmons"] = tuple(TransmonParams(**t)
+                                    for t in kwargs["transmons"])
+    if "readout" in kwargs:
+        kwargs["readout"] = ReadoutParams(**kwargs["readout"])
+    if "readouts" in kwargs:
+        kwargs["readouts"] = tuple(ReadoutParams(**r)
+                                   for r in kwargs["readouts"])
+    if "calibration" in kwargs:
+        kwargs["calibration"] = PulseCalibration(**kwargs["calibration"])
+    if "flux_pairs" in kwargs:
+        kwargs["flux_pairs"] = tuple(tuple(p) for p in kwargs["flux_pairs"])
+    if "two_qubit_ops" in kwargs:
+        kwargs["two_qubit_ops"] = tuple(kwargs["two_qubit_ops"])
+    return MachineConfig(**kwargs)
+
+
+def save_config(config: MachineConfig, path: str) -> None:
+    """Write the configuration as pretty-printed JSON."""
+    with open(path, "w") as f:
+        json.dump(config_to_dict(config), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_config(path: str) -> MachineConfig:
+    """Read a configuration written by :func:`save_config`."""
+    with open(path) as f:
+        return config_from_dict(json.load(f))

@@ -1,0 +1,61 @@
+"""Queue-entry datatypes for the timing control unit (Section 5.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimePoint:
+    """One timing-queue entry: interval (cycles) to the previous point,
+    plus the timing label broadcast when it is reached."""
+
+    interval_cycles: int
+    label: int
+
+    def __str__(self) -> str:
+        return f"({self.interval_cycles}, {self.label})"
+
+
+@dataclass(frozen=True)
+class PulseEvent:
+    """A micro-operation waiting in the pulse queue.
+
+    ``channel`` names the AWG channel (micro-op unit) it is routed to;
+    ``qubits`` are the chip labels the channel drives.
+    """
+
+    label: int
+    uop: int
+    op_name: str
+    channel: str
+    qubits: tuple[int, ...]
+
+    def __str__(self) -> str:
+        return f"({self.op_name}, {self.label})"
+
+
+@dataclass(frozen=True)
+class MpgEvent:
+    """A measurement-pulse-generation trigger (bypasses the u-op unit)."""
+
+    label: int
+    qubits: tuple[int, ...]
+    duration_cycles: int
+
+    def __str__(self) -> str:
+        return f"({self.label})"
+
+
+@dataclass(frozen=True)
+class MdEvent:
+    """A measurement-discrimination trigger (bypasses the u-op unit)."""
+
+    label: int
+    qubits: tuple[int, ...]
+    rd: int | None
+
+    def __str__(self) -> str:
+        if self.rd is None:
+            return f"({self.label})"
+        return f"(r{self.rd}, {self.label})"

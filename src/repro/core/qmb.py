@@ -1,0 +1,133 @@
+"""Quantum microinstruction buffer (Section 5.3.2).
+
+Decomposes timed QuMIS microinstructions into micro-operations with
+timing labels and pushes them into the timing control unit's queues.
+``Wait`` creates a new time point (fresh label); ``Pulse`` attaches one
+micro-operation per routed channel at the current label; ``MPG``/``MD``
+"can be directly translated into codeword triggers ... bypassing the
+micro-operation unit", so they go to their own queues unmodified.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MachineConfig
+from repro.core.events import MdEvent, MpgEvent, PulseEvent
+from repro.core.timing import TimingControlUnit
+from repro.isa import instructions as ins
+from repro.isa.operations import OperationTable
+from repro.sim import TraceRecorder
+from repro.utils.errors import ConfigurationError
+
+
+class QuantumMicroinstructionBuffer:
+    """Fills the timing control unit's queues from the microcode stream."""
+
+    def __init__(self, tcu: TimingControlUnit, config: MachineConfig,
+                 op_table: OperationTable, trace: TraceRecorder | None = None):
+        self.tcu = tcu
+        self.config = config
+        self.op_table = op_table
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.current_label: int | None = None
+        self._next_label = 1
+        self._flux_channel = {frozenset(p): f"uop_flux{i}"
+                              for i, p in enumerate(config.flux_pairs)}
+        self.auto_start = config.td_auto_start
+
+    # -- routing ---------------------------------------------------------
+
+    def route_pulse_events(self, pulse: ins.Pulse, label: int) -> list[PulseEvent]:
+        """Resolve Pulse pairs to per-channel micro-operation events."""
+        events = []
+        for qubits, op in pulse.pairs:
+            uop = self.op_table.id_of(op)
+            if op in self.config.two_qubit_ops:
+                key = frozenset(qubits)
+                if key not in self._flux_channel:
+                    raise ConfigurationError(
+                        f"no flux channel wired for qubit pair {tuple(qubits)}")
+                events.append(PulseEvent(label=label, uop=uop, op_name=op,
+                                         channel=self._flux_channel[key],
+                                         qubits=tuple(qubits)))
+            else:
+                for q in qubits:
+                    self.config.device_index(q)  # validates wiring
+                    events.append(PulseEvent(label=label, uop=uop, op_name=op,
+                                             channel=f"uop{q}", qubits=(q,)))
+        return events
+
+    # -- accept one microinstruction ---------------------------------------
+
+    def accept(self, uinstr: ins.Instruction) -> bool:
+        """Push one microinstruction's queue entries.
+
+        Returns False (accepting nothing) if any target queue lacks space —
+        the back-pressure that stalls the execution controller.
+        """
+        if isinstance(uinstr, ins.Wait):
+            if not self.tcu.has_space(1, {}):
+                return False
+            label = self._next_label
+            self.tcu.push_time_point(uinstr.interval, label)
+            self.current_label = label
+            self._next_label += 1
+            self._maybe_start()
+            return True
+
+        if isinstance(uinstr, ins.Pulse):
+            label, needed_point = self._label_for_events()
+            events = self.route_pulse_events(uinstr, label)
+            if not self.tcu.has_space(needed_point, {"pulse": len(events)}):
+                return False
+            self._commit_label(label, needed_point)
+            for event in events:
+                self.tcu.push_event("pulse", event)
+            return True
+
+        if isinstance(uinstr, ins.Mpg):
+            for q in uinstr.qubits:
+                self.config.device_index(q)  # validates wiring
+            label, needed_point = self._label_for_events()
+            if not self.tcu.has_space(needed_point, {"mpg": 1}):
+                return False
+            self._commit_label(label, needed_point)
+            self.tcu.push_event("mpg", MpgEvent(label=label, qubits=uinstr.qubits,
+                                                duration_cycles=uinstr.duration))
+            return True
+
+        if isinstance(uinstr, ins.Md):
+            for q in uinstr.qubits:
+                self.config.device_index(q)  # validates wiring
+            label, needed_point = self._label_for_events()
+            if not self.tcu.has_space(needed_point, {"md": 1}):
+                return False
+            self._commit_label(label, needed_point)
+            self.tcu.push_event("md", MdEvent(label=label, qubits=uinstr.qubits,
+                                              rd=uinstr.rd))
+            return True
+
+        raise ConfigurationError(
+            f"QMB cannot accept {type(uinstr).__name__}; "
+            f"only QuMIS microinstructions reach the buffer")
+
+    def _label_for_events(self) -> tuple[int, int]:
+        """Label for an event, plus how many time points must be created.
+
+        Events preceding any Wait attach to an implicit time point at
+        interval 0 (fire as soon as T_D starts).
+        """
+        if self.current_label is None:
+            return self._next_label, 1
+        return self.current_label, 0
+
+    def _commit_label(self, label: int, needed_point: int) -> None:
+        if needed_point:
+            # Interval 0: fires the moment T_D starts counting.
+            self.tcu.push_time_point(0, label)
+            self.current_label = label
+            self._next_label += 1
+            self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self.auto_start and not self.tcu.started:
+            self.tcu.start()

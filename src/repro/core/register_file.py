@@ -1,0 +1,82 @@
+"""Register file with a pending-bit scoreboard for measurement write-backs.
+
+Table 6's ``MD QAddr, $rd`` writes the binary measurement result into a
+register *later* (when discrimination completes).  The execution controller
+marks the destination pending at dispatch; any instruction reading a
+pending register stalls until the write-back — the feedback-control path
+of Section 5.1.2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+_WORD = 1 << 32
+_SIGN = 1 << 31
+
+
+def _wrap32(value: int) -> int:
+    """Two's-complement wrap to a signed 32-bit integer."""
+    value &= _WORD - 1
+    return value - _WORD if value & _SIGN else value
+
+
+class RegisterFile:
+    """32 general-purpose 32-bit registers with pending tracking."""
+
+    N_REGS = 32
+
+    def __init__(self):
+        self.values = [0] * self.N_REGS
+        self._pending = [0] * self.N_REGS
+        self._waiters: list[tuple[tuple[int, ...], Callable[[], None]]] = []
+
+    def read(self, reg: int) -> int:
+        """Architectural read (the caller must have checked pending)."""
+        return self.values[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        """Immediate (classical pipeline) write."""
+        self.values[reg] = _wrap32(int(value))
+
+    # -- scoreboard ----------------------------------------------------------
+
+    def is_pending(self, reg: int) -> bool:
+        return self._pending[reg] > 0
+
+    def any_pending(self, regs: tuple[int, ...]) -> bool:
+        return any(self._pending[r] > 0 for r in regs)
+
+    def mark_pending(self, reg: int) -> None:
+        """A measurement result is in flight toward ``reg``."""
+        self._pending[reg] += 1
+
+    def writeback(self, reg: int, value: int) -> None:
+        """Asynchronous write-back from the MDU; releases one pending slot
+        and wakes any stalled readers whose sources are now all ready."""
+        self.values[reg] = _wrap32(int(value))
+        if self._pending[reg] > 0:
+            self._pending[reg] -= 1
+        self._wake()
+
+    def wait_for(self, regs: tuple[int, ...], callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once none of ``regs`` is pending.
+
+        Fires immediately if already satisfied.
+        """
+        if not self.any_pending(regs):
+            callback()
+            return
+        self._waiters.append((tuple(regs), callback))
+
+    def _wake(self) -> None:
+        still_waiting = []
+        ready = []
+        for regs, callback in self._waiters:
+            if self.any_pending(regs):
+                still_waiting.append((regs, callback))
+            else:
+                ready.append(callback)
+        self._waiters = still_waiting
+        for callback in ready:
+            callback()

@@ -1,0 +1,49 @@
+"""Experiment library: the paper's Section 8 validation suite.
+
+AllXY (Figure 9), Rabi amplitude calibration, T1 / T2 Ramsey / T2 Echo
+coherence measurements, and single-qubit randomized benchmarking — all
+executed through the full QuMA stack, from OpenQL-like programs down to
+simulated pulses.
+"""
+
+from repro.experiments.allxy import (
+    ALLXY_PAIRS,
+    AllXYResult,
+    allxy_ideal_staircase,
+    allxy_labels,
+    build_allxy_program,
+    run_allxy,
+)
+from repro.experiments.runner import run_compiled, ExperimentRun
+from repro.experiments.analysis import (
+    fit_exponential_decay,
+    fit_damped_cosine,
+    fit_rb_decay,
+)
+from repro.experiments.coherence import run_t1, run_ramsey, run_echo, CoherenceResult
+from repro.experiments.rabi import run_rabi, RabiResult
+from repro.experiments.cliffords import CliffordGroup
+from repro.experiments.rb import run_rb, RBResult
+
+__all__ = [
+    "ALLXY_PAIRS",
+    "AllXYResult",
+    "allxy_ideal_staircase",
+    "allxy_labels",
+    "build_allxy_program",
+    "run_allxy",
+    "run_compiled",
+    "ExperimentRun",
+    "fit_exponential_decay",
+    "fit_damped_cosine",
+    "fit_rb_decay",
+    "run_t1",
+    "run_ramsey",
+    "run_echo",
+    "CoherenceResult",
+    "run_rabi",
+    "RabiResult",
+    "CliffordGroup",
+    "run_rb",
+    "RBResult",
+]

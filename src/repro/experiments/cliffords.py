@@ -1,0 +1,136 @@
+"""The single-qubit Clifford group over the primitive pulse set.
+
+The 24 Cliffords are generated numerically by closing {X90, Y90} under
+multiplication (up to global phase); each element stores a shortest pulse
+decomposition found by breadth-first search over the 7 primitive pulses.
+This is the gate substrate for randomized benchmarking (Section 8, [60]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qubit.gates import rx, ry
+
+#: Primitive pulses available in the CTPG LUT (Table 1), minus identity.
+_PRIMITIVES: dict[str, np.ndarray] = {
+    "X180": rx(np.pi),
+    "X90": rx(np.pi / 2),
+    "mX90": rx(-np.pi / 2),
+    "Y180": ry(np.pi),
+    "Y90": ry(np.pi / 2),
+    "mY90": ry(-np.pi / 2),
+}
+
+
+def _phase_canonical(u: np.ndarray) -> bytes:
+    """A global-phase-invariant fingerprint of a 2x2 unitary.
+
+    The phase reference is the first matrix element (row-major) with
+    magnitude above 0.4 — Clifford entries have magnitudes in
+    {0, 1/sqrt(2), 1}, so the choice is stable against float noise.
+    """
+    u = np.asarray(u, dtype=complex)
+    ref = next(val for val in u.flat if abs(val) > 0.4)
+    canon = np.round(u / (ref / abs(ref)), 6)
+    # Collapse signed zeros so byte representations match.
+    real = np.where(canon.real == 0.0, 0.0, canon.real)
+    imag = np.where(canon.imag == 0.0, 0.0, canon.imag)
+    return real.tobytes() + imag.tobytes()
+
+
+@dataclass(frozen=True)
+class Clifford:
+    """One group element: its unitary and a pulse decomposition."""
+
+    index: int
+    unitary: np.ndarray
+    pulses: tuple[str, ...]  #: time-ordered primitive pulse names
+
+
+class CliffordGroup:
+    """The 24-element single-qubit Clifford group with composition tables."""
+
+    def __init__(self):
+        self.elements = self._generate()
+        self._index_by_key = {
+            _phase_canonical(c.unitary): c.index for c in self.elements}
+        n = len(self.elements)
+        self._mul = np.zeros((n, n), dtype=int)
+        for a in self.elements:
+            for b in self.elements:
+                prod = a.unitary @ b.unitary
+                self._mul[a.index, b.index] = self._index_by_key[_phase_canonical(prod)]
+        self._inv = np.zeros(n, dtype=int)
+        identity = self.index_of(np.eye(2, dtype=complex))
+        for a in self.elements:
+            for b in self.elements:
+                if self._mul[a.index, b.index] == identity:
+                    self._inv[a.index] = b.index
+        self.identity_index = identity
+
+    @staticmethod
+    def _generate() -> list[Clifford]:
+        found: dict[bytes, tuple[np.ndarray, tuple[str, ...]]] = {
+            _phase_canonical(np.eye(2, dtype=complex)): (np.eye(2, dtype=complex), ()),
+        }
+        frontier = list(found.items())
+        while frontier:
+            next_frontier = []
+            for _, (u, pulses) in frontier:
+                for name, p in _PRIMITIVES.items():
+                    candidate = p @ u  # pulse applied after existing sequence
+                    key = _phase_canonical(candidate)
+                    if key not in found:
+                        entry = (candidate, pulses + (name,))
+                        found[key] = entry
+                        next_frontier.append((key, entry))
+            frontier = next_frontier
+        assert len(found) == 24, f"generated {len(found)} elements, expected 24"
+        return [Clifford(index=i, unitary=u, pulses=pulses)
+                for i, (u, pulses) in enumerate(found.values())]
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __getitem__(self, index: int) -> Clifford:
+        return self.elements[index]
+
+    def index_of(self, unitary: np.ndarray) -> int:
+        """Group index of a unitary (up to global phase); KeyError if not
+        a Clifford."""
+        return self._index_by_key[_phase_canonical(unitary)]
+
+    def compose(self, first: int, then: int) -> int:
+        """Index of (then . first): applying ``first`` then ``then``."""
+        return int(self._mul[then, first])
+
+    def inverse(self, index: int) -> int:
+        return int(self._inv[index])
+
+    def sequence_product(self, indices: list[int]) -> int:
+        """Group element equal to applying ``indices`` in time order."""
+        acc = self.identity_index
+        for idx in indices:
+            acc = self.compose(acc, idx)
+        return acc
+
+    def recovery(self, indices: list[int]) -> int:
+        """The Clifford that returns the sequence product to identity."""
+        return self.inverse(self.sequence_product(indices))
+
+    def average_pulses_per_clifford(self) -> float:
+        return float(np.mean([len(c.pulses) for c in self.elements]))
+
+
+#: Module-level singleton (construction is cheap but not free).
+_GROUP: CliffordGroup | None = None
+
+
+def clifford_group() -> CliffordGroup:
+    global _GROUP
+    if _GROUP is None:
+        _GROUP = CliffordGroup()
+    return _GROUP

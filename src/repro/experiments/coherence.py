@@ -1,0 +1,135 @@
+"""Coherence experiments: T1, T2 Ramsey, T2 Echo (Section 8).
+
+Each sweeps a free-evolution delay through the full QuMA stack and fits
+the resulting decay.  With the Markovian decoherence model of the
+substrate, the fitted Ramsey and echo times both recover the configured
+T2 (the echo has no low-frequency noise to refocus) — recorded as an
+explicit model note in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.codegen import CompilerOptions, compile_program
+from repro.compiler.program import QuantumProgram
+from repro.core.config import MachineConfig
+from repro.experiments.analysis import (
+    DampedCosineFit,
+    ExponentialFit,
+    fit_damped_cosine,
+    fit_exponential_decay,
+)
+from repro.experiments.runner import ExperimentRun, run_compiled
+from repro.utils.units import CYCLE_NS
+
+
+@dataclass
+class CoherenceResult:
+    """One coherence sweep: delays, populations, and the fitted decay."""
+
+    kind: str
+    delays_ns: np.ndarray
+    population: np.ndarray  #: P(|1>) estimate per delay (rescaled signal)
+    fit: ExponentialFit | DampedCosineFit
+    run: ExperimentRun
+
+    @property
+    def fitted_tau_ns(self) -> float:
+        return self.fit.tau
+
+
+def _delay_kernels(program: QuantumProgram, qubit: int, delays_cycles: list[int],
+                   kind: str) -> None:
+    for i, delay in enumerate(delays_cycles):
+        kernel = program.new_kernel(f"{kind}{i}")
+        kernel.prepz(qubit)
+        if kind == "t1":
+            kernel.x(qubit)
+            kernel.wait(delay, qubit)
+        elif kind == "ramsey":
+            kernel.x90(qubit)
+            kernel.wait(delay, qubit)
+            kernel.x90(qubit)
+        elif kind == "echo":
+            half = max(delay // 2, 1)
+            kernel.x90(qubit)
+            kernel.wait(half, qubit)
+            kernel.x(qubit)
+            kernel.wait(half, qubit)
+            kernel.x90(qubit)
+        else:
+            raise ValueError(f"unknown coherence kind {kind!r}")
+        kernel.measure(qubit)
+
+
+def _run_sweep(kind: str, delays_cycles: list[int], config: MachineConfig,
+               n_rounds: int) -> tuple[ExperimentRun, np.ndarray]:
+    qubit = config.qubits[0]
+    program = QuantumProgram(kind, qubits=(qubit,))
+    _delay_kernels(program, qubit, delays_cycles, kind)
+    compiled = compile_program(program, CompilerOptions(n_rounds=n_rounds))
+    run = run_compiled(compiled, config)
+    return run, run.normalized
+
+
+def run_t1(config: MachineConfig | None = None,
+           delays_cycles: list[int] | None = None,
+           n_rounds: int = 64) -> CoherenceResult:
+    """Excite, wait tau, measure; fit P1(tau) = A exp(-tau/T1) + B."""
+    config = config if config is not None else MachineConfig()
+    if delays_cycles is None:
+        t1_cycles = int(config.transmons[0].t1_ns / CYCLE_NS)
+        delays_cycles = [max(1, int(f * t1_cycles)) for f in
+                         (0.02, 0.15, 0.3, 0.5, 0.75, 1.0, 1.5, 2.2)]
+    run, pop = _run_sweep("t1", delays_cycles, config, n_rounds)
+    delays_ns = np.asarray(delays_cycles) * CYCLE_NS
+    fit = fit_exponential_decay(delays_ns, pop)
+    return CoherenceResult("t1", delays_ns, pop, fit, run)
+
+
+def run_ramsey(config: MachineConfig | None = None,
+               delays_cycles: list[int] | None = None,
+               artificial_detuning_hz: float = 0.4e6,
+               n_rounds: int = 64) -> CoherenceResult:
+    """x90 - wait - x90 with an artificial detuning; fit damped cosine.
+
+    The detuning is applied as a drive-frequency offset (the experimental
+    technique); fringes appear at that frequency and the envelope decays
+    with T2*.  Default delays sit on the 20 ns SSB grid — with stored
+    modulated waveforms, off-grid delays rotate the second pulse's axis
+    (Section 4.2.3), which is a *different* experiment.
+    """
+    config = config if config is not None else MachineConfig()
+    config.drive_detuning_hz = artificial_detuning_hz
+    if delays_cycles is None:
+        ssb_grid = 4  # cycles per SSB period (20 ns at -50 MHz)
+        t2_cycles = int(config.transmons[0].t2_ns / CYCLE_NS)
+        raw = np.linspace(0.02, 2.0, 24) * t2_cycles
+        delays_cycles = sorted({max(ssb_grid, int(round(d / ssb_grid)) * ssb_grid)
+                                for d in raw})
+    run, pop = _run_sweep("ramsey", delays_cycles, config, n_rounds)
+    delays_ns = np.asarray(delays_cycles) * CYCLE_NS
+    fit = fit_damped_cosine(delays_ns, pop,
+                            freq_guess=abs(artificial_detuning_hz) * 1e-9)
+    return CoherenceResult("ramsey", delays_ns, pop, fit, run)
+
+
+def run_echo(config: MachineConfig | None = None,
+             delays_cycles: list[int] | None = None,
+             n_rounds: int = 64) -> CoherenceResult:
+    """x90 - tau/2 - X180 - tau/2 - x90; fit exponential decay toward 0.5."""
+    config = config if config is not None else MachineConfig()
+    if delays_cycles is None:
+        # Sweep past T2 so the exponential curvature beats shot noise;
+        # the late-time T1 pull toward |0> biases tau a little low (model
+        # note in EXPERIMENTS.md).
+        t2_cycles = int(config.transmons[0].t2_ns / CYCLE_NS)
+        delays_cycles = [max(2, int(f * t2_cycles)) for f in
+                         (0.05, 0.15, 0.3, 0.5, 0.75, 1.0, 1.3, 1.7, 2.2)]
+    run, pop = _run_sweep("echo", delays_cycles, config, n_rounds)
+    delays_ns = np.asarray(delays_cycles) * CYCLE_NS
+    fit = fit_exponential_decay(delays_ns, pop)
+    return CoherenceResult("echo", delays_ns, pop, fit, run)

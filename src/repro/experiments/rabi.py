@@ -1,0 +1,91 @@
+"""Rabi amplitude calibration through the full stack.
+
+Sweeps the drive amplitude of a fixed-duration pulse and fits the
+resulting population oscillation, the standard calibration that fixes the
+X180 amplitude.  Each amplitude point is realized by uploading a custom
+waveform into the CTPG lookup table under a scratch codeword — the exact
+mechanism the control box uses for calibration sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from repro.core.config import MachineConfig
+from repro.core.quma import QuMA
+from repro.pulse.envelopes import gaussian
+from repro.pulse.waveform import Waveform
+from repro.utils.errors import ConfigurationError
+
+#: Scratch operation name for the swept pulse.
+RABI_OP = "RABI"
+
+
+@dataclass
+class RabiResult:
+    amplitudes: np.ndarray
+    population: np.ndarray        #: rescaled P(|1>) per amplitude
+    pi_amplitude: float           #: fitted amplitude of a pi rotation
+    expected_pi_amplitude: float  #: analytic value from the calibration
+
+    def amplitude_error(self) -> float:
+        return abs(self.pi_amplitude - self.expected_pi_amplitude)
+
+
+def _rabi_point(config: MachineConfig, qubit: int, amplitude: float,
+                n_rounds: int) -> float:
+    """One amplitude point: upload, run, return rescaled population."""
+    machine = QuMA(MachineConfig(
+        qubits=config.qubits, transmons=config.transmons,
+        readout=config.readout, calibration=config.calibration,
+        seed=config.seed, dcu_points=1))
+    cal = config.calibration
+    rabi_id = machine.op_table.define(RABI_OP)
+    waveform = Waveform(RABI_OP, gaussian(cal.duration_ns, cal.sigma_ns,
+                                          float(amplitude)))
+    machine.ctpgs[f"ctpg{qubit}"].lut.upload(rabi_id, waveform)
+    machine.load(f"""
+        mov r15, 40000
+        mov r1, 0
+        mov r2, {n_rounds}
+    Outer_Loop:
+        QNopReg r15
+        Pulse {{q{qubit}}}, {RABI_OP}
+        Wait 4
+        MPG {{q{qubit}}}, 300
+        MD {{q{qubit}}}
+        addi r1, r1, 1
+        bne r1, r2, Outer_Loop
+        halt
+    """)
+    result = machine.run()
+    if not result.completed or result.averages is None:
+        raise ConfigurationError("rabi point did not complete")
+    ro = machine.readout_calibration
+    return float((result.averages[0] - ro.s_ground)
+                 / (ro.s_excited - ro.s_ground))
+
+
+def run_rabi(config: MachineConfig | None = None,
+             amplitudes: np.ndarray | None = None,
+             n_rounds: int = 64) -> RabiResult:
+    """Amplitude-Rabi through the machine, one uploaded pulse per point."""
+    config = config if config is not None else MachineConfig()
+    expected_pi = config.calibration.amplitude_for(np.pi)
+    if amplitudes is None:
+        amplitudes = np.linspace(0.0, min(2.2 * expected_pi, 0.999), 21)
+    qubit = config.qubits[0]
+    populations = np.asarray([
+        _rabi_point(config, qubit, amp, n_rounds) for amp in amplitudes])
+
+    def model(a, a_pi, visibility, offset):
+        return offset + visibility * (1 - np.cos(np.pi * a / a_pi)) / 2.0
+
+    popt, _ = curve_fit(model, np.asarray(amplitudes, dtype=float), populations,
+                        p0=[expected_pi, 1.0, 0.0], maxfev=20000)
+    return RabiResult(amplitudes=np.asarray(amplitudes), population=populations,
+                      pi_amplitude=float(abs(popt[0])),
+                      expected_pi_amplitude=float(expected_pi))

@@ -1,0 +1,108 @@
+"""Single-qubit randomized benchmarking (Section 8, reference [60]).
+
+For each sequence length m, random Cliffords are applied followed by the
+recovery Clifford; surviving ground-state population decays as
+A * p^m + B, giving the error per Clifford r = (1 - p)/2.  Sequences are
+compiled to QuMIS and executed through the complete QuMA stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.core.quma import QuMA
+from repro.experiments.analysis import RBFit, fit_rb_decay
+from repro.experiments.cliffords import clifford_group
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class RBResult:
+    lengths: np.ndarray
+    survival: np.ndarray     #: ground-state probability per length
+    fit: RBFit
+    pulses_per_clifford: float
+
+    @property
+    def error_per_clifford(self) -> float:
+        return self.fit.error_per_clifford
+
+
+def _sequence_asm(qubit: int, pulse_names: list[str], n_rounds: int) -> str:
+    """Assembly for one RB sequence, averaged over ``n_rounds``."""
+    lines = [
+        "    mov r15, 40000",
+        "    mov r1, 0",
+        f"    mov r2, {n_rounds}",
+        "Outer_Loop:",
+        "    QNopReg r15",
+    ]
+    for name in pulse_names:
+        lines.append(f"    Pulse {{q{qubit}}}, {name}")
+        lines.append("    Wait 4")
+    lines.append(f"    MPG {{q{qubit}}}, 300")
+    lines.append(f"    MD {{q{qubit}}}")
+    lines.append("    addi r1, r1, 1")
+    lines.append("    bne r1, r2, Outer_Loop")
+    lines.append("    halt")
+    return "\n".join(lines)
+
+
+def _survival_for_sequence(config: MachineConfig, qubit: int,
+                           pulse_names: list[str], n_rounds: int) -> float:
+    machine = QuMA(MachineConfig(
+        qubits=config.qubits, transmons=config.transmons,
+        readout=config.readout, calibration=config.calibration,
+        drive_detuning_hz=config.drive_detuning_hz,
+        seed=config.seed, dcu_points=1))
+    machine.load(_sequence_asm(qubit, pulse_names, n_rounds))
+    result = machine.run()
+    if not result.completed or result.averages is None:
+        raise ConfigurationError("RB sequence did not complete")
+    ro = machine.readout_calibration
+    p1 = (result.averages[0] - ro.s_ground) / (ro.s_excited - ro.s_ground)
+    return float(1.0 - p1)  # survival of |0>
+
+
+def run_rb(config: MachineConfig | None = None,
+           lengths: list[int] | None = None,
+           sequences_per_length: int = 3,
+           n_rounds: int = 32,
+           seed: int = 0,
+           fixed_offset: float | None = 0.5) -> RBResult:
+    """Randomized benchmarking through the full stack.
+
+    ``fixed_offset`` pins the fit asymptote (0.5 = fully depolarized);
+    pass None to fit it freely when many lengths are measured.
+    """
+    config = config if config is not None else MachineConfig()
+    if lengths is None:
+        lengths = [1, 4, 10, 20, 40, 70]
+    qubit = config.qubits[0]
+    group = clifford_group()
+    rng = derive_rng(seed, "rb_sequences")
+
+    survival = []
+    for m in lengths:
+        values = []
+        for _ in range(sequences_per_length):
+            indices = [int(rng.integers(len(group))) for _ in range(m)]
+            recovery = group.recovery(indices)
+            pulses: list[str] = []
+            for idx in indices:
+                pulses.extend(group[idx].pulses)
+            pulses.extend(group[recovery].pulses)
+            if not pulses:
+                pulses = ["I"]
+            values.append(_survival_for_sequence(config, qubit, pulses, n_rounds))
+        survival.append(float(np.mean(values)))
+
+    lengths_arr = np.asarray(lengths, dtype=float)
+    survival_arr = np.asarray(survival)
+    fit = fit_rb_decay(lengths_arr, survival_arr, fixed_offset=fixed_offset)
+    return RBResult(lengths=lengths_arr, survival=survival_arr, fit=fit,
+                    pulses_per_clifford=group.average_pulses_per_clifford())

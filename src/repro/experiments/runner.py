@@ -1,0 +1,54 @@
+"""Common experiment runner: compiled program -> machine -> averages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.codegen import CompiledProgram
+from repro.core.config import MachineConfig
+from repro.core.quma import QuMA, RunResult
+from repro.utils.errors import ReproError
+
+
+@dataclass
+class ExperimentRun:
+    """Everything an experiment needs back from the machine."""
+
+    machine: QuMA
+    result: RunResult
+    averages: np.ndarray  #: data collection unit output, length K
+
+    @property
+    def normalized(self) -> np.ndarray:
+        """Averages rescaled by the machine's readout calibration points."""
+        cal = self.machine.readout_calibration
+        span = cal.s_excited - cal.s_ground
+        return (self.averages - cal.s_ground) / span
+
+
+def run_compiled(compiled: CompiledProgram, config: MachineConfig,
+                 machine: QuMA | None = None) -> ExperimentRun:
+    """Run a compiled program and collect the averaged statistics.
+
+    ``config.dcu_points`` is overridden with the program's K.  A
+    pre-built ``machine`` can be supplied (e.g. with custom LUT content);
+    it must have been constructed with matching ``dcu_points``.
+    """
+    if machine is None:
+        config.dcu_points = compiled.k_points
+        machine = QuMA(config)
+    elif machine.config.dcu_points != compiled.k_points:
+        raise ReproError(
+            f"machine K={machine.config.dcu_points} but program K={compiled.k_points}")
+    machine.load(compiled.asm)
+    result = machine.run()
+    if not result.completed:
+        raise ReproError("experiment program did not run to completion")
+    if result.timing_violations:
+        raise ReproError(
+            f"{len(result.timing_violations)} timing violations during run")
+    if result.averages is None:
+        raise ReproError("no complete data-collection round")
+    return ExperimentRun(machine=machine, result=result, averages=result.averages)

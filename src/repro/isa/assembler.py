@@ -1,0 +1,273 @@
+"""Two-pass assembler for the QIS + QuMIS assembly language.
+
+Accepts the syntax used in the paper's listings (Algorithm 3, Table 5)::
+
+    mov r15, 40000          # 200 us
+    mov r1, 0               # loop counter
+    Outer_Loop:
+    QNopReg r15             # Identity, Identity
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    addi r1, r1, 1
+    bne r1, r2, Outer_Loop
+
+plus the general horizontal form ``Pulse (q0, X180), (q1, Y90)``, QIS-level
+``Apply X180, q0`` / ``Measure q0, r7``, and calls to registered
+microprograms (``CNOT q0, q1``).  Mnemonics and label references are
+case-insensitive; labels are stored case-preserving.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa import instructions as ins
+from repro.isa.operations import OperationTable, DEFAULT_OPERATIONS
+from repro.isa.program import Program
+from repro.utils.errors import AssemblyError
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):")
+_REG_RE = re.compile(r"^[rR](\d+)$")
+_QUBIT_RE = re.compile(r"^[qQ](\d+)$")
+_MEM_RE = re.compile(r"^[rR](\d+)\[(-?\d+)\]$")
+_INT_RE = re.compile(r"^-?(0[xX][0-9a-fA-F]+|\d+)$")
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split on commas not nested inside () or {}."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch in "({":
+            depth += 1
+        elif ch in ")}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_reg(tok: str, line: int) -> int:
+    m = _REG_RE.match(tok)
+    if not m:
+        raise AssemblyError(f"expected register, got {tok!r}", line)
+    reg = int(m.group(1))
+    if reg >= 32:
+        raise AssemblyError(f"register r{reg} out of range r0..r31", line)
+    return reg
+
+
+def _parse_qubit(tok: str, line: int) -> int:
+    m = _QUBIT_RE.match(tok)
+    if not m:
+        raise AssemblyError(f"expected qubit, got {tok!r}", line)
+    return int(m.group(1))
+
+
+def _parse_int(tok: str, line: int) -> int:
+    if not _INT_RE.match(tok):
+        raise AssemblyError(f"expected integer, got {tok!r}", line)
+    return int(tok, 0)
+
+
+def _parse_qubit_set(tok: str, line: int) -> tuple[int, ...]:
+    """Parse ``{q0, q1}`` (or a bare ``q0``) into a qubit tuple."""
+    tok = tok.strip()
+    if tok.startswith("{") and tok.endswith("}"):
+        inner = tok[1:-1].replace(",", " ")
+        qubits = tuple(_parse_qubit(t, line) for t in inner.split())
+        if not qubits:
+            raise AssemblyError("empty qubit set", line)
+        return qubits
+    return (_parse_qubit(tok, line),)
+
+
+class _Assembler:
+    def __init__(self, op_table: OperationTable, uprogs: set[str]):
+        self.op_table = op_table
+        self.uprogs = uprogs  # lowercase microprogram names
+        self.uprog_canonical: dict[str, str] = {}
+
+    def parse_line(self, mnemonic: str, operand_text: str, line: int) -> ins.Instruction:
+        m = mnemonic.lower()
+        ops = _split_operands(operand_text) if operand_text else []
+
+        def expect(n: int):
+            if len(ops) != n:
+                raise AssemblyError(
+                    f"{mnemonic} expects {n} operand(s), got {len(ops)}", line)
+
+        if m == "nop":
+            expect(0)
+            return ins.Nop()
+        if m == "halt":
+            expect(0)
+            return ins.Halt()
+        if m in ("mov", "movi"):
+            expect(2)
+            return ins.Movi(rd=_parse_reg(ops[0], line), imm=_parse_int(ops[1], line))
+        if m in ("add", "sub", "and", "or", "xor"):
+            expect(3)
+            cls = {"add": ins.Add, "sub": ins.Sub, "and": ins.And,
+                   "or": ins.Or, "xor": ins.Xor}[m]
+            return cls(rd=_parse_reg(ops[0], line), rs=_parse_reg(ops[1], line),
+                       rt=_parse_reg(ops[2], line))
+        if m == "addi":
+            expect(3)
+            return ins.Addi(rd=_parse_reg(ops[0], line), rs=_parse_reg(ops[1], line),
+                            imm=_parse_int(ops[2], line))
+        if m == "load":
+            expect(2)
+            mem = _MEM_RE.match(ops[1])
+            if not mem:
+                raise AssemblyError(f"expected rS[offset], got {ops[1]!r}", line)
+            return ins.Load(rd=_parse_reg(ops[0], line), rs=int(mem.group(1)),
+                            offset=int(mem.group(2)))
+        if m == "store":
+            expect(2)
+            mem = _MEM_RE.match(ops[1])
+            if not mem:
+                raise AssemblyError(f"expected rS[offset], got {ops[1]!r}", line)
+            return ins.Store(rt=_parse_reg(ops[0], line), rs=int(mem.group(1)),
+                             offset=int(mem.group(2)))
+        if m in ("beq", "bne", "blt"):
+            expect(3)
+            cls = {"beq": ins.Beq, "bne": ins.Bne, "blt": ins.Blt}[m]
+            return cls(rs=_parse_reg(ops[0], line), rt=_parse_reg(ops[1], line),
+                       target=ops[2])
+        if m == "jmp":
+            expect(1)
+            return ins.Jmp(target=ops[0])
+        if m == "wait":
+            expect(1)
+            return ins.Wait(interval=_parse_int(ops[0], line))
+        if m in ("qnopreg", "waitreg"):
+            expect(1)
+            return ins.WaitReg(rs=_parse_reg(ops[0], line))
+        if m == "pulse":
+            return self._parse_pulse(ops, line)
+        if m == "mpg":
+            expect(2)
+            return ins.Mpg(qubits=_parse_qubit_set(ops[0], line),
+                           duration=_parse_int(ops[1], line))
+        if m == "md":
+            if len(ops) == 1:
+                return ins.Md(qubits=_parse_qubit_set(ops[0], line))
+            expect(2)
+            return ins.Md(qubits=_parse_qubit_set(ops[0], line),
+                          rd=_parse_reg(ops[1].lstrip("$"), line))
+        if m == "apply":
+            expect(2)
+            if ops[0] not in self.op_table:
+                raise AssemblyError(f"unknown operation {ops[0]!r}", line)
+            canonical = self.op_table.name_of(self.op_table.id_of(ops[0]))
+            return ins.Apply(op=canonical, qubit=_parse_qubit(ops[1], line))
+        if m == "measure":
+            if len(ops) == 1:
+                return ins.Measure(qubit=_parse_qubit(ops[0], line))
+            expect(2)
+            return ins.Measure(qubit=_parse_qubit(ops[0], line),
+                               rd=_parse_reg(ops[1].lstrip("$"), line))
+        if m in self.uprogs:
+            qubits = tuple(_parse_qubit(t, line) for t in ops)
+            return ins.QCall(uprog=self.uprog_canonical[m], qubits=qubits)
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line)
+
+    def _parse_pulse(self, ops: list[str], line: int) -> ins.Pulse:
+        if not ops:
+            raise AssemblyError("Pulse requires operands", line)
+        # Sugar form: "Pulse {q2}, I" — qubit set + one op name.
+        if len(ops) == 2 and not ops[0].startswith("("):
+            op_name = ops[1]
+            if op_name not in self.op_table:
+                raise AssemblyError(f"unknown operation {op_name!r}", line)
+            canonical = self.op_table.name_of(self.op_table.id_of(op_name))
+            return ins.Pulse.single(_parse_qubit_set(ops[0], line), canonical)
+        # General form: "(qset, op), (qset, op), ..."
+        pairs = []
+        for tok in ops:
+            tok = tok.strip()
+            if not (tok.startswith("(") and tok.endswith(")")):
+                raise AssemblyError(f"expected (qubits, op) pair, got {tok!r}", line)
+            inner = _split_operands(tok[1:-1])
+            if len(inner) != 2:
+                raise AssemblyError(f"malformed pair {tok!r}", line)
+            if inner[1] not in self.op_table:
+                raise AssemblyError(f"unknown operation {inner[1]!r}", line)
+            canonical = self.op_table.name_of(self.op_table.id_of(inner[1]))
+            pairs.append((_parse_qubit_set(inner[0], line), canonical))
+        return ins.Pulse(pairs=tuple(pairs))
+
+
+def assemble(source: str, op_table: OperationTable | None = None,
+             uprogs: list[str] | None = None) -> Program:
+    """Assemble source text into a :class:`Program`.
+
+    ``uprogs`` lists microprogram names callable as mnemonics (e.g.
+    ``["CNOT"]`` makes ``CNOT q0, q1`` assemble to a
+    :class:`~repro.isa.instructions.QCall`).
+    """
+    table = op_table.copy() if op_table is not None else DEFAULT_OPERATIONS.copy()
+    uprog_list = list(uprogs or [])
+    asm = _Assembler(table, {u.lower() for u in uprog_list})
+    asm.uprog_canonical = {u.lower(): u for u in uprog_list}
+
+    instructions: list[ins.Instruction] = []
+    labels: dict[str, int] = {}
+    label_lines: dict[str, int] = {}
+    references: list[tuple[str, int]] = []
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("#", 1)[0].strip()
+        while text:
+            m = _LABEL_RE.match(text)
+            if not m:
+                break
+            name = m.group(1)
+            key = name.lower()
+            if key in labels or key in label_lines:
+                raise AssemblyError(f"duplicate label {name!r}", lineno)
+            labels[key] = len(instructions)
+            label_lines[key] = lineno
+            text = text[m.end():].strip()
+        if not text:
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0]
+        operand_text = parts[1] if len(parts) > 1 else ""
+        try:
+            instr = asm.parse_line(mnemonic, operand_text, lineno)
+        except ValueError as exc:  # operand range errors from dataclasses
+            raise AssemblyError(str(exc), lineno) from None
+        if isinstance(instr, (ins.Beq, ins.Bne, ins.Blt, ins.Jmp)):
+            references.append((instr.target, lineno))
+            instr = _retarget(instr, instr.target.lower())
+        instructions.append(instr)
+
+    for target, lineno in references:
+        if target.lower() not in labels:
+            raise AssemblyError(f"undefined label {target!r}", lineno)
+
+    used_uprogs = sorted({i.uprog for i in instructions if isinstance(i, ins.QCall)})
+    return Program(instructions=instructions, labels=labels, op_table=table,
+                   uprog_names=used_uprogs, source=source)
+
+
+def _retarget(instr: ins.Instruction, target: str) -> ins.Instruction:
+    if isinstance(instr, ins.Jmp):
+        return ins.Jmp(target=target)
+    return type(instr)(rs=instr.rs, rt=instr.rt, target=target)  # type: ignore[call-arg]
+
+
+def assemble_file(path: str, op_table: OperationTable | None = None,
+                  uprogs: list[str] | None = None) -> Program:
+    """Assemble a file on disk."""
+    with open(path) as f:
+        return assemble(f.read(), op_table=op_table, uprogs=uprogs)

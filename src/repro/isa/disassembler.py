@@ -1,0 +1,73 @@
+"""Disassembler: instructions back to canonical assembly text."""
+
+from __future__ import annotations
+
+from repro.isa import instructions as ins
+from repro.isa.program import Program
+
+
+def _qubit_set(qubits: tuple[int, ...]) -> str:
+    return "{" + ", ".join(f"q{q}" for q in qubits) + "}"
+
+
+def disassemble(instr: ins.Instruction) -> str:
+    """Render one instruction in canonical assembly syntax."""
+    if isinstance(instr, ins.Nop):
+        return "nop"
+    if isinstance(instr, ins.Halt):
+        return "halt"
+    if isinstance(instr, ins.Movi):
+        return f"mov r{instr.rd}, {instr.imm}"
+    if isinstance(instr, (ins.Add, ins.Sub, ins.And, ins.Or, ins.Xor)):
+        return f"{instr.mnemonic} r{instr.rd}, r{instr.rs}, r{instr.rt}"
+    if isinstance(instr, ins.Addi):
+        return f"addi r{instr.rd}, r{instr.rs}, {instr.imm}"
+    if isinstance(instr, ins.Load):
+        return f"load r{instr.rd}, r{instr.rs}[{instr.offset}]"
+    if isinstance(instr, ins.Store):
+        return f"store r{instr.rt}, r{instr.rs}[{instr.offset}]"
+    if isinstance(instr, (ins.Beq, ins.Bne, ins.Blt)):
+        return f"{instr.mnemonic} r{instr.rs}, r{instr.rt}, {instr.target}"
+    if isinstance(instr, ins.Jmp):
+        return f"jmp {instr.target}"
+    if isinstance(instr, ins.Wait):
+        return f"Wait {instr.interval}"
+    if isinstance(instr, ins.WaitReg):
+        return f"QNopReg r{instr.rs}"
+    if isinstance(instr, ins.Pulse):
+        if len(instr.pairs) == 1:
+            qubits, op = instr.pairs[0]
+            return f"Pulse {_qubit_set(qubits)}, {op}"
+        pairs = ", ".join(f"({_qubit_set(qs)}, {op})" for qs, op in instr.pairs)
+        return f"Pulse {pairs}"
+    if isinstance(instr, ins.Mpg):
+        return f"MPG {_qubit_set(instr.qubits)}, {instr.duration}"
+    if isinstance(instr, ins.Md):
+        if instr.rd is None:
+            return f"MD {_qubit_set(instr.qubits)}"
+        return f"MD {_qubit_set(instr.qubits)}, r{instr.rd}"
+    if isinstance(instr, ins.Apply):
+        return f"Apply {instr.op}, q{instr.qubit}"
+    if isinstance(instr, ins.Measure):
+        if instr.rd is None:
+            return f"Measure q{instr.qubit}"
+        return f"Measure q{instr.qubit}, r{instr.rd}"
+    if isinstance(instr, ins.QCall):
+        args = ", ".join(f"q{q}" for q in instr.qubits)
+        return f"{instr.uprog} {args}"
+    raise TypeError(f"cannot disassemble {type(instr).__name__}")
+
+
+def disassemble_program(program: Program) -> str:
+    """Render a whole program, emitting labels at their positions."""
+    labels_at: dict[int, list[str]] = {}
+    for name, index in program.labels.items():
+        labels_at.setdefault(index, []).append(name)
+    lines: list[str] = []
+    for index, instr in enumerate(program.instructions):
+        for name in sorted(labels_at.get(index, [])):
+            lines.append(f"{name}:")
+        lines.append(f"    {disassemble(instr)}")
+    for name in sorted(labels_at.get(len(program.instructions), [])):
+        lines.append(f"{name}:")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,365 @@
+"""Instruction dataclasses for the QIS + QuMIS assembly language.
+
+These are pure data: execution semantics live in the machine
+(:mod:`repro.core`), encoding in :mod:`repro.isa.encoding`.
+
+Conventions
+-----------
+* 32 general-purpose 32-bit registers ``r0`` .. ``r31``.
+* Qubit operands are small non-negative indices (``q0`` .. ``q9`` for the
+  paper's 10-qubit chip); Pulse/MPG/MD address *sets* of qubits, encoded
+  as bit masks.
+* Branch targets are symbolic labels at this level; the encoder converts
+  them to relative offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _check_reg(value: int, what: str = "register") -> int:
+    if not 0 <= value < 32:
+        raise ValueError(f"{what} r{value} out of range r0..r31")
+    return value
+
+
+def _check_qubits(qubits: tuple[int, ...]) -> tuple[int, ...]:
+    if not qubits:
+        raise ValueError("empty qubit set")
+    for q in qubits:
+        if not 0 <= q < 10:
+            raise ValueError(f"qubit q{q} out of range q0..q9")
+    if len(set(qubits)) != len(qubits):
+        raise ValueError(f"duplicate qubits in {qubits}")
+    return tuple(sorted(qubits))
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class; concrete instructions define their operand fields."""
+
+    @property
+    def mnemonic(self) -> str:
+        return type(self).MNEMONIC  # type: ignore[attr-defined]
+
+    #: True for instructions handled by the quantum pipeline (dispatched to
+    #: the physical microcode unit) rather than the classical pipeline.
+    is_quantum = False
+
+
+# --------------------------------------------------------------------------
+# Auxiliary classical instructions (Section 5.3.1)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    MNEMONIC = "nop"
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    MNEMONIC = "halt"
+
+
+@dataclass(frozen=True)
+class Movi(Instruction):
+    """``mov rd, imm`` — load a signed 21-bit immediate."""
+
+    MNEMONIC = "mov"
+    rd: int
+    imm: int
+
+    def __post_init__(self):
+        _check_reg(self.rd, "rd")
+        if not -(1 << 20) <= self.imm < (1 << 20):
+            raise ValueError(f"mov immediate {self.imm} out of signed 21-bit range")
+
+
+@dataclass(frozen=True)
+class _RType(Instruction):
+    rd: int
+    rs: int
+    rt: int
+
+    def __post_init__(self):
+        _check_reg(self.rd, "rd")
+        _check_reg(self.rs, "rs")
+        _check_reg(self.rt, "rt")
+
+
+@dataclass(frozen=True)
+class Add(_RType):
+    MNEMONIC = "add"
+
+
+@dataclass(frozen=True)
+class Sub(_RType):
+    MNEMONIC = "sub"
+
+
+@dataclass(frozen=True)
+class And(_RType):
+    MNEMONIC = "and"
+
+
+@dataclass(frozen=True)
+class Or(_RType):
+    MNEMONIC = "or"
+
+
+@dataclass(frozen=True)
+class Xor(_RType):
+    MNEMONIC = "xor"
+
+
+@dataclass(frozen=True)
+class Addi(Instruction):
+    """``addi rd, rs, imm`` — signed 16-bit immediate add."""
+
+    MNEMONIC = "addi"
+    rd: int
+    rs: int
+    imm: int
+
+    def __post_init__(self):
+        _check_reg(self.rd, "rd")
+        _check_reg(self.rs, "rs")
+        if not -(1 << 15) <= self.imm < (1 << 15):
+            raise ValueError(f"addi immediate {self.imm} out of signed 16-bit range")
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``load rd, rs[offset]`` — rd := data_mem[rs + offset]."""
+
+    MNEMONIC = "load"
+    rd: int
+    rs: int
+    offset: int = 0
+
+    def __post_init__(self):
+        _check_reg(self.rd, "rd")
+        _check_reg(self.rs, "rs")
+        if not -(1 << 15) <= self.offset < (1 << 15):
+            raise ValueError(f"load offset {self.offset} out of signed 16-bit range")
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``store rt, rs[offset]`` — data_mem[rs + offset] := rt."""
+
+    MNEMONIC = "store"
+    rt: int
+    rs: int
+    offset: int = 0
+
+    def __post_init__(self):
+        _check_reg(self.rt, "rt")
+        _check_reg(self.rs, "rs")
+        if not -(1 << 15) <= self.offset < (1 << 15):
+            raise ValueError(f"store offset {self.offset} out of signed 16-bit range")
+
+
+@dataclass(frozen=True)
+class _Branch(Instruction):
+    """Conditional branch to a label (resolved to a relative offset)."""
+
+    rs: int
+    rt: int
+    target: str
+
+    def __post_init__(self):
+        _check_reg(self.rs, "rs")
+        _check_reg(self.rt, "rt")
+
+
+@dataclass(frozen=True)
+class Beq(_Branch):
+    MNEMONIC = "beq"
+
+
+@dataclass(frozen=True)
+class Bne(_Branch):
+    MNEMONIC = "bne"
+
+
+@dataclass(frozen=True)
+class Blt(_Branch):
+    """Signed less-than branch."""
+
+    MNEMONIC = "blt"
+
+
+@dataclass(frozen=True)
+class Jmp(Instruction):
+    MNEMONIC = "jmp"
+    target: str
+
+
+# --------------------------------------------------------------------------
+# QuMIS microinstructions (Table 6)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Wait(Instruction):
+    """``Wait interval`` — interval between consecutive time points, cycles."""
+
+    MNEMONIC = "wait"
+    interval: int
+    is_quantum = True
+
+    def __post_init__(self):
+        if not 0 < self.interval < (1 << 20):
+            raise ValueError(f"Wait interval {self.interval} out of range 1..2^20-1")
+
+
+@dataclass(frozen=True)
+class WaitReg(Instruction):
+    """``QNopReg rs`` — wait the number of cycles held in register rs.
+
+    This is the QIS-level register-indirect wait of Algorithm 3; the
+    execution controller reads ``rs`` at dispatch time, turning it into a
+    plain ``Wait`` toward the physical microcode unit.
+    """
+
+    MNEMONIC = "qnopreg"
+    rs: int
+    is_quantum = True
+
+    def __post_init__(self):
+        _check_reg(self.rs, "rs")
+
+
+@dataclass(frozen=True)
+class Pulse(Instruction):
+    """``Pulse (QAddr0, uOp0)[, (QAddr1, uOp1), ...]`` — horizontal pulse.
+
+    Each pair applies micro-operation ``op`` to every qubit in ``qubits``.
+    The sugar form ``Pulse {q0, q1}, X180`` is a single pair.
+    """
+
+    MNEMONIC = "pulse"
+    pairs: tuple[tuple[tuple[int, ...], str], ...]
+    is_quantum = True
+
+    def __post_init__(self):
+        if not self.pairs:
+            raise ValueError("Pulse requires at least one (qubits, op) pair")
+        norm = tuple((_check_qubits(tuple(qs)), op) for qs, op in self.pairs)
+        object.__setattr__(self, "pairs", norm)
+
+    @classmethod
+    def single(cls, qubits: tuple[int, ...] | list[int], op: str) -> "Pulse":
+        return cls(pairs=((tuple(qubits), op),))
+
+
+@dataclass(frozen=True)
+class Mpg(Instruction):
+    """``MPG QAddr, D`` — measurement pulse of D cycles for qubits QAddr."""
+
+    MNEMONIC = "mpg"
+    qubits: tuple[int, ...]
+    duration: int
+    is_quantum = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", _check_qubits(tuple(self.qubits)))
+        if not 0 < self.duration < (1 << 16):
+            raise ValueError(f"MPG duration {self.duration} out of range 1..65535")
+
+
+@dataclass(frozen=True)
+class Md(Instruction):
+    """``MD QAddr[, $rd]`` — trigger measurement discrimination.
+
+    With ``rd`` the binary result is written back to the register file
+    (Table 6); without it the integration result only feeds the data
+    collection unit, as in the AllXY program of Algorithm 3.
+    """
+
+    MNEMONIC = "md"
+    qubits: tuple[int, ...]
+    rd: int | None = None
+    is_quantum = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", _check_qubits(tuple(self.qubits)))
+        if self.rd is not None:
+            _check_reg(self.rd, "rd")
+
+
+# --------------------------------------------------------------------------
+# QIS-level quantum instructions (decoded via the Q control store)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Apply(Instruction):
+    """``Apply op, q`` — technology-independent single-gate application.
+
+    Expanded by the physical microcode unit into QuMIS (Table 5 shows
+    ``Apply I, q0`` becoming ``Pulse {q0}, I`` + ``Wait``).
+    """
+
+    MNEMONIC = "apply"
+    op: str
+    qubit: int
+
+    is_quantum = True
+
+    def __post_init__(self):
+        if not 0 <= self.qubit < 10:
+            raise ValueError(f"qubit q{self.qubit} out of range")
+
+
+@dataclass(frozen=True)
+class Measure(Instruction):
+    """``Measure q, rd`` — microcoded to MPG + MD (Table 5)."""
+
+    MNEMONIC = "measure"
+    qubit: int
+    rd: int | None = None
+    is_quantum = True
+
+    def __post_init__(self):
+        if not 0 <= self.qubit < 10:
+            raise ValueError(f"qubit q{self.qubit} out of range")
+        if self.rd is not None:
+            _check_reg(self.rd, "rd")
+
+
+@dataclass(frozen=True)
+class QCall(Instruction):
+    """``<uprog> q_a[, q_b]`` — invoke a named microprogram (e.g. CNOT).
+
+    The Q control store binds the formal qubit parameters of the
+    microprogram to the actual operands (Algorithm 2 of the paper).
+    """
+
+    MNEMONIC = "qcall"
+    uprog: str
+    qubits: tuple[int, ...] = field(default_factory=tuple)
+    is_quantum = True
+
+    def __post_init__(self):
+        if not 1 <= len(self.qubits) <= 2:
+            raise ValueError("microprogram calls take 1 or 2 qubit operands")
+        for q in self.qubits:
+            if not 0 <= q < 10:
+                raise ValueError(f"qubit q{q} out of range")
+
+
+def qubit_mask(qubits: tuple[int, ...]) -> int:
+    """Encode a qubit set as the QAddr bit mask used in binaries."""
+    mask = 0
+    for q in qubits:
+        mask |= 1 << q
+    return mask
+
+
+def mask_qubits(mask: int) -> tuple[int, ...]:
+    """Decode a QAddr bit mask to a sorted qubit tuple."""
+    return tuple(q for q in range(10) if mask & (1 << q))

@@ -1,0 +1,90 @@
+"""Named quantum operations and their numeric identifiers.
+
+Micro-operation names (``I``, ``X180``, ``Y90`` ...) appear in Pulse and
+Apply instructions.  The assembler resolves them through an
+:class:`OperationTable`; the numeric ids double as the default codewords
+of the CTPG lookup table (Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.utils.errors import ConfigurationError
+
+#: Table 1 of the paper, extended with the negative-y rotation and the
+#: measurement pulse codeword (Table 5 shows "CW 7" used for measurement)
+#: and the two-qubit CZ primitive used by the CNOT microprogram.
+_DEFAULT_NAMES = [
+    "I",      # 0: identity (zero pulse)
+    "X180",   # 1: Rx(pi)
+    "X90",    # 2: Rx(pi/2)
+    "mX90",   # 3: Rx(-pi/2)
+    "Y180",   # 4: Ry(pi)
+    "Y90",    # 5: Ry(pi/2)
+    "mY90",   # 6: Ry(-pi/2)
+    "MSMT",   # 7: measurement pulse (routed to the readout CTPG)
+    "CZ",     # 8: two-qubit conditional-phase primitive (flux pulse)
+]
+
+
+class OperationTable:
+    """Bidirectional map between operation names and 8-bit ids.
+
+    Names are matched case-insensitively but preserved in their canonical
+    spelling for disassembly.
+    """
+
+    MAX_ID = 255
+
+    def __init__(self, names: list[str] | None = None):
+        self._by_name: dict[str, int] = {}
+        self._by_id: dict[int, str] = {}
+        for name in names if names is not None else _DEFAULT_NAMES:
+            self.define(name)
+
+    def define(self, name: str, op_id: int | None = None) -> int:
+        """Register ``name``; returns its id.  Re-defining the same name to
+        the same id is a no-op; conflicting definitions raise."""
+        key = name.lower()
+        if op_id is None:
+            op_id = self._by_name.get(key)
+            if op_id is not None:
+                return op_id
+            op_id = len(self._by_id)
+            while op_id in self._by_id:
+                op_id += 1
+        if op_id > self.MAX_ID or op_id < 0:
+            raise ConfigurationError(f"operation id {op_id} out of 8-bit range")
+        existing = self._by_name.get(key)
+        if existing is not None and existing != op_id:
+            raise ConfigurationError(f"operation {name!r} already has id {existing}")
+        holder = self._by_id.get(op_id)
+        if holder is not None and holder.lower() != key:
+            raise ConfigurationError(f"id {op_id} already taken by {holder!r}")
+        self._by_name[key] = op_id
+        self._by_id[op_id] = name
+        return op_id
+
+    def id_of(self, name: str) -> int:
+        """Return the id for ``name``; raises KeyError if undefined."""
+        return self._by_name[name.lower()]
+
+    def name_of(self, op_id: int) -> str:
+        """Return the canonical name for ``op_id``; raises KeyError."""
+        return self._by_id[op_id]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def names(self) -> list[str]:
+        """All canonical names in id order."""
+        return [self._by_id[i] for i in sorted(self._by_id)]
+
+    def copy(self) -> "OperationTable":
+        table = OperationTable(names=[])
+        table._by_name = dict(self._by_name)
+        table._by_id = dict(self._by_id)
+        return table
+
+
+#: Shared default table (do not mutate; use ``.copy()``).
+DEFAULT_OPERATIONS = OperationTable()

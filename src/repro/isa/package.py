@@ -1,0 +1,83 @@
+"""Portable program packages: binary + symbol tables in one file.
+
+A raw binary is only decodable against the operation table and
+microprogram names it was encoded with.  A *package* bundles all three
+(plus the microprogram bodies, so the Q control store can be restored),
+making compiled programs self-contained artifacts for the CLI and for
+shipping between machines.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+from repro.isa.operations import OperationTable
+from repro.isa.program import Program
+from repro.utils.errors import ReproError
+
+FORMAT = "quma-program"
+VERSION = 1
+
+
+def pack_program(program: Program,
+                 microprograms: dict[str, tuple[int, str]] | None = None) -> str:
+    """Serialize a program to a JSON package string.
+
+    ``microprograms`` maps name -> (n_params, body assembly) for the
+    Q-control-store entries the program calls.
+    """
+    table = program.op_table
+    ops = {name: table.id_of(name) for name in table.names()}
+    missing = [u for u in program.uprog_names
+               if u not in (microprograms or {})]
+    if missing:
+        raise ReproError(
+            f"program calls microprogram(s) {missing} but no bodies were "
+            f"provided to pack_program")
+    return json.dumps({
+        "format": FORMAT,
+        "version": VERSION,
+        "binary": base64.b64encode(program.to_binary()).decode("ascii"),
+        "operations": ops,
+        "uprog_names": list(program.uprog_names),
+        "microprograms": {
+            name: {"n_params": n, "body": body}
+            for name, (n, body) in (microprograms or {}).items()
+        },
+    }, indent=2, sort_keys=True)
+
+
+def unpack_program(text: str) -> tuple[Program, dict[str, tuple[int, str]]]:
+    """Decode a package; returns (program, microprograms)."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"not a program package: {exc}") from None
+    if data.get("format") != FORMAT:
+        raise ReproError("not a quma-program package")
+    if data.get("version") != VERSION:
+        raise ReproError(f"unsupported package version {data.get('version')}")
+    table = OperationTable(names=[])
+    for name, op_id in sorted(data["operations"].items(), key=lambda kv: kv[1]):
+        table.define(name, op_id)
+    blob = base64.b64decode(data["binary"])
+    program = Program.from_binary(blob, op_table=table,
+                                  uprog_names=list(data["uprog_names"]))
+    microprograms = {
+        name: (entry["n_params"], entry["body"])
+        for name, entry in data.get("microprograms", {}).items()
+    }
+    return program, microprograms
+
+
+def save_package(program: Program, path: str,
+                 microprograms: dict[str, tuple[int, str]] | None = None) -> None:
+    with open(path, "w") as f:
+        f.write(pack_program(program, microprograms))
+        f.write("\n")
+
+
+def load_package(path: str) -> tuple[Program, dict[str, tuple[int, str]]]:
+    with open(path) as f:
+        return unpack_program(f.read())

@@ -1,0 +1,21 @@
+"""Pulse library: envelopes, waveforms, SSB modulation, codeword LUT."""
+
+from repro.pulse.envelopes import gaussian, drag, square, zeros
+from repro.pulse.waveform import Waveform, SAMPLE_BITS
+from repro.pulse.modulation import ssb_phase, modulate, demodulate
+from repro.pulse.lut import WaveformLUT, build_single_qubit_lut, PulseCalibration
+
+__all__ = [
+    "gaussian",
+    "drag",
+    "square",
+    "zeros",
+    "Waveform",
+    "SAMPLE_BITS",
+    "ssb_phase",
+    "modulate",
+    "demodulate",
+    "WaveformLUT",
+    "build_single_qubit_lut",
+    "PulseCalibration",
+]

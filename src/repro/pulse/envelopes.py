@@ -1,0 +1,73 @@
+"""Pulse envelope shapes, sampled at 1 GSa/s (one sample per ns).
+
+Envelopes are complex arrays ``e[n] = I[n] + i Q[n]``; the real part
+drives x-axis rotations, the imaginary part y-axis rotations (Section 2.2:
+"the envelopes and the phase of the carrier determine the rotation axis").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zeros(duration_ns: int) -> np.ndarray:
+    """Identity 'pulse': zero envelope occupying the gate slot."""
+    if duration_ns < 0:
+        raise ValueError("negative duration")
+    return np.zeros(int(duration_ns), dtype=complex)
+
+
+def gaussian(duration_ns: int, sigma_ns: float | None = None,
+             amplitude: float = 1.0, phase: float = 0.0) -> np.ndarray:
+    """Gaussian envelope, mean-centred, truncated to ``duration_ns``.
+
+    The tails are offset-subtracted so the envelope starts and ends at
+    exactly zero (standard practice to avoid DAC steps).  ``phase`` rotates
+    the envelope in the I/Q plane (0 → x axis, pi/2 → y axis).
+    """
+    duration_ns = int(duration_ns)
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    if sigma_ns is None:
+        sigma_ns = duration_ns / 4.0
+    if sigma_ns <= 0:
+        raise ValueError("sigma must be positive")
+    t = np.arange(duration_ns) + 0.5  # sample centres
+    centre = duration_ns / 2.0
+    g = np.exp(-0.5 * ((t - centre) / sigma_ns) ** 2)
+    # Offset-subtract the first sample so the envelope starts and ends at
+    # exactly zero, renormalized so the continuous peak stays at 1.
+    g = (g - g[0]) / (1.0 - g[0])
+    return amplitude * np.exp(1j * phase) * g
+
+
+def drag(duration_ns: int, sigma_ns: float | None = None, amplitude: float = 1.0,
+         phase: float = 0.0, beta: float = 0.0) -> np.ndarray:
+    """DRAG envelope: Gaussian with a derivative quadrature component.
+
+    ``beta`` scales the derivative (in ns); beta = 0 reduces to
+    :func:`gaussian`.  On the two-level model used here DRAG only tilts
+    the drive slightly, but it is included so calibrated LUT content can
+    carry realistic shapes.
+    """
+    base = gaussian(duration_ns, sigma_ns, 1.0, 0.0).real
+    derivative = np.gradient(base)
+    env = base + 1j * beta * derivative
+    return amplitude * np.exp(1j * phase) * env
+
+
+def square(duration_ns: int, amplitude: float = 1.0, phase: float = 0.0,
+           rise_ns: int = 0) -> np.ndarray:
+    """Square envelope with optional linear rise/fall ramps."""
+    duration_ns = int(duration_ns)
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    env = np.ones(duration_ns, dtype=float)
+    rise_ns = int(rise_ns)
+    if rise_ns > 0:
+        if 2 * rise_ns > duration_ns:
+            raise ValueError("ramps longer than the pulse")
+        ramp = np.linspace(0.0, 1.0, rise_ns, endpoint=False)
+        env[:rise_ns] = ramp
+        env[-rise_ns:] = ramp[::-1]
+    return amplitude * np.exp(1j * phase) * env

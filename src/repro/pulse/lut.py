@@ -1,0 +1,125 @@
+"""Codeword-indexed waveform lookup table (Table 1 of the paper).
+
+The CTPG memory "is organized as a lookup table and each entry ...,
+indexed by means of a codeword, contains the sample amplitudes
+corresponding to a single pulse" (Section 5.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pulse.envelopes import gaussian, zeros
+from repro.pulse.waveform import Waveform
+from repro.utils.errors import ConfigurationError
+
+
+class WaveformLUT:
+    """Maps codewords (small ints) to calibrated primitive waveforms."""
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = max_entries
+        self._entries: dict[int, Waveform] = {}
+
+    def upload(self, codeword: int, waveform: Waveform) -> None:
+        """Store ``waveform`` at ``codeword`` (overwriting any previous)."""
+        if not 0 <= codeword < self.max_entries:
+            raise ConfigurationError(
+                f"codeword {codeword} out of range 0..{self.max_entries - 1}")
+        self._entries[codeword] = waveform
+
+    def lookup(self, codeword: int) -> Waveform:
+        """Return the waveform for ``codeword``; raises KeyError if absent."""
+        return self._entries[codeword]
+
+    def __contains__(self, codeword: int) -> bool:
+        return codeword in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def codewords(self) -> list[int]:
+        return sorted(self._entries)
+
+    def memory_bits(self) -> int:
+        """Total waveform memory in bits (12-bit samples, I+Q)."""
+        return sum(w.memory_bits for w in self._entries.values())
+
+    def memory_bytes(self) -> float:
+        return self.memory_bits() / 8.0
+
+
+@dataclass(frozen=True)
+class PulseCalibration:
+    """Calibration of the single-qubit pulse set.
+
+    ``kappa`` is the drive strength in rad/ns per unit envelope amplitude;
+    the X180 pulse peak amplitude follows from the envelope area.  The
+    error terms inject miscalibrations for the AllXY signature studies:
+    ``amplitude_error`` scales every rotation angle (a classic power
+    miscalibration) and ``phase_error_rad`` rotates every drive axis.
+    """
+
+    duration_ns: int = 20
+    sigma_ns: float = 5.0
+    kappa: float = 0.33  # rad / ns / unit-amplitude
+    amplitude_error: float = 0.0
+    phase_error_rad: float = 0.0
+
+    def envelope_area(self) -> float:
+        """Area (ns) of the unit-amplitude Gaussian used for all pulses."""
+        return float(np.sum(gaussian(self.duration_ns, self.sigma_ns).real))
+
+    def amplitude_for(self, angle_rad: float) -> float:
+        """Peak envelope amplitude producing ``angle_rad`` of rotation."""
+        area = self.envelope_area()
+        amp = angle_rad / (self.kappa * area)
+        if abs(amp) > 1.0:
+            raise ConfigurationError(
+                f"required amplitude {amp:.3f} exceeds DAC full scale; "
+                f"increase kappa or pulse duration")
+        return amp
+
+
+#: The Table 1 pulse set: name -> (rotation angle, axis phase).
+SINGLE_QUBIT_PULSES: dict[str, tuple[float, float]] = {
+    "I": (0.0, 0.0),
+    "X180": (np.pi, 0.0),
+    "X90": (np.pi / 2, 0.0),
+    "mX90": (-np.pi / 2, 0.0),
+    "Y180": (np.pi, np.pi / 2),
+    "Y90": (np.pi / 2, np.pi / 2),
+    "mY90": (-np.pi / 2, np.pi / 2),
+}
+
+
+def build_single_qubit_lut(calibration: PulseCalibration | None = None,
+                           op_ids: dict[str, int] | None = None) -> WaveformLUT:
+    """Build the CTPG lookup table of Table 1.
+
+    ``op_ids`` maps pulse names to codewords; by default the Table 1
+    ordering (I=0, X180=1, X90=2, mX90=3, Y180=4, Y90=5, mY90=6) is used.
+    Only these 7 pulses are stored — the paper's point (Section 5.1.1) is
+    that this footprint is independent of how many *combinations* an
+    experiment uses.
+    """
+    cal = calibration or PulseCalibration()
+    if op_ids is None:
+        op_ids = {name: i for i, name in enumerate(SINGLE_QUBIT_PULSES)}
+    lut = WaveformLUT()
+    gain = 1.0 + cal.amplitude_error
+    for name, (angle, axis_phase) in SINGLE_QUBIT_PULSES.items():
+        if name not in op_ids:
+            continue
+        if angle == 0.0:
+            samples = zeros(cal.duration_ns)
+        else:
+            sign = 1.0 if angle >= 0 else -1.0
+            amp = cal.amplitude_for(abs(angle)) * gain * sign
+            samples = gaussian(cal.duration_ns, cal.sigma_ns, amp,
+                               axis_phase + cal.phase_error_rad)
+        lut.upload(op_ids[name], Waveform(name=name, samples=samples,
+                                          meta={"angle": angle, "axis": axis_phase}))
+    return lut

@@ -1,0 +1,53 @@
+"""Single-sideband modulation bookkeeping.
+
+The AWG stores envelopes with the SSB modulation baked in, with the
+modulation phase referenced to the *waveform start*.  When the DAC plays a
+stored waveform at absolute time t0, the drive seen by the qubit (in its
+rotating frame) is the plain envelope times a constant phase::
+
+    phi(t0) = -2 * pi * f_ssb * t0
+
+This is exactly the paper's Section 4.2.3 sensitivity: with |f_ssb| =
+50 MHz, a 5 ns shift gives phi = pi/2 — an intended x rotation becomes a
+y rotation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ssb_phase(f_ssb_hz: float, t0_ns: float) -> float:
+    """Carrier-frame phase picked up by a waveform triggered at ``t0_ns``.
+
+    Returned in radians, wrapped to [0, 2*pi).
+    """
+    # Work in whole modulation cycles and wrap before converting to
+    # radians; this keeps the phase exact for large absolute times.
+    cycles = -f_ssb_hz * (float(t0_ns) * 1e-9)
+    frac = np.mod(cycles, 1.0)
+    if frac > 1.0 - 1e-9:  # collapse rounding residue at the wrap point
+        frac = 0.0
+    return float(2.0 * np.pi * frac)
+
+
+def modulate(envelope: np.ndarray, f_ssb_hz: float, phase0: float = 0.0) -> np.ndarray:
+    """Bake SSB modulation into an envelope (what the DAC memory holds).
+
+    Sample n is multiplied by ``exp(i * (2*pi*f_ssb*n*1ns + phase0))``.
+    """
+    n = np.arange(len(envelope))
+    return np.asarray(envelope, dtype=complex) * np.exp(
+        1j * (2.0 * np.pi * f_ssb_hz * n * 1e-9 + phase0))
+
+
+def demodulate(samples: np.ndarray, f_if_hz: float, t0_ns: float = 0.0) -> np.ndarray:
+    """Digitally demodulate a real or complex record at ``f_if_hz``.
+
+    Returns the complex baseband; the absolute start time keeps the
+    demodulation phase-coherent with the global clock, as the readout
+    local oscillator is in hardware.
+    """
+    n = np.arange(len(samples)) + float(t0_ns)
+    return np.asarray(samples, dtype=complex) * np.exp(
+        -2j * np.pi * f_if_hz * n * 1e-9)

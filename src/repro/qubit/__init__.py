@@ -1,0 +1,54 @@
+"""Transmon-qubit physics substrate.
+
+Replaces the paper's 10-transmon chip (Section 8) with a density-matrix
+model that preserves everything the control experiments are sensitive to:
+rotation axis/angle set by pulse envelope and SSB carrier phase, T1/T2
+decoherence, and projective readout.
+"""
+
+from repro.qubit.gates import (
+    I2,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    HADAMARD,
+    CZ,
+    CNOT,
+    rx,
+    ry,
+    rz,
+    su2_rotation,
+    allclose_up_to_phase,
+)
+from repro.qubit.state import DensityMatrix
+from repro.qubit.noise import (
+    amplitude_damping_kraus,
+    phase_damping_kraus,
+    decoherence_kraus,
+)
+from repro.qubit.dynamics import integrate_envelope, PulseUnitaryCache
+from repro.qubit.transmon import TransmonParams
+from repro.qubit.device import QuantumDevice
+
+__all__ = [
+    "I2",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "HADAMARD",
+    "CZ",
+    "CNOT",
+    "rx",
+    "ry",
+    "rz",
+    "su2_rotation",
+    "allclose_up_to_phase",
+    "DensityMatrix",
+    "amplitude_damping_kraus",
+    "phase_damping_kraus",
+    "decoherence_kraus",
+    "integrate_envelope",
+    "PulseUnitaryCache",
+    "TransmonParams",
+    "QuantumDevice",
+]

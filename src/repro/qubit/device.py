@@ -1,0 +1,129 @@
+"""Time-ordered quantum device: the simulated chip behind the channels.
+
+The device advances a shared density matrix chronologically.  Decoherence
+accrues whenever time advances; drive waveforms apply their unitary at the
+trigger instant (the 20 ns of intra-pulse decoherence is accounted as idle
+decay, an error that is second-order for pulses that are ~10^-3 of T1).
+Overlapping drives on the *same* qubit are rejected — the CTPG never
+produces them, and a sum-of-drives model would hide sequencing bugs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pulse.modulation import ssb_phase
+from repro.pulse.waveform import Waveform
+from repro.qubit.dynamics import PulseUnitaryCache
+from repro.qubit.gates import CZ
+from repro.qubit.noise import decoherence_kraus
+from repro.qubit.state import DensityMatrix
+from repro.qubit.transmon import TransmonParams
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import derive_rng
+
+
+class QuantumDevice:
+    """The simulated quantum chip seen by the analog-digital interface."""
+
+    def __init__(self, qubits: list[TransmonParams], f_ssb_hz: float = -50e6,
+                 drive_detuning_hz: float = 0.0, cz_phase_error_rad: float = 0.0,
+                 seed: int | None = 0):
+        if not qubits:
+            raise ConfigurationError("device needs at least one qubit")
+        self.params = list(qubits)
+        self.n_qubits = len(qubits)
+        self.f_ssb_hz = f_ssb_hz
+        self.drive_detuning_hz = drive_detuning_hz
+        self.cz_phase_error_rad = cz_phase_error_rad
+        self.state = DensityMatrix.ground(self.n_qubits)
+        self.now_ns: int = 0
+        self._busy_until = [0] * self.n_qubits
+        self._caches = [
+            PulseUnitaryCache(p.kappa, drive_detuning_hz) for p in qubits
+        ]
+        self._rng = derive_rng(seed, "device")
+
+    # -- time --------------------------------------------------------------
+
+    def advance_to(self, t_ns: int) -> None:
+        """Advance device time, applying idle decoherence on every qubit."""
+        t_ns = int(t_ns)
+        if t_ns < self.now_ns:
+            raise ValueError(f"time moved backwards: {t_ns} < {self.now_ns}")
+        dt = t_ns - self.now_ns
+        if dt == 0:
+            return
+        for q, p in enumerate(self.params):
+            self.state.apply_kraus(decoherence_kraus(dt, p.t1_ns, p.t2_ns), q)
+        self.now_ns = t_ns
+
+    def reset(self) -> None:
+        """Hard reset to the ground state (the simulator's |0...0>)."""
+        self.state = DensityMatrix.ground(self.n_qubits)
+        self._busy_until = [0] * self.n_qubits
+
+    # -- drive -------------------------------------------------------------
+
+    def play_waveform(self, qubits: tuple[int, ...], waveform: Waveform,
+                      start_ns: int) -> None:
+        """A CTPG output pulse arriving at the chip at ``start_ns``.
+
+        Single-qubit entries use the envelope integration (with the SSB
+        carrier phase implied by the absolute start time); a waveform
+        tagged ``meta["kind"] == "cz"`` on a qubit pair applies the CZ
+        primitive (flux pulses are baseband: no carrier phase).
+        """
+        start_ns = int(start_ns)
+        self.advance_to(start_ns)
+        for q in qubits:
+            if not 0 <= q < self.n_qubits:
+                raise ValueError(f"qubit {q} out of range")
+            if start_ns < self._busy_until[q]:
+                raise ConfigurationError(
+                    f"overlapping drive on qubit {q} at {start_ns} ns "
+                    f"(busy until {self._busy_until[q]} ns)")
+            self._busy_until[q] = start_ns + waveform.duration_ns
+
+        if waveform.meta.get("kind") == "cz":
+            if len(qubits) != 2:
+                raise ConfigurationError("CZ waveform needs exactly two qubits")
+            u = np.diag([1, 1, 1, np.exp(1j * (np.pi + self.cz_phase_error_rad))])
+            # Up to the injected phase error this is the ideal CZ.
+            if self.cz_phase_error_rad == 0.0:
+                u = CZ
+            self.state.apply_unitary(u, qubits)
+            return
+        if waveform.is_zero():
+            return
+        # A detuned drive carrier advances its phase relative to the qubit
+        # frame between pulses; folding the detuning into the trigger-time
+        # phase captures the Ramsey-fringe physics.
+        phase = ssb_phase(self.f_ssb_hz - self.drive_detuning_hz, start_ns)
+        for q in qubits:
+            u = self._caches[q].unitary(waveform, phase)
+            self.state.apply_unitary(u, (q,))
+
+    # -- measurement -------------------------------------------------------
+
+    def measure_project(self, qubit: int, t_ns: int) -> int:
+        """Projective measurement of ``qubit`` at ``t_ns``.
+
+        Returns the *physical* outcome; readout imperfections (assignment
+        noise) are layered on by the readout chain, not here.
+        """
+        self.advance_to(t_ns)
+        return self.state.sample_measure(qubit, self._rng)
+
+    def prob_one(self, qubit: int, t_ns: int | None = None) -> float:
+        """P(|1>) of ``qubit``, optionally advancing to ``t_ns`` first."""
+        if t_ns is not None:
+            self.advance_to(t_ns)
+        return self.state.prob_one(qubit)
+
+    def cache_stats(self) -> dict[str, int]:
+        """Aggregate pulse-unitary cache statistics across qubits."""
+        return {
+            "hits": sum(c.hits for c in self._caches),
+            "misses": sum(c.misses for c in self._caches),
+        }

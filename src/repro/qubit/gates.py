@@ -1,0 +1,65 @@
+"""Ideal gate unitaries and SU(2) helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+I2 = np.eye(2, dtype=complex)
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+
+#: Controlled-phase gate in the computational basis |q1 q0>.
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+
+#: CNOT with the *first* qubit as control.
+CNOT = np.array(
+    [[1, 0, 0, 0],
+     [0, 1, 0, 0],
+     [0, 0, 0, 1],
+     [0, 0, 1, 0]], dtype=complex)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about x: exp(-i*theta*X/2)."""
+    return su2_rotation(1.0, 0.0, 0.0, theta)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about y: exp(-i*theta*Y/2)."""
+    return su2_rotation(0.0, 1.0, 0.0, theta)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about z: exp(-i*theta*Z/2)."""
+    return su2_rotation(0.0, 0.0, 1.0, theta)
+
+
+def su2_rotation(nx: float, ny: float, nz: float, theta: float) -> np.ndarray:
+    """Closed-form exp(-i*(theta/2)*(n . sigma)) for unit axis n."""
+    norm = np.sqrt(nx * nx + ny * ny + nz * nz)
+    if norm == 0.0:
+        return I2.copy()
+    nx, ny, nz = nx / norm, ny / norm, nz / norm
+    half = theta / 2.0
+    c, s = np.cos(half), np.sin(half)
+    return np.array(
+        [[c - 1j * nz * s, (-1j * nx - ny) * s],
+         [(-1j * nx + ny) * s, c + 1j * nz * s]], dtype=complex)
+
+
+def allclose_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-9) -> bool:
+    """True if unitaries agree up to a global phase."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    # Align phases using the largest element of b.
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[idx]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = a[idx] / b[idx]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))

@@ -1,0 +1,63 @@
+"""T1/T2 decoherence as Kraus channels.
+
+The combined channel for an idle interval dt reproduces the textbook
+behaviour: populations relax with T1, coherences decay with T2 (requiring
+T2 <= 2*T1).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+def amplitude_damping_kraus(gamma: float) -> list[np.ndarray]:
+    """Amplitude damping with decay probability ``gamma``."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma {gamma} outside [0, 1]")
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0.0, np.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+    return [k0, k1]
+
+
+def phase_damping_kraus(lam: float) -> list[np.ndarray]:
+    """Pure dephasing with parameter ``lam`` (off-diagonals scale by sqrt(1-lam))."""
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError(f"lambda {lam} outside [0, 1]")
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - lam)]], dtype=complex)
+    k1 = np.array([[0.0, 0.0], [0.0, np.sqrt(lam)]], dtype=complex)
+    return [k0, k1]
+
+
+def decoherence_kraus(dt_ns: float, t1_ns: float, t2_ns: float) -> tuple[np.ndarray, ...]:
+    """Combined T1 relaxation + pure dephasing for an idle time ``dt_ns``.
+
+    Composes amplitude damping (gamma = 1 - exp(-dt/T1)) with the pure
+    dephasing needed so coherences decay as exp(-dt/T2) overall.  Results
+    are cached — experiment loops reuse a handful of distinct intervals.
+    """
+    return _decoherence_kraus_cached(float(dt_ns), float(t1_ns), float(t2_ns))
+
+
+@lru_cache(maxsize=512)
+def _decoherence_kraus_cached(dt_ns: float, t1_ns: float,
+                              t2_ns: float) -> tuple[np.ndarray, ...]:
+    if dt_ns < 0:
+        raise ValueError("negative idle time")
+    if t1_ns <= 0 or t2_ns <= 0:
+        raise ConfigurationError("T1 and T2 must be positive")
+    if t2_ns > 2.0 * t1_ns + 1e-9:
+        raise ConfigurationError(f"T2 ({t2_ns}) exceeds 2*T1 ({2 * t1_ns})")
+    if dt_ns == 0:
+        return (np.eye(2, dtype=complex),)
+    gamma = 1.0 - np.exp(-dt_ns / t1_ns)
+    # Residual dephasing after amplitude damping's own sqrt(1-gamma).
+    pure_rate = 1.0 / t2_ns - 1.0 / (2.0 * t1_ns)
+    lam = 1.0 - np.exp(-2.0 * dt_ns * pure_rate)
+    lam = min(max(lam, 0.0), 1.0)
+    amp = amplitude_damping_kraus(gamma)
+    deph = phase_damping_kraus(lam)
+    return tuple(d @ a for a in amp for d in deph)

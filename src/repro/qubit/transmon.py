@@ -1,0 +1,37 @@
+"""Transmon qubit parameters.
+
+Frequencies follow the paper's qubit 2 (Section 8); coherence times are
+typical for that device generation and recorded as an explicit assumption
+in DESIGN.md / EXPERIMENTS.md since the paper does not publish them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TransmonParams:
+    """Static physical parameters of one transmon."""
+
+    #: Qubit transition frequency (Hz).  Paper: fQ = 6.466 GHz for qubit 2.
+    f_q: float = 6.466e9
+    #: Readout resonator fundamental (Hz).  Paper: fR = 6.850 GHz.
+    f_r: float = 6.850e9
+    #: Energy relaxation time (ns).
+    t1_ns: float = 18_000.0
+    #: Total dephasing time (ns); must satisfy T2 <= 2*T1.
+    t2_ns: float = 12_000.0
+    #: Drive strength, rad/ns per unit envelope amplitude.
+    kappa: float = 0.33
+
+    def __post_init__(self):
+        if self.t1_ns <= 0 or self.t2_ns <= 0:
+            raise ConfigurationError("T1 and T2 must be positive")
+        if self.t2_ns > 2.0 * self.t1_ns:
+            raise ConfigurationError(
+                f"T2 ({self.t2_ns} ns) cannot exceed 2*T1 ({2 * self.t1_ns} ns)")
+        if self.kappa <= 0:
+            raise ConfigurationError("kappa must be positive")

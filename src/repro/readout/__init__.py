@@ -1,0 +1,29 @@
+"""Readout chain: dispersive response, ADC, discrimination, averaging.
+
+Models the measurement path of Figure 8: a measurement pulse gates a
+carrier through the feedline; the transmitted signal, demodulated to a
+40 MHz intermediate frequency, is digitized by an 8-bit ADC and
+discriminated in 'hardware' by the measurement discrimination unit
+(Section 5.1.2), with integration results averaged by the data collection
+unit (Section 7.1).
+"""
+
+from repro.readout.resonator import ReadoutParams, transmitted_trace
+from repro.readout.adc import adc_quantize
+from repro.readout.weights import matched_filter_weights, integrate
+from repro.readout.mdu import MeasurementDiscriminationUnit, DiscriminationResult
+from repro.readout.data_collection import DataCollectionUnit
+from repro.readout.calibration import calibrate_readout, ReadoutCalibration
+
+__all__ = [
+    "ReadoutParams",
+    "transmitted_trace",
+    "adc_quantize",
+    "matched_filter_weights",
+    "integrate",
+    "MeasurementDiscriminationUnit",
+    "DiscriminationResult",
+    "DataCollectionUnit",
+    "calibrate_readout",
+    "ReadoutCalibration",
+]

@@ -1,0 +1,21 @@
+"""8-bit analog-to-digital conversion (the master controller's ADCs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def adc_quantize(samples: np.ndarray, bits: int = 8,
+                 full_scale: float = 1.0) -> np.ndarray:
+    """Quantize to a signed ``bits``-bit grid, clipping at full scale.
+
+    Returns float values on the quantized grid (so downstream math stays
+    in natural units while resolution and clipping are faithful).
+    """
+    if bits < 1:
+        raise ValueError("need at least 1 bit")
+    levels = 1 << (bits - 1)
+    step = full_scale / levels
+    clipped = np.clip(np.asarray(samples, dtype=float),
+                      -full_scale, full_scale - step)
+    return np.round(clipped / step) * step

@@ -1,0 +1,56 @@
+"""Data collection unit (Section 7.1).
+
+Collects K consecutive integration results of a qubit for N rounds and
+returns the per-position average over rounds::
+
+    S_bar_i = (sum_j S_{i,j}) / N ,  i in {0 .. K-1}
+
+After the collection completes, the PC retrieves the averages — in the
+reproduction, via :meth:`DataCollectionUnit.averages`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+class DataCollectionUnit:
+    """Streaming K-point, N-round averager."""
+
+    def __init__(self, k_points: int):
+        if k_points < 1:
+            raise ConfigurationError("K must be at least 1")
+        self.k_points = k_points
+        self._values: list[float] = []
+
+    def record(self, statistic: float) -> None:
+        """Append one integration result in stream order."""
+        self._values.append(float(statistic))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def rounds_completed(self) -> int:
+        return len(self._values) // self.k_points
+
+    def averages(self) -> np.ndarray:
+        """Per-position averages over completed rounds (length K).
+
+        A trailing partial round is ignored, matching hardware that only
+        commits full rounds.
+        """
+        n = self.rounds_completed
+        if n == 0:
+            raise ConfigurationError("no complete round recorded")
+        data = np.asarray(self._values[: n * self.k_points], dtype=float)
+        return data.reshape(n, self.k_points).mean(axis=0)
+
+    def raw(self) -> np.ndarray:
+        """All recorded values in stream order."""
+        return np.asarray(self._values, dtype=float)
+
+    def clear(self) -> None:
+        self._values.clear()

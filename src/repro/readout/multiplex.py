@@ -1,0 +1,75 @@
+"""Frequency-multiplexed readout (Section 5.1.2 scalability note).
+
+"Recent experiments have also demonstrated combining the measurement
+result of multiple qubits into one analog signal" — each qubit's readout
+resonator responds at its own intermediate frequency; one feedline record
+carries all of them, and each MDU's matched filter picks out its qubit.
+Crosstalk falls off as the IF separation grows against the integration
+window (the filters become orthogonal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.readout.resonator import ReadoutParams, transmitted_trace
+from repro.utils.errors import ConfigurationError
+
+
+def multiplexed_trace(params_by_qubit: dict[int, ReadoutParams],
+                      outcomes: dict[int, int], duration_ns: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """One feedline record carrying every qubit's readout signal.
+
+    Per-qubit signals are synthesized noise-free and summed; a single
+    additive noise realization models the shared output line, with the
+    standard deviation taken as the largest configured per-qubit value.
+    """
+    if not params_by_qubit:
+        raise ConfigurationError("no qubits to multiplex")
+    if set(outcomes) != set(params_by_qubit):
+        raise ConfigurationError("outcomes must cover exactly the qubits")
+    total = np.zeros(int(duration_ns))
+    noise_std = 0.0
+    for qubit, params in params_by_qubit.items():
+        quiet = ReadoutParams(
+            f_if_hz=params.f_if_hz,
+            amp_ground=params.amp_ground,
+            amp_excited=params.amp_excited,
+            phase_ground=params.phase_ground,
+            phase_excited=params.phase_excited,
+            ringup_ns=params.ringup_ns,
+            noise_std=0.0,
+        )
+        total = total + transmitted_trace(quiet, outcomes[qubit],
+                                          duration_ns, 0, rng)
+        noise_std = max(noise_std, params.noise_std)
+    if noise_std:
+        total = total + rng.normal(0.0, noise_std, int(duration_ns))
+    return total
+
+
+def crosstalk_matrix(params_by_qubit: dict[int, ReadoutParams],
+                     weights_by_qubit: dict[int, np.ndarray],
+                     duration_ns: int) -> np.ndarray:
+    """Normalized response of each qubit's filter to each qubit's signal.
+
+    Entry [i, j] is qubit i's integration response to qubit j's
+    state-difference signal, normalized so the diagonal is 1.  Off-diagonal
+    magnitudes quantify readout crosstalk.
+    """
+    from repro.readout.resonator import mean_trace
+    from repro.readout.weights import integrate
+
+    qubits = sorted(params_by_qubit)
+    n = len(qubits)
+    matrix = np.zeros((n, n))
+    for j, qj in enumerate(qubits):
+        diff = (mean_trace(params_by_qubit[qj], 1, duration_ns, 0)
+                - mean_trace(params_by_qubit[qj], 0, duration_ns, 0))
+        for i, qi in enumerate(qubits):
+            matrix[i, j] = integrate(diff, weights_by_qubit[qi])
+    diag = np.diag(matrix).copy()
+    if np.any(diag == 0):
+        raise ConfigurationError("degenerate filter: zero self-response")
+    return matrix / diag[:, None]

@@ -1,0 +1,82 @@
+"""Dispersive readout signal model.
+
+The readout resonator's transmission depends on the qubit state
+(Section 2.2): we synthesize the post-demodulation feedline signal at the
+40 MHz intermediate frequency with state-dependent amplitude and phase, an
+exponential ring-up, and additive Gaussian noise.  Absolute time keeps the
+IF phase coherent with the global clock, as the hardware local oscillator
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReadoutParams:
+    """Parameters of one qubit's readout chain."""
+
+    #: Intermediate frequency after demodulation (Hz).  Paper: 40 MHz.
+    f_if_hz: float = 40e6
+    #: Transmission amplitude with the qubit in |0> / |1> (ADC full-scale units).
+    amp_ground: float = 0.30
+    amp_excited: float = 0.36
+    #: Transmission phase with the qubit in |0> / |1> (rad).
+    phase_ground: float = 0.55
+    phase_excited: float = -0.55
+    #: Resonator ring-up time constant (ns).
+    ringup_ns: float = 120.0
+    #: Per-sample additive Gaussian noise (ADC full-scale units).
+    noise_std: float = 0.06
+
+    def __post_init__(self):
+        if self.f_if_hz <= 0:
+            raise ConfigurationError("IF frequency must be positive")
+        if self.ringup_ns <= 0:
+            raise ConfigurationError("ring-up time must be positive")
+        if self.noise_std < 0:
+            raise ConfigurationError("noise std must be non-negative")
+
+
+def transmitted_trace(params: ReadoutParams, outcome: int, duration_ns: int,
+                      t0_ns: int, rng: np.random.Generator,
+                      pulse_on: bool = True) -> np.ndarray:
+    """Synthesize the IF-domain feedline record for one measurement.
+
+    ``outcome`` is the projected qubit state (0/1).  With ``pulse_on``
+    False only noise is produced — the signal seen by an MD issued without
+    a matching MPG.
+    """
+    duration_ns = int(duration_ns)
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    noise = rng.normal(0.0, params.noise_std, duration_ns) if params.noise_std else 0.0
+    if not pulse_on:
+        return np.zeros(duration_ns) + noise
+    amp = params.amp_excited if outcome == 1 else params.amp_ground
+    phase = params.phase_excited if outcome == 1 else params.phase_ground
+    t = np.arange(duration_ns, dtype=float)
+    envelope = 1.0 - np.exp(-(t + 0.5) / params.ringup_ns)
+    carrier = np.cos(2.0 * np.pi * params.f_if_hz * (t + float(t0_ns)) * 1e-9 + phase)
+    return amp * envelope * carrier + noise
+
+
+def mean_trace(params: ReadoutParams, outcome: int, duration_ns: int,
+               t0_ns: int) -> np.ndarray:
+    """Noise-free expected record (used by weight-function calibration)."""
+    rng = np.random.default_rng(0)
+    quiet = ReadoutParams(
+        f_if_hz=params.f_if_hz,
+        amp_ground=params.amp_ground,
+        amp_excited=params.amp_excited,
+        phase_ground=params.phase_ground,
+        phase_excited=params.phase_excited,
+        ringup_ns=params.ringup_ns,
+        noise_std=0.0,
+    )
+    return transmitted_trace(quiet, outcome, duration_ns, t0_ns, rng)

@@ -1,0 +1,7 @@
+"""ASCII reporting helpers used by the benchmark harness."""
+
+from repro.reporting.tables import format_table, format_queue_tables, sparkline
+from repro.reporting.timeline import render_pulse_lanes
+
+__all__ = ["format_table", "format_queue_tables", "sparkline",
+           "render_pulse_lanes"]

@@ -1,0 +1,65 @@
+"""Plain-text tables and series for paper-style bench output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_queue_tables(snapshot: dict[str, list[str]], td_cycles: int,
+                        queue_order: Sequence[str] = ("timing", "pulse",
+                                                      "mpg", "md")) -> str:
+    """Render a timing-control-unit snapshot in the style of Tables 2-4.
+
+    Queue fronts are at the bottom, as printed in the paper.
+    """
+    names = {"timing": "Timing Queue", "pulse": "Pulse Queue",
+             "mpg": "MPG Queue", "md": "MD Queue"}
+    columns = [snapshot.get(q, []) for q in queue_order]
+    height = max((len(c) for c in columns), default=0)
+    padded = [[""] * (height - len(c)) + list(c) for c in columns]
+    headers = [names.get(q, q) for q in queue_order]
+    widths = [max(len(headers[i]), max((len(r) for r in padded[i]), default=0))
+              for i in range(len(columns))]
+    lines = [f"Queue state at T_D = {td_cycles}:"]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for level in range(height):
+        lines.append(" | ".join(padded[i][level].ljust(widths[i])
+                                for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """A one-line unicode plot of a series."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1) + 0.5)
+        out.append(_BLOCKS[min(max(idx, 0), len(_BLOCKS) - 1)])
+    return "".join(out)

@@ -1,0 +1,68 @@
+"""ASCII waveform-lane rendering for Figure 3-style timing diagrams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.tracing import TraceRecorder
+
+_GATE_FILL = "█"
+_MSMT_FILL = "▒"
+_IDLE = "·"
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One rendered channel lane."""
+
+    name: str
+    cells: str
+    annotations: list[str]
+
+
+def render_pulse_lanes(trace: TraceRecorder, start_ns: int, end_ns: int,
+                       width: int = 72) -> str:
+    """Render drive and measurement activity between two times.
+
+    Gate pulses (``pulse_start`` records) fill the drive lane; measurement
+    windows (``msmt_pulse_start``) fill the readout lane.  The rendering
+    is deliberately coarse — it shows *when* envelopes play, the essence
+    of Figure 3's waveform row.
+    """
+    span = max(end_ns - start_ns, 1)
+
+    def cell_range(t0: int, duration: int) -> tuple[int, int]:
+        a = int((t0 - start_ns) / span * width)
+        b = int((t0 + duration - start_ns) / span * width)
+        return max(a, 0), min(max(b, a + 1), width)
+
+    lanes = []
+    drive = [_IDLE] * width
+    notes = []
+    for rec in trace.filter(kind="pulse_start"):
+        if not start_ns <= rec.time < end_ns:
+            continue
+        a, b = cell_range(rec.time, rec.detail.get("duration_ns", 20))
+        for i in range(a, b):
+            drive[i] = _GATE_FILL
+        notes.append(f"{rec.detail.get('name', '?')} @ {rec.time} ns")
+    lanes.append(Lane("drive", "".join(drive), notes))
+
+    readout = [_IDLE] * width
+    notes = []
+    for rec in trace.filter(kind="msmt_pulse_start"):
+        if not start_ns <= rec.time < end_ns:
+            continue
+        a, b = cell_range(rec.time, rec.detail.get("duration_ns", 1500))
+        for i in range(a, b):
+            readout[i] = _MSMT_FILL
+        notes.append(f"measure q{rec.detail.get('qubit')} @ {rec.time} ns")
+    lanes.append(Lane("readout", "".join(readout), notes))
+
+    label_width = max(len(lane.name) for lane in lanes)
+    lines = [f"t = [{start_ns}, {end_ns}) ns"]
+    for lane in lanes:
+        lines.append(f"{lane.name.rjust(label_width)} |{lane.cells}|")
+        for note in lane.annotations:
+            lines.append(f"{' ' * label_width}   {note}")
+    return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Discrete-event simulation kernel.
+
+The FPGA boards of the paper's quantum control box are modeled as
+communicating units scheduled by a single event-driven simulator with
+integer-nanosecond time.
+"""
+
+from repro.sim.kernel import Simulator, Event
+from repro.sim.tracing import TraceRecord, TraceRecorder
+
+__all__ = ["Simulator", "Event", "TraceRecord", "TraceRecorder"]

@@ -1,0 +1,73 @@
+"""Structured execution tracing.
+
+Every architectural unit can emit :class:`TraceRecord` entries tagged with
+the simulation time, the unit name and an event kind.  The benches that
+regenerate Table 5 (the four-level decoding trace) and Figures 3/5 (the
+AllXY timeline) are simple filters over this stream, and the timing
+invariant tests assert directly on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced architectural event."""
+
+    time: int  #: simulation time in ns
+    unit: str  #: emitting unit, e.g. "timing_ctrl", "ctpg0", "mdu0"
+    kind: str  #: event kind, e.g. "fire", "codeword", "pulse_start"
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:>9} ns] {self.unit:<14} {self.kind:<16} {parts}"
+
+
+class TraceRecorder:
+    """Collects trace records; disabled recorders are cheap no-ops."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time: int, unit: str, kind: str, **detail: Any) -> None:
+        """Record an event if tracing is enabled."""
+        if self.enabled:
+            self.records.append(TraceRecord(time, unit, kind, detail))
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self.records.clear()
+
+    def filter(
+        self,
+        unit: str | None = None,
+        kind: str | None = None,
+        units: Iterable[str] | None = None,
+        kinds: Iterable[str] | None = None,
+    ) -> list[TraceRecord]:
+        """Return records matching the given unit/kind constraints."""
+        unit_set = set(units) if units is not None else None
+        kind_set = set(kinds) if kinds is not None else None
+        out = []
+        for rec in self.records:
+            if unit is not None and rec.unit != unit:
+                continue
+            if kind is not None and rec.kind != kind:
+                continue
+            if unit_set is not None and rec.unit not in unit_set:
+                continue
+            if kind_set is not None and rec.kind not in kind_set:
+                continue
+            out.append(rec)
+        return out
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,41 @@
+"""Shared utilities: time units, error types, and RNG plumbing."""
+
+from repro.utils.units import (
+    CYCLE_NS,
+    SAMPLES_PER_NS,
+    cycles_to_ns,
+    ns_to_cycles,
+    ns_to_samples,
+    ns_to_us,
+    us_to_ns,
+)
+from repro.utils.errors import (
+    ReproError,
+    AssemblyError,
+    EncodingError,
+    MicrocodeError,
+    TimingViolation,
+    QueueOverflow,
+    CalibrationError,
+    ConfigurationError,
+)
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "CYCLE_NS",
+    "SAMPLES_PER_NS",
+    "cycles_to_ns",
+    "ns_to_cycles",
+    "ns_to_samples",
+    "ns_to_us",
+    "us_to_ns",
+    "ReproError",
+    "AssemblyError",
+    "EncodingError",
+    "MicrocodeError",
+    "TimingViolation",
+    "QueueOverflow",
+    "CalibrationError",
+    "ConfigurationError",
+    "derive_rng",
+]

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the QuMA reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AssemblyError(ReproError):
+    """Raised when assembly source cannot be parsed or resolved.
+
+    Carries the offending line number when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded to / decoded from binary."""
+
+
+class MicrocodeError(ReproError):
+    """Raised for malformed microprograms or unknown Q-control-store entries."""
+
+
+class TimingViolation(ReproError):
+    """Raised (or recorded) when the deterministic timing domain is violated.
+
+    A violation occurs when the timing queue underruns: an interval entry
+    arrives after T_D has already passed the point at which the associated
+    events should have fired (Section 5.2 decoupling requirement).
+    """
+
+
+class QueueOverflow(ReproError):
+    """Raised when an event queue exceeds its configured capacity without
+    back-pressure enabled."""
+
+
+class CalibrationError(ReproError):
+    """Raised when a calibration routine cannot produce usable parameters."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for inconsistent machine or device configuration."""

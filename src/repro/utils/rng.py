@@ -1,0 +1,30 @@
+"""Deterministic random-number plumbing.
+
+All stochastic elements (readout noise, measurement projection, classical
+issue jitter, randomized benchmarking sequences) draw from numpy
+Generators derived from a single root seed, so that whole-machine runs are
+reproducible bit-for-bit given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def derive_rng(seed: int | np.random.Generator | None, *stream: str) -> np.random.Generator:
+    """Return a Generator for a named stream derived from ``seed``.
+
+    ``stream`` components namespace independent consumers, e.g.
+    ``derive_rng(1234, "readout", "q2")`` and ``derive_rng(1234, "jitter")``
+    yield statistically independent streams from the same root seed.
+
+    Passing an existing Generator returns a child spawned from it, so
+    components can be handed a Generator directly.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed.spawn(1)[0]
+    material = [seed if seed is not None else 0]
+    for part in stream:
+        # Stable, platform-independent reduction of the stream name.
+        material.append(sum((i + 1) * b for i, b in enumerate(part.encode())) & 0xFFFFFFFF)
+    return np.random.default_rng(np.random.SeedSequence(material))

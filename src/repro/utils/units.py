@@ -1,0 +1,45 @@
+"""Time-unit conventions used throughout the reproduction.
+
+The paper's control hardware runs on a 200 MHz clock, i.e. a 5 ns cycle
+(Section 5.2: "a cycle time of 5 ns is used").  Waveform memory is
+accounted at Rs = 1 GSample/s (Section 4.2), which conveniently makes one
+sample equal one nanosecond.  All simulation time is therefore carried as
+*integer nanoseconds*; queue and instruction timing is expressed in
+*cycles* and converted at the boundary.
+"""
+
+from __future__ import annotations
+
+#: Nanoseconds per control-hardware cycle (200 MHz clock).
+CYCLE_NS = 5
+
+#: Waveform samples per nanosecond (Rs = 1 GSample/s).
+SAMPLES_PER_NS = 1
+
+
+def cycles_to_ns(cycles: int) -> int:
+    """Convert a cycle count to integer nanoseconds."""
+    return int(cycles) * CYCLE_NS
+
+
+def ns_to_cycles(ns: int) -> int:
+    """Convert nanoseconds to cycles; raises if not on a cycle boundary."""
+    ns = int(ns)
+    if ns % CYCLE_NS != 0:
+        raise ValueError(f"{ns} ns is not a multiple of the {CYCLE_NS} ns cycle")
+    return ns // CYCLE_NS
+
+
+def ns_to_samples(ns: int) -> int:
+    """Convert nanoseconds to waveform samples at Rs = 1 GSa/s."""
+    return int(ns) * SAMPLES_PER_NS
+
+
+def us_to_ns(us: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(us * 1000))
+
+
+def ns_to_us(ns: int) -> float:
+    """Convert nanoseconds to microseconds."""
+    return ns / 1000.0

@@ -1,0 +1,120 @@
+"""Tests for the DAC and codeword-triggered pulse generation unit."""
+
+import numpy as np
+import pytest
+
+from repro.awg import CodewordTriggeredPulseGenerator, dac_quantize
+from repro.pulse import Waveform, build_single_qubit_lut, gaussian
+from repro.sim import Simulator, TraceRecorder
+from repro.utils.errors import ConfigurationError
+
+LUT = build_single_qubit_lut()
+
+
+def test_dac_quantize_complex_grid():
+    env = gaussian(20, 5.0, 0.8) + 1j * gaussian(20, 5.0, 0.3)
+    q = dac_quantize(env, bits=14)
+    step = 1.0 / (1 << 13)
+    assert np.allclose(q.real / step, np.round(q.real / step))
+    assert np.allclose(q.imag / step, np.round(q.imag / step))
+    assert np.max(np.abs(q - env)) <= step
+
+
+def test_dac_clips():
+    q = dac_quantize(np.array([2.0 + 2.0j]), bits=14)
+    step = 1.0 / (1 << 13)
+    assert q[0].real == pytest.approx(1.0 - step)
+
+
+def make_ctpg(sim, played, delay=80, trace=None):
+    return CodewordTriggeredPulseGenerator(
+        name="ctpg0", sim=sim, lut=LUT, target_qubits=(2,),
+        sink=lambda qubits, wf, t: played.append((qubits, wf.name, t)),
+        fixed_delay_ns=delay, trace=trace)
+
+
+def test_fixed_delay_is_80ns():
+    sim = Simulator()
+    played = []
+    ctpg = make_ctpg(sim, played)
+    sim.at(100, lambda: ctpg.trigger(1))
+    sim.run()
+    assert played == [((2,), "X180", 180)]
+
+
+def test_back_to_back_triggers_keep_spacing():
+    """Section 5.1.1: triggering two codewords 20 ns apart plays the two
+    pulses exactly back to back."""
+    sim = Simulator()
+    played = []
+    ctpg = make_ctpg(sim, played)
+    sim.at(0, lambda: ctpg.trigger(1))
+    sim.at(20, lambda: ctpg.trigger(4))
+    sim.run()
+    assert [(name, t) for _, name, t in played] == [("X180", 80), ("Y180", 100)]
+
+
+def test_unknown_codeword_raises():
+    sim = Simulator()
+    ctpg = make_ctpg(sim, [])
+    sim.at(0, lambda: ctpg.trigger(99))
+    with pytest.raises(ConfigurationError):
+        sim.run()
+
+
+def test_waveform_is_dac_quantized():
+    sim = Simulator()
+    played_wf = []
+    ctpg = CodewordTriggeredPulseGenerator(
+        name="c", sim=sim, lut=LUT, target_qubits=(0,),
+        sink=lambda q, wf, t: played_wf.append(wf))
+    sim.at(0, lambda: ctpg.trigger(1))
+    sim.run()
+    wf = played_wf[0]
+    step = 1.0 / (1 << 13)
+    assert np.allclose(wf.samples.real / step, np.round(wf.samples.real / step))
+    # Quantization error bounded by one LSB.
+    assert np.max(np.abs(wf.samples - LUT.lookup(1).samples)) <= step
+
+
+def test_trace_records_codeword_and_pulse():
+    sim = Simulator()
+    trace = TraceRecorder()
+    ctpg = make_ctpg(sim, [], trace=trace)
+    sim.at(40, lambda: ctpg.trigger(2))
+    sim.run()
+    kinds = [(r.kind, r.time) for r in trace]
+    assert ("codeword", 40) in kinds
+    assert ("pulse_start", 120) in kinds
+
+
+def test_trigger_counter():
+    sim = Simulator()
+    ctpg = make_ctpg(sim, [])
+    sim.at(0, lambda: ctpg.trigger(0))
+    sim.at(20, lambda: ctpg.trigger(1))
+    sim.run()
+    assert ctpg.triggers_received == 2
+
+
+def test_requires_target_qubits():
+    with pytest.raises(ConfigurationError):
+        CodewordTriggeredPulseGenerator(
+            name="x", sim=Simulator(), lut=LUT, target_qubits=(),
+            sink=lambda *a: None)
+
+
+def test_dac_cache_tracks_lut_reupload():
+    sim = Simulator()
+    played_wf = []
+    ctpg = CodewordTriggeredPulseGenerator(
+        name="c", sim=sim, lut=LUT.__class__(), target_qubits=(0,),
+        sink=lambda q, wf, t: played_wf.append(wf))
+    ctpg.lut.upload(1, Waveform("A", gaussian(20, 5.0, 0.5)))
+    sim.at(0, lambda: ctpg.trigger(1))
+    sim.run(until=200)
+    ctpg.lut.upload(1, Waveform("B", gaussian(20, 5.0, 0.9)))
+    sim.at(300, lambda: ctpg.trigger(1))
+    sim.run()
+    assert played_wf[0].name == "A"
+    assert played_wf[1].name == "B"

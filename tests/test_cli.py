@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+    mov r1, 42
+    Wait 4
+    Pulse {q2}, X180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}, r7
+    halt
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.qasm"
+    path.write_text(PROGRAM)
+    return path
+
+
+def test_assemble_writes_binary(source_file, tmp_path, capsys):
+    out = tmp_path / "prog.bin"
+    rc = main(["assemble", str(source_file), "-o", str(out)])
+    assert rc == 0
+    blob = out.read_bytes()
+    assert len(blob) == 4 * 7
+    assert "7 instructions" in capsys.readouterr().out
+
+
+def test_assemble_default_output_name(source_file, tmp_path):
+    rc = main(["assemble", str(source_file)])
+    assert rc == 0
+    assert (tmp_path / "prog.bin").exists()
+
+
+def test_disassemble_roundtrip(source_file, tmp_path, capsys):
+    out = tmp_path / "prog.bin"
+    main(["assemble", str(source_file), "-o", str(out)])
+    capsys.readouterr()
+    rc = main(["disassemble", str(out)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "mov r1, 42" in text
+    assert "Pulse {q2}, X180" in text
+    assert "MD {q2}, r7" in text
+
+
+def test_run_from_source(source_file, capsys):
+    rc = main(["run", str(source_file), "--qubits", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "completed:            True" in out
+    assert "'r7': 1" in out
+    assert "'r1': 42" in out
+
+
+def test_run_from_binary(source_file, tmp_path, capsys):
+    out = tmp_path / "prog.bin"
+    main(["assemble", str(source_file), "-o", str(out)])
+    capsys.readouterr()
+    rc = main(["run", str(out)])
+    assert rc == 0
+    assert "'r7': 1" in capsys.readouterr().out
+
+
+def test_run_with_trace(source_file, capsys):
+    rc = main(["run", str(source_file), "--trace"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pulse_start" in out
+
+
+def test_missing_file_error(capsys):
+    rc = main(["run", "/nonexistent/prog.qasm"])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bad_assembly_error(tmp_path, capsys):
+    path = tmp_path / "bad.qasm"
+    path.write_text("frobnicate r1")
+    rc = main(["assemble", str(path)])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_allxy_command(capsys):
+    rc = main(["allxy", "--rounds", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "deviation:" in out

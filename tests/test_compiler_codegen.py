@@ -1,0 +1,106 @@
+"""Tests for code generation (Algorithm 3 shape) and full-stack compile-run."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, QuantumProgram, compile_program
+from repro.core import MachineConfig, QuMA
+from repro.utils.errors import ConfigurationError
+
+
+def test_allxy_pair_compiles_to_algorithm3_shape():
+    p = QuantumProgram("allxy_pair", qubits=(2,))
+    k = p.new_kernel("xx")
+    k.prepz(2).x(2).x(2).measure(2)
+    compiled = compile_program(p, CompilerOptions(n_rounds=25600))
+    lines = [ln.strip() for ln in compiled.asm.splitlines()
+             if ln.strip() and not ln.strip().startswith("#")]
+    assert lines[0] == "mov r15, 40000"
+    assert lines[1] == "mov r1, 0"
+    assert lines[2] == "mov r2, 25600"
+    assert lines[3] == "Outer_Loop:"
+    assert lines[4] == "QNopReg r15"
+    assert lines[5] == "Pulse {q2}, X180"
+    assert lines[6] == "Wait 4"
+    assert lines[7] == "Pulse {q2}, X180"
+    assert lines[8] == "Wait 4"
+    assert lines[9] == "MPG {q2}, 300"
+    assert lines[10] == "MD {q2}"
+    assert lines[11] == "addi r1, r1, 1"
+    assert lines[12] == "bne r1, r2, Outer_Loop"
+    assert lines[13] == "halt"
+
+
+def test_k_points_counted():
+    p = QuantumProgram("t", qubits=(2,))
+    for i in range(3):
+        p.new_kernel(f"k{i}").prepz(2).measure(2)
+    compiled = compile_program(p)
+    assert compiled.k_points == 3
+
+
+def test_single_round_omits_loop():
+    p = QuantumProgram("t", qubits=(2,))
+    p.new_kernel("k").prepz(2).measure(2)
+    compiled = compile_program(p, CompilerOptions(n_rounds=1))
+    assert "Outer_Loop" not in compiled.asm
+    assert "bne" not in compiled.asm
+
+
+def test_no_prepz_no_init_register():
+    p = QuantumProgram("t", qubits=(2,))
+    p.new_kernel("k").x(2)
+    compiled = compile_program(p)
+    assert "r15" not in compiled.asm
+
+
+def test_measure_register_emitted():
+    p = QuantumProgram("t", qubits=(2,))
+    p.new_kernel("k").prepz(2).measure(2, rd=7)
+    compiled = compile_program(p)
+    assert "MD {q2}, r7" in compiled.asm
+
+
+def test_register_collision_rejected():
+    with pytest.raises(ConfigurationError):
+        CompilerOptions(init_register=1, counter_register=1)
+
+
+def test_compiled_program_assembles_and_runs():
+    p = QuantumProgram("mini", qubits=(2,))
+    k = p.new_kernel("flip")
+    k.prepz(2).x(2).measure(2)
+    compiled = compile_program(p, CompilerOptions(n_rounds=3))
+    machine = QuMA(MachineConfig(qubits=(2,), dcu_points=compiled.k_points))
+    machine.load(compiled.asm)
+    result = machine.run()
+    assert result.completed
+    assert result.measurements == 3
+    assert result.timing_violations == []
+
+
+def test_compiled_loop_round_spacing():
+    """Each round's init wait restarts the 200 us spacing."""
+    p = QuantumProgram("t", qubits=(2,))
+    p.new_kernel("k").prepz(2).x(2).measure(2)
+    compiled = compile_program(p, CompilerOptions(n_rounds=2))
+    machine = QuMA(MachineConfig(qubits=(2,), dcu_points=1))
+    machine.load(compiled.asm)
+    machine.run()
+    starts = [r.time for r in machine.trace.filter(kind="pulse_start")]
+    assert len(starts) == 2
+    # Round 2's init interval counts from round 1's measurement point
+    # (4 cycles after round 1's gate point).
+    assert starts[1] - starts[0] == (40000 + 4) * 5
+
+
+def test_cnot_program_runs_on_two_qubit_machine():
+    p = QuantumProgram("bell", qubits=(0, 1))
+    k = p.new_kernel("k")
+    k.prepz(0).prepz(1).x(0).cnot(0, 1).measure(1, rd=6)
+    compiled = compile_program(p)
+    machine = QuMA(MachineConfig(qubits=(0, 1), flux_pairs=((0, 1),),
+                                 dcu_points=1))
+    machine.load(compiled.asm)
+    result = machine.run()
+    assert result.completed
+    assert machine.registers.read(6) == 1

@@ -1,0 +1,94 @@
+"""Tests for the OpenQL-like program builder and decomposition."""
+
+import pytest
+
+from repro.compiler import OpKind, QuantumProgram, decompose
+from repro.utils.errors import ConfigurationError
+
+
+def test_kernel_builds_ops():
+    p = QuantumProgram("t", qubits=(2,))
+    k = p.new_kernel("k")
+    k.prepz(2).x(2).y90(2).measure(2)
+    kinds = [op.kind for op in k.ops]
+    assert kinds == [OpKind.PREPZ, OpKind.PULSE, OpKind.PULSE, OpKind.MEASURE]
+    assert k.ops[1].name == "X180"
+    assert k.ops[2].name == "Y90"
+
+
+def test_gate_aliases():
+    p = QuantumProgram("t", qubits=(0,))
+    k = p.new_kernel("k")
+    k.gate("i", 0).gate("X90", 0).gate("mx90", 0).gate("MY90", 0)
+    assert [op.name for op in k.ops] == ["I", "X90", "mX90", "mY90"]
+
+
+def test_unknown_gate_rejected():
+    k = QuantumProgram("t", qubits=(0,)).new_kernel("k")
+    with pytest.raises(ConfigurationError):
+        k.gate("t_gate", 0)
+
+
+def test_unowned_qubit_rejected():
+    k = QuantumProgram("t", qubits=(0,)).new_kernel("k")
+    with pytest.raises(ConfigurationError):
+        k.x(3)
+
+
+def test_cz_arity():
+    k = QuantumProgram("t", qubits=(0, 1)).new_kernel("k")
+    with pytest.raises(ConfigurationError):
+        k.gate("cz", 0)
+    k.cz(0, 1)
+    assert k.ops[0].qubits == (0, 1)
+
+
+def test_wait_validation():
+    k = QuantumProgram("t", qubits=(0,)).new_kernel("k")
+    with pytest.raises(ConfigurationError):
+        k.wait(0)
+    k.wait(10)
+    assert k.ops[0].duration_cycles == 10
+
+
+def test_measure_with_register():
+    k = QuantumProgram("t", qubits=(0,)).new_kernel("k")
+    k.measure(0, rd=7)
+    assert k.ops[0].rd == 7
+
+
+def test_measure_count():
+    p = QuantumProgram("t", qubits=(0,))
+    p.new_kernel("a").measure(0)
+    p.new_kernel("b").measure(0).measure(0)
+    assert p.measure_count() == 3
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ConfigurationError):
+        QuantumProgram("t", qubits=())
+
+
+def test_decompose_cnot():
+    p = QuantumProgram("t", qubits=(0, 1))
+    k = p.new_kernel("k")
+    k.cnot(0, 1)
+    out = decompose(k.ops)
+    assert [(op.name, op.qubits) for op in out] == [
+        ("mY90", (1,)), ("CZ", (0, 1)), ("Y90", (1,))]
+
+
+def test_decompose_h_and_z():
+    p = QuantumProgram("t", qubits=(0,))
+    k = p.new_kernel("k")
+    k.h(0).z(0)
+    out = decompose(k.ops)
+    assert [op.name for op in out] == ["Y90", "X180", "Y180", "X180"]
+
+
+def test_decompose_leaves_primitives():
+    p = QuantumProgram("t", qubits=(0,))
+    k = p.new_kernel("k")
+    k.prepz(0).x(0).measure(0)
+    out = decompose(k.ops)
+    assert [op.kind for op in out] == [OpKind.PREPZ, OpKind.PULSE, OpKind.MEASURE]

@@ -1,0 +1,90 @@
+"""Tests for ASAP scheduling into time points."""
+
+import pytest
+
+from repro.compiler import QuantumProgram, decompose, schedule
+from repro.utils.errors import ConfigurationError
+
+
+def points_for(build, qubits=(2,), **kwargs):
+    p = QuantumProgram("t", qubits=qubits)
+    k = p.new_kernel("k")
+    build(k)
+    return schedule(decompose(k.ops), **kwargs)
+
+
+def test_allxy_round_structure():
+    """prepz; g1; g2; measure -> QNopReg point with g1, then Wait 4 with g2,
+    then Wait 4 with MPG/MD — exactly Algorithm 3's shape."""
+    pts = points_for(lambda k: k.prepz(2).i(2).i(2).measure(2))
+    assert len(pts) == 3
+    assert pts[0].is_register_wait
+    assert [op.name for op in pts[0].events] == ["I"]
+    assert pts[1].interval_cycles == 4
+    assert [op.name for op in pts[1].events] == ["I"]
+    assert pts[2].interval_cycles == 4
+    assert pts[2].events[0].kind.name == "MEASURE"
+
+
+def test_gate_slot_configurable():
+    pts = points_for(lambda k: k.prepz(2).x(2).x(2), gate_slot_cycles=8)
+    assert pts[1].interval_cycles == 8
+
+
+def test_parallel_ops_share_point():
+    pts = points_for(lambda k: k.prepz(0).x(0).x(1), qubits=(0, 1))
+    # Both gates start at cycle 0 -> same (register) point.
+    assert len(pts) == 1
+    assert len(pts[0].events) == 2
+
+
+def test_serial_on_same_qubit():
+    pts = points_for(lambda k: k.prepz(0).x(0).y(0), qubits=(0,))
+    assert len(pts) == 2
+
+
+def test_explicit_wait_shifts_start():
+    pts = points_for(lambda k: k.prepz(2).x(2).wait(100, 2).x(2))
+    # Second gate at cycle 4 + 100.
+    assert pts[1].interval_cycles == 104
+
+
+def test_measure_occupies_duration():
+    pts = points_for(lambda k: k.prepz(2).measure(2).x(2))
+    # Gate after measurement waits the full 300-cycle window.
+    assert pts[1].interval_cycles == 300
+
+
+def test_measure_duration_override():
+    pts = points_for(lambda k: k.prepz(2).measure(2, duration_cycles=100).x(2))
+    assert pts[1].interval_cycles == 100
+
+
+def test_kernel_without_prepz_gets_initial_point():
+    pts = points_for(lambda k: k.x(2))
+    assert len(pts) == 1
+    assert pts[0].interval_cycles == 1  # minimal on-grid interval
+
+
+def test_two_prepz_in_sequence():
+    pts = points_for(lambda k: k.prepz(2).prepz(2).x(2))
+    assert pts[0].is_register_wait
+    assert pts[1].is_register_wait
+    assert [op.name for op in pts[1].events] == ["X180"]
+
+
+def test_composite_rejected():
+    p = QuantumProgram("t", qubits=(0, 1))
+    k = p.new_kernel("k")
+    k.cnot(0, 1)
+    with pytest.raises(ConfigurationError):
+        schedule(k.ops)
+
+
+def test_cnot_schedule_matches_algorithm2_shape():
+    """mY90; CZ; Y90 with gate slots: intervals 4 then 4 (our CZ slot is
+    one gate slot; Algorithm 2 uses Wait 8 for its 40 ns flux pulse)."""
+    pts = points_for(lambda k: k.prepz(1).cnot(0, 1), qubits=(0, 1))
+    assert [op.name for op in pts[0].events] == ["mY90"]
+    assert [op.name for op in pts[1].events] == ["CZ"]
+    assert [op.name for op in pts[2].events] == ["Y90"]

@@ -1,0 +1,81 @@
+"""Machine-level tests of composite micro-operations (Seq_Z, §5.3.2)."""
+
+import pytest
+
+from repro.core import MachineConfig, QuMA
+
+
+def machine_with_z() -> QuMA:
+    machine = QuMA(MachineConfig(qubits=(2,)))
+    z_id = machine.op_table.define("Z180")
+    machine.uop_units["uop2"].define_sequence(
+        z_id, [(0, machine.op_table.id_of("Y180")),
+               (4, machine.op_table.id_of("X180"))])
+    return machine
+
+
+def test_composite_z_emits_two_codewords():
+    machine = machine_with_z()
+    machine.load("Wait 4\nPulse {q2}, Z180\nWait 8\nhalt")
+    machine.run()
+    played = [r.detail["name"] for r in machine.trace.filter(kind="pulse_start")]
+    assert played == ["Y180", "X180"]
+    times = [r.time for r in machine.trace.filter(kind="pulse_start")]
+    assert times[1] - times[0] == 20  # 4 cycles apart, back to back
+
+
+def test_composite_z_flips_ramsey_phase():
+    """y90 - Z - my90 ends in |1>; without Z it returns to |0>."""
+    def run(with_z: bool) -> int:
+        machine = machine_with_z()
+        z_block = "Pulse {q2}, Z180\nWait 8" if with_z else "Wait 8"
+        machine.load(f"""
+            Wait 4
+            Pulse {{q2}}, Y90
+            Wait 4
+            {z_block}
+            Pulse {{q2}}, mY90
+            Wait 4
+            MPG {{q2}}, 300
+            MD {{q2}}, r7
+            halt
+        """)
+        result = machine.run()
+        assert result.completed
+        return machine.registers.read(7)
+
+    assert run(True) == 1
+    assert run(False) == 0
+
+
+def test_composite_z_population_neutral_on_basis_states():
+    """Z preserves |0> and |1> populations (up to decoherence)."""
+    machine = machine_with_z()
+    machine.load("""
+        Wait 4
+        Pulse {q2}, X180
+        Wait 4
+        Pulse {q2}, Z180
+        Wait 8
+        MPG {q2}, 300
+        MD {q2}, r7
+        halt
+    """)
+    machine.run()
+    assert machine.registers.read(7) == 1
+
+
+def test_composite_needs_room_for_both_pulses():
+    """A composite followed too closely overlaps on the device."""
+    from repro.utils.errors import ConfigurationError
+
+    machine = machine_with_z()
+    machine.load("""
+        Wait 4
+        Pulse {q2}, Z180
+        Wait 4
+        Pulse {q2}, X90
+        halt
+    """)
+    with pytest.raises(ConfigurationError):
+        machine.run()

@@ -1,0 +1,92 @@
+"""Tests for machine-configuration serialization."""
+
+import json
+
+import pytest
+
+from repro.core import MachineConfig, QuMA
+from repro.core.config_io import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.pulse import PulseCalibration
+from repro.qubit import TransmonParams
+from repro.readout import ReadoutParams
+from repro.utils.errors import ConfigurationError
+
+
+def rich_config() -> MachineConfig:
+    return MachineConfig(
+        qubits=(0, 2),
+        transmons=(TransmonParams(t1_ns=9000.0, t2_ns=7000.0),
+                   TransmonParams()),
+        readouts=(ReadoutParams(f_if_hz=40e6), ReadoutParams(f_if_hz=55e6)),
+        calibration=PulseCalibration(amplitude_error=0.01),
+        flux_pairs=((0, 2),),
+        classical_jitter_ns=7,
+        issue_width=2,
+        queue_capacity=32,
+        seed=11,
+    )
+
+
+def test_roundtrip_preserves_everything():
+    config = rich_config()
+    back = config_from_dict(config_to_dict(config))
+    assert config_to_dict(back) == config_to_dict(config)
+    assert back.qubits == (0, 2)
+    assert back.transmons[0].t1_ns == 9000.0
+    assert back.readouts[1].f_if_hz == 55e6
+    assert back.calibration.amplitude_error == 0.01
+    assert back.flux_pairs == ((0, 2),)
+    assert back.issue_width == 2
+
+
+def test_dict_is_json_serializable():
+    text = json.dumps(config_to_dict(rich_config()))
+    assert "transmons" in text
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "machine.json"
+    save_config(rich_config(), str(path))
+    back = load_config(str(path))
+    assert config_to_dict(back) == config_to_dict(rich_config())
+
+
+def test_unknown_keys_rejected():
+    data = config_to_dict(MachineConfig(qubits=(2,)))
+    data["frobnicate"] = 1
+    with pytest.raises(ConfigurationError):
+        config_from_dict(data)
+
+
+def test_partial_dict_uses_defaults():
+    config = config_from_dict({"qubits": [2], "seed": 5})
+    assert config.qubits == (2,)
+    assert config.seed == 5
+    assert config.ctpg_delay_ns == 80
+
+
+def test_loaded_config_builds_running_machine(tmp_path):
+    path = tmp_path / "machine.json"
+    save_config(MachineConfig(qubits=(2,), seed=4), str(path))
+    machine = QuMA(load_config(str(path)))
+    machine.load("Wait 4\nPulse {q2}, X180\nWait 4\nMPG {q2}, 300\nMD {q2}, r7\nhalt")
+    result = machine.run()
+    assert result.completed
+    assert machine.registers.read(7) == 1
+
+
+def test_cli_run_with_config(tmp_path, capsys):
+    from repro.cli import main
+
+    cfg = tmp_path / "m.json"
+    save_config(MachineConfig(qubits=(3,), seed=1), str(cfg))
+    prog = tmp_path / "p.qasm"
+    prog.write_text("Wait 4\nPulse {q3}, X180\nWait 4\nMPG {q3}, 300\nMD {q3}, r7\nhalt")
+    rc = main(["run", str(prog), "--config", str(cfg)])
+    assert rc == 0
+    assert "'r7': 1" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Tests for the execution controller (classical pipeline semantics)."""
+
+import pytest
+
+from repro.core import MachineConfig, QuMA
+
+
+def run_program(source, **config_kwargs):
+    machine = QuMA(MachineConfig(qubits=(2,), trace_enabled=True, **config_kwargs))
+    machine.load(source)
+    result = machine.run(max_events=2_000_000)
+    return machine, result
+
+
+def test_mov_add_sub():
+    machine, result = run_program("""
+        mov r1, 10
+        mov r2, 32
+        add r3, r1, r2
+        sub r4, r2, r1
+        halt
+    """)
+    assert result.registers[3] == 42
+    assert result.registers[4] == 22
+    assert result.completed
+
+
+def test_logic_ops():
+    machine, _ = run_program("""
+        mov r1, 12
+        mov r2, 10
+        and r3, r1, r2
+        or r4, r1, r2
+        xor r5, r1, r2
+        halt
+    """)
+    assert machine.registers.read(3) == 8
+    assert machine.registers.read(4) == 14
+    assert machine.registers.read(5) == 6
+
+
+def test_addi_negative():
+    machine, _ = run_program("mov r1, 5\naddi r1, r1, -3\nhalt")
+    assert machine.registers.read(1) == 2
+
+
+def test_load_store_roundtrip():
+    machine, _ = run_program("""
+        mov r3, 100
+        mov r9, 77
+        store r9, r3[4]
+        load r8, r3[4]
+        load r7, r3[5]
+        halt
+    """)
+    assert machine.registers.read(8) == 77
+    assert machine.registers.read(7) == 0
+    assert machine.exec_ctrl.data_memory[104] == 77
+
+
+def test_loop_with_bne():
+    machine, result = run_program("""
+        mov r1, 0
+        mov r2, 5
+        mov r3, 0
+    loop:
+        addi r3, r3, 10
+        addi r1, r1, 1
+        bne r1, r2, loop
+        halt
+    """)
+    assert machine.registers.read(3) == 50
+
+
+def test_beq_and_blt():
+    machine, _ = run_program("""
+        mov r1, 3
+        mov r2, 3
+        mov r4, 0
+        beq r1, r2, equal
+        mov r4, 99
+    equal:
+        mov r5, 1
+        blt r1, r2, never
+        mov r6, 2
+    never:
+        halt
+    """)
+    assert machine.registers.read(4) == 0
+    assert machine.registers.read(5) == 1
+    assert machine.registers.read(6) == 2
+
+
+def test_jmp():
+    machine, _ = run_program("""
+        mov r1, 1
+        jmp skip
+        mov r1, 99
+    skip:
+        halt
+    """)
+    assert machine.registers.read(1) == 1
+
+
+def test_end_of_program_halts():
+    machine, result = run_program("mov r1, 7")
+    assert result.completed
+    assert machine.registers.read(1) == 7
+
+
+def test_instruction_count():
+    _, result = run_program("nop\nnop\nnop\nhalt")
+    assert result.instructions_executed == 4
+
+
+def test_classical_issue_time_accumulates():
+    _, result = run_program("nop\nnop\nnop\nnop\nhalt",
+                            classical_issue_ns=5, classical_jitter_ns=0)
+    # 5 instructions, one per 5 ns after the initial dispatch.
+    assert result.duration_ns >= 20
+
+
+def test_jitter_is_deterministic_per_seed():
+    _, r1 = run_program("nop\nnop\nnop\nhalt", classical_jitter_ns=10, seed=3)
+    _, r2 = run_program("nop\nnop\nnop\nhalt", classical_jitter_ns=10, seed=3)
+    assert r1.duration_ns == r2.duration_ns
+
+
+def test_run_without_program_raises():
+    machine = QuMA(MachineConfig(qubits=(2,)))
+    with pytest.raises(Exception):
+        machine.run()
+
+
+def test_register_wrap32_through_program():
+    machine, _ = run_program("""
+        mov r1, 1048575
+        mov r2, 1048575
+        add r3, r1, r2
+        halt
+    """)
+    assert machine.registers.read(3) == 2097150

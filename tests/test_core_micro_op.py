@@ -1,0 +1,74 @@
+"""Tests for the micro-operation unit (uOp -> codeword sequences)."""
+
+import pytest
+
+from repro.awg import CodewordTriggeredPulseGenerator
+from repro.core.micro_op import MicroOperationUnit
+from repro.pulse import build_single_qubit_lut
+from repro.sim import Simulator, TraceRecorder
+from repro.utils.errors import MicrocodeError
+
+LUT = build_single_qubit_lut()
+
+
+def make_unit(delay_ns=5, ctpg_delay=80):
+    sim = Simulator()
+    played = []
+    ctpg = CodewordTriggeredPulseGenerator(
+        name="ctpg0", sim=sim, lut=LUT, target_qubits=(0,),
+        sink=lambda q, wf, t: played.append((wf.name, t)),
+        fixed_delay_ns=ctpg_delay)
+    unit = MicroOperationUnit("uop0", sim, ctpg, delay_ns=delay_ns,
+                              trace=TraceRecorder())
+    return sim, unit, ctpg, played
+
+
+def test_default_forwarding():
+    """AllXY case: 'the micro-operation unit simply forwards the codewords'."""
+    sim, unit, ctpg, played = make_unit()
+    sim.at(0, lambda: unit.trigger(1, "X180"))
+    sim.run()
+    # uop delay 5 + ctpg delay 80.
+    assert played == [("X180", 85)]
+
+
+def test_unit_delay_applies():
+    sim, unit, ctpg, played = make_unit(delay_ns=15)
+    sim.at(100, lambda: unit.trigger(2, "X90"))
+    sim.run()
+    assert played == [("X90", 195)]
+
+
+def test_composite_z_sequence():
+    """The paper's Seq_Z example: Z emulated as Y then X,
+    Seq_Z : ([0, 4]; [4, 1]) with Table 1 codewords (Y180=4, X180=1)."""
+    sim, unit, ctpg, played = make_unit()
+    unit.define_sequence(9, [(0, 4), (4, 1)])
+    sim.at(0, lambda: unit.trigger(9, "Z180"))
+    sim.run()
+    assert played == [("Y180", 85), ("X180", 105)]  # 4 cycles = 20 ns apart
+
+
+def test_sequence_for_default():
+    _, unit, _, _ = make_unit()
+    assert unit.sequence_for(3) == [(0, 3)]
+
+
+def test_define_sequence_validation():
+    _, unit, _, _ = make_unit()
+    with pytest.raises(MicrocodeError):
+        unit.define_sequence(1, [])
+    with pytest.raises(MicrocodeError):
+        unit.define_sequence(1, [(-1, 0)])
+    with pytest.raises(MicrocodeError):
+        unit.define_sequence(1, [(0, -2)])
+
+
+def test_trace_records_uop_and_codewords():
+    sim, unit, ctpg, _ = make_unit()
+    unit.trace.clear()
+    sim.at(0, lambda: unit.trigger(1, "X180"))
+    sim.run()
+    kinds = [r.kind for r in unit.trace]
+    assert "uop" in kinds
+    assert "codeword_out" in kinds

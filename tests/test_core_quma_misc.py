@@ -1,0 +1,179 @@
+"""Additional machine-level coverage: horizontal pulses, config plumbing,
+manual timing, run-result fields, and a mixed-feature soak test."""
+
+import numpy as np
+import pytest
+
+from repro.core import MachineConfig, QuMA
+from repro.qubit import TransmonParams
+from repro.readout import ReadoutParams
+from repro.utils.errors import ReproError
+
+
+def test_horizontal_pulse_triggers_multiple_qubits_simultaneously():
+    """Table 6: Pulse is horizontal — one instruction, parallel triggers."""
+    machine = QuMA(MachineConfig(qubits=(0, 1)))
+    machine.load("""
+        Wait 4
+        Pulse ({q0}, X180), ({q1}, Y90)
+        halt
+    """)
+    machine.run()
+    starts = machine.trace.filter(kind="pulse_start")
+    assert len(starts) == 2
+    assert starts[0].time == starts[1].time
+    names = {r.detail["name"] for r in starts}
+    assert names == {"X180", "Y90"}
+
+
+def test_horizontal_pulse_same_op_on_qubit_set():
+    machine = QuMA(MachineConfig(qubits=(0, 1, 3)))
+    machine.load("Wait 4\nPulse {q0, q1, q3}, X180\nhalt")
+    machine.run()
+    starts = machine.trace.filter(kind="pulse_start")
+    assert len(starts) == 3
+    assert len({r.time for r in starts}) == 1
+    for q in range(3):
+        assert machine.device.prob_one(q) == pytest.approx(1.0, abs=1e-3)
+
+
+def test_manual_timing_start():
+    machine = QuMA(MachineConfig(qubits=(2,), td_auto_start=False))
+    machine.load("Wait 4\nPulse {q2}, X180\nhalt")
+    machine.run(until=lambda: machine.exec_ctrl.halted)
+    assert machine.device.prob_one(0) == pytest.approx(0.0)
+    assert not machine.tcu.started
+    machine.start_timing()
+    machine.run()
+    assert machine.device.prob_one(0) == pytest.approx(1.0, abs=1e-3)
+
+
+def test_run_result_fields():
+    machine = QuMA(MachineConfig(qubits=(2,), dcu_points=1))
+    machine.load("""
+        Wait 4
+        Pulse {q2}, X180
+        Wait 4
+        MPG {q2}, 300
+        MD {q2}, r7
+        halt
+    """)
+    result = machine.run()
+    assert result.completed
+    assert result.duration_ns > 1500
+    assert result.instructions_executed == 6
+    assert result.measurements == 1
+    assert result.orphan_discriminations == 0
+    assert len(result.registers) == 32
+    assert result.registers[7] == 1
+    assert result.averages is not None and len(result.averages) == 1
+
+
+def test_until_ns_pauses_run():
+    machine = QuMA(MachineConfig(qubits=(2,)))
+    machine.load("Wait 40000\nPulse {q2}, X180\nhalt")
+    partial = machine.run(until_ns=1000)
+    assert not partial.completed
+    final = machine.run()
+    assert final.completed
+
+
+def test_load_replaces_program():
+    machine = QuMA(MachineConfig(qubits=(2,)))
+    machine.load("mov r1, 5\nhalt")
+    machine.run()
+    assert machine.registers.read(1) == 5
+    machine.load("mov r1, 9\nhalt")
+    result = machine.run()
+    assert result.completed
+    assert machine.registers.read(1) == 9
+
+
+def test_per_qubit_transmon_params_respected():
+    fast = TransmonParams(t1_ns=1000.0, t2_ns=800.0)
+    slow = TransmonParams(t1_ns=100000.0, t2_ns=80000.0)
+    machine = QuMA(MachineConfig(qubits=(0, 1), transmons=(fast, slow)))
+    machine.load("""
+        Wait 4
+        Pulse {q0, q1}, X180
+        Wait 2000
+        halt
+    """)
+    machine.run()
+    # ~20 us elapsed in total: the fast qubit (T1 = 1 us) is fully decayed,
+    # the slow one (T1 = 100 us) has lost only ~ exp(-0.2).
+    machine.device.advance_to(machine.sim.now + 10_000)
+    assert machine.device.prob_one(0) < 0.05
+    assert machine.device.prob_one(1) > 0.75
+
+
+def test_readout_for_lookup():
+    ro = ReadoutParams(f_if_hz=47e6)
+    config = MachineConfig(qubits=(3, 5), readouts=(ReadoutParams(), ro))
+    assert config.readout_for(5) is ro
+    with pytest.raises(Exception):
+        config.readout_for(4)
+
+
+def test_trace_disabled_machine_still_correct():
+    machine = QuMA(MachineConfig(qubits=(2,), trace_enabled=False))
+    machine.load("Wait 4\nPulse {q2}, X180\nWait 4\nMPG {q2}, 300\nMD {q2}, r7\nhalt")
+    result = machine.run()
+    assert result.completed
+    assert machine.registers.read(7) == 1
+    assert len(machine.trace) == 0
+
+
+def test_controller_runs_ahead_during_waits():
+    """Section 6: QuMA 'can maintain fully deterministic timing of the
+    output and maximally process instructions during waiting' — by the
+    time the first 200 us time point fires, the execution controller has
+    already pushed several rounds of events into the queues."""
+    machine = QuMA(MachineConfig(qubits=(2,), queue_capacity=64))
+    body = []
+    for _ in range(8):
+        body += ["Wait 40000", "Pulse {q2}, X90", "Wait 4", "Pulse {q2}, X90"]
+    machine.load("\n".join(body) + "\nhalt")
+    machine.run(until=lambda: machine.tcu.labels_fired >= 1)
+    # The first fire happens at T_D = 40000; by then the controller has
+    # decoded far ahead (bounded only by queue capacity).
+    queued_points = len(machine.tcu.timing_queue)
+    assert queued_points >= 10
+    final = machine.run()
+    assert final.completed
+    assert final.timing_violations == []
+
+
+def test_soak_mixed_features():
+    """A long program mixing loops, feedback, horizontal pulses, memory
+    traffic, and measurements runs clean end to end."""
+    machine = QuMA(MachineConfig(qubits=(0, 1), dcu_points=2,
+                                 queue_capacity=16))
+    machine.load("""
+        mov r1, 0
+        mov r2, 6
+        mov r3, 1000
+    loop:
+        Wait 4000
+        Pulse ({q0}, X90), ({q1}, Y90)
+        Wait 4
+        Pulse {q0, q1}, X180
+        Wait 4
+        MPG {q0, q1}, 300
+        MD {q0}, r7
+        MD {q1}, r8
+        add r9, r7, r8
+        store r9, r3[0]
+        load r10, r3[0]
+        addi r1, r1, 1
+        bne r1, r2, loop
+        halt
+    """)
+    result = machine.run()
+    assert result.completed
+    assert result.timing_violations == []
+    assert result.measurements == 2 * 6
+    assert machine.dcu.rounds_completed == 6
+    # r9 = sum of the two most recent results, mirrored through memory.
+    assert machine.registers.read(10) == machine.registers.read(9)
+    assert 0 <= machine.registers.read(9) <= 2

@@ -1,0 +1,84 @@
+"""Tests for the register file and its pending-bit scoreboard."""
+
+from repro.core import RegisterFile
+
+
+def test_read_write():
+    rf = RegisterFile()
+    rf.write(5, 42)
+    assert rf.read(5) == 42
+    assert rf.read(0) == 0
+
+
+def test_wrap32():
+    rf = RegisterFile()
+    rf.write(1, (1 << 31))
+    assert rf.read(1) == -(1 << 31)
+    rf.write(1, (1 << 32) + 7)
+    assert rf.read(1) == 7
+    rf.write(1, -1)
+    assert rf.read(1) == -1
+
+
+def test_pending_lifecycle():
+    rf = RegisterFile()
+    assert not rf.is_pending(7)
+    rf.mark_pending(7)
+    assert rf.is_pending(7)
+    rf.writeback(7, 1)
+    assert not rf.is_pending(7)
+    assert rf.read(7) == 1
+
+
+def test_multiple_outstanding_writebacks():
+    rf = RegisterFile()
+    rf.mark_pending(7)
+    rf.mark_pending(7)
+    rf.writeback(7, 0)
+    assert rf.is_pending(7)  # one still in flight
+    rf.writeback(7, 1)
+    assert not rf.is_pending(7)
+
+
+def test_wait_for_fires_immediately_when_ready():
+    rf = RegisterFile()
+    fired = []
+    rf.wait_for((1, 2), lambda: fired.append(True))
+    assert fired == [True]
+
+
+def test_wait_for_defers_until_writeback():
+    rf = RegisterFile()
+    fired = []
+    rf.mark_pending(3)
+    rf.wait_for((3,), lambda: fired.append(True))
+    assert fired == []
+    rf.writeback(3, 9)
+    assert fired == [True]
+    assert rf.read(3) == 9
+
+
+def test_wait_for_requires_all_sources():
+    rf = RegisterFile()
+    fired = []
+    rf.mark_pending(1)
+    rf.mark_pending(2)
+    rf.wait_for((1, 2), lambda: fired.append(True))
+    rf.writeback(1, 0)
+    assert fired == []
+    rf.writeback(2, 0)
+    assert fired == [True]
+
+
+def test_any_pending():
+    rf = RegisterFile()
+    rf.mark_pending(4)
+    assert rf.any_pending((3, 4))
+    assert not rf.any_pending((3, 5))
+
+
+def test_plain_write_does_not_clear_pending():
+    rf = RegisterFile()
+    rf.mark_pending(6)
+    rf.write(6, 5)
+    assert rf.is_pending(6)

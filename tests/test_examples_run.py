@@ -1,0 +1,93 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process (runpy) with small arguments so the
+suite guards them against bitrot without dominating the wall clock.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys=capsys)
+    assert "measurement result:  1" in out
+    assert "timing violations:   0" in out
+
+
+def test_allxy_small(capsys):
+    out = run_example("allxy.py", argv=["8"], capsys=capsys)
+    assert "deviation:" in out
+    assert "XX" in out
+
+
+def test_active_reset(capsys):
+    out = run_example("active_reset_feedback.py", capsys=capsys)
+    assert "feedback stall" in out
+    assert "verified |0> after:" in out
+
+
+def test_cnot_microcode(capsys):
+    out = run_example("cnot_microcode.py", capsys=capsys)
+    assert "measured control=1 target=1" in out
+    assert "Pulse {q0, q1}, CZ" in out
+
+
+def test_composite_z(capsys):
+    out = run_example("composite_z_gate.py", capsys=capsys)
+    assert "measured 1   (expect 1" in out
+    assert "measured 0   (expect 0" in out
+
+
+@pytest.mark.slow
+def test_bell_state(capsys):
+    out = run_example("bell_state.py", capsys=capsys)
+    assert "correlated outcomes:" in out
+
+
+@pytest.mark.slow
+def test_rabi(capsys):
+    out = run_example("rabi_calibration.py", capsys=capsys)
+    assert "fitted pi amplitude" in out
+
+
+@pytest.mark.slow
+def test_coherence_suite(capsys):
+    out = run_example("coherence_suite.py", capsys=capsys)
+    assert "fitted T1" in out
+    assert "fitted T2*" in out
+    assert "fitted T2e" in out
+
+
+@pytest.mark.slow
+def test_randomized_benchmarking(capsys):
+    out = run_example("randomized_benchmarking.py", capsys=capsys)
+    assert "error per Clifford" in out
+
+
+def test_algorithm3_asset_assembles_and_matches_compiler():
+    """The shipped allxy_algorithm3.qasm equals the compiler's output."""
+    from repro.compiler import CompilerOptions, compile_program
+    from repro.experiments.allxy import build_allxy_program
+    from repro.isa import assemble
+    from repro.isa.encoding import encode_program
+
+    asset = (EXAMPLES / "programs" / "allxy_algorithm3.qasm").read_text()
+    compiled = compile_program(build_allxy_program(2),
+                               CompilerOptions(n_rounds=25600))
+    assert encode_program(assemble(asset)) == encode_program(
+        assemble(compiled.asm))

@@ -1,0 +1,116 @@
+"""Tests for the AllXY experiment (the paper's headline validation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MachineConfig
+from repro.experiments import (
+    ALLXY_PAIRS,
+    allxy_ideal_staircase,
+    allxy_labels,
+    build_allxy_program,
+    run_allxy,
+)
+from repro.experiments.allxy import rescale_with_calibration_points
+from repro.pulse import PulseCalibration
+from repro.qubit import TransmonParams
+
+
+def test_21_pairs():
+    assert len(ALLXY_PAIRS) == 21
+
+
+def test_pair_table_matches_algorithm1():
+    assert ALLXY_PAIRS[0] == ("i", "i")
+    assert ALLXY_PAIRS[1] == ("x", "x")
+    assert ALLXY_PAIRS[4] == ("y", "x")
+    assert ALLXY_PAIRS[17] == ("x", "i")
+    assert ALLXY_PAIRS[20] == ("y90", "y90")
+
+
+def test_ideal_staircase_shape():
+    stair = allxy_ideal_staircase()
+    assert len(stair) == 42
+    assert np.all(stair[:10] == 0.0)
+    assert np.all(stair[10:34] == 0.5)
+    assert np.all(stair[34:] == 1.0)
+
+
+def test_labels_match_figure9_style():
+    labels = allxy_labels()
+    assert labels[0] == "II"
+    assert labels[1] == "XX"
+    assert labels[19] == "xx"
+    assert labels[20] == "yy"
+
+
+def test_program_has_42_kernels_and_measures():
+    program = build_allxy_program(2)
+    assert len(program.kernels) == 42
+    assert program.measure_count() == 42
+
+
+def test_rescale_calibration_points():
+    raw = np.concatenate([np.full(10, 100.0), np.full(24, 150.0),
+                          np.full(8, 200.0)])
+    fidelity = rescale_with_calibration_points(raw)
+    assert fidelity[0] == pytest.approx(0.0)
+    assert fidelity[-1] == pytest.approx(1.0)
+    assert fidelity[20] == pytest.approx(0.5)
+
+
+def test_rescale_rejects_degenerate():
+    with pytest.raises(ValueError):
+        rescale_with_calibration_points(np.zeros(42))
+
+
+@pytest.mark.slow
+def test_allxy_staircase_with_calibrated_pulses():
+    """The headline check: calibrated pulses reproduce the staircase with
+    small deviation (paper: 0.012 at N=25600; tolerance scaled for N=64)."""
+    result = run_allxy(MachineConfig(qubits=(2,)), n_rounds=64)
+    assert len(result.fidelity) == 42
+    assert result.deviation < 0.08
+    # Region means must be well separated.
+    assert result.fidelity[:10].mean() < 0.2
+    assert abs(result.fidelity[10:34].mean() - 0.5) < 0.12
+    assert result.fidelity[34:].mean() > 0.8
+
+
+@pytest.mark.slow
+def test_allxy_amplitude_error_signature():
+    """A power miscalibration distorts the middle plateau (the classic
+    AllXY signature) and inflates the deviation."""
+    good = run_allxy(MachineConfig(qubits=(2,)), n_rounds=48)
+    bad = run_allxy(MachineConfig(
+        qubits=(2,),
+        calibration=PulseCalibration(amplitude_error=0.10)), n_rounds=48)
+    assert bad.deviation > 2 * good.deviation
+
+
+@pytest.mark.slow
+def test_allxy_runs_without_timing_violations():
+    result = run_allxy(MachineConfig(qubits=(2,)), n_rounds=8)
+    assert result.run.result.timing_violations == []
+    assert result.run.result.completed
+
+
+@pytest.mark.slow
+def test_allxy_detuning_error_signature():
+    """A drive-frequency error is another classic AllXY signature: the
+    carrier phase slips between the two gates, tilting the plateau."""
+    good = run_allxy(MachineConfig(qubits=(2,), trace_enabled=False),
+                     n_rounds=96)
+    detuned = run_allxy(MachineConfig(qubits=(2,), trace_enabled=False,
+                                      drive_detuning_hz=10e6), n_rounds=96)
+    assert detuned.deviation > 2 * good.deviation
+
+
+@pytest.mark.slow
+def test_allxy_deviation_grows_with_worse_t1():
+    good = run_allxy(MachineConfig(qubits=(2,)), n_rounds=48)
+    short_t1 = MachineConfig(
+        qubits=(2,),
+        transmons=(TransmonParams(t1_ns=2000.0, t2_ns=1500.0),))
+    bad = run_allxy(short_t1, n_rounds=48)
+    assert bad.deviation > good.deviation

@@ -1,0 +1,56 @@
+"""Tests for T1 / Ramsey / Echo through the full stack (Section 8)."""
+
+import pytest
+
+from repro.core import MachineConfig
+from repro.experiments import run_echo, run_ramsey, run_t1
+from repro.qubit import TransmonParams
+
+# Short coherence times keep sweep delays (and wall clock) small.
+FAST_QUBIT = TransmonParams(t1_ns=6000.0, t2_ns=4000.0)
+
+
+def fast_config(**kwargs):
+    return MachineConfig(qubits=(2,), transmons=(FAST_QUBIT,),
+                         trace_enabled=False, **kwargs)
+
+
+@pytest.mark.slow
+def test_t1_fit_recovers_configured_value():
+    result = run_t1(fast_config(), n_rounds=48)
+    assert result.kind == "t1"
+    assert result.fitted_tau_ns == pytest.approx(FAST_QUBIT.t1_ns, rel=0.25)
+    # Population starts near 1 and decays.
+    assert result.population[0] > 0.8
+    assert result.population[-1] < result.population[0]
+
+
+@pytest.mark.slow
+def test_ramsey_fringes_at_artificial_detuning():
+    detuning = 0.4e6
+    result = run_ramsey(fast_config(), artificial_detuning_hz=detuning,
+                        n_rounds=48)
+    # Fringe frequency in 1/ns equals the artificial detuning in GHz.
+    assert result.fit.frequency == pytest.approx(detuning * 1e-9, rel=0.15)
+
+
+@pytest.mark.slow
+def test_ramsey_t2_star_near_configured_t2():
+    result = run_ramsey(fast_config(), artificial_detuning_hz=1.0e6,
+                        n_rounds=48)
+    assert result.fitted_tau_ns == pytest.approx(FAST_QUBIT.t2_ns, rel=0.4)
+
+
+@pytest.mark.slow
+def test_echo_decay_near_configured_t2():
+    """Markovian substrate: echo recovers ~T2 (no low-frequency noise to
+    refocus); see DESIGN.md model notes."""
+    result = run_echo(fast_config(), n_rounds=48)
+    assert result.fitted_tau_ns == pytest.approx(FAST_QUBIT.t2_ns, rel=0.4)
+
+
+@pytest.mark.slow
+def test_echo_starts_low_ends_half():
+    result = run_echo(fast_config(), n_rounds=48)
+    assert result.population[0] < 0.25
+    assert abs(result.population[-1] - 0.5) < 0.2

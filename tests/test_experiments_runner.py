@@ -1,0 +1,69 @@
+"""Tests for the shared experiment runner plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, QuantumProgram, compile_program
+from repro.core import MachineConfig, QuMA
+from repro.experiments.runner import ExperimentRun, run_compiled
+from repro.utils.errors import ReproError
+
+
+def flip_program(n_rounds=2):
+    p = QuantumProgram("flip", qubits=(2,))
+    p.new_kernel("k").prepz(2).x(2).measure(2)
+    return compile_program(p, CompilerOptions(n_rounds=n_rounds))
+
+
+def test_run_compiled_sets_k_and_returns_averages():
+    compiled = flip_program()
+    run = run_compiled(compiled, MachineConfig(qubits=(2,)))
+    assert run.machine.config.dcu_points == compiled.k_points == 1
+    assert len(run.averages) == 1
+    assert run.result.completed
+
+
+def test_normalized_rescales_by_calibration():
+    compiled = flip_program()
+    run = run_compiled(compiled, MachineConfig(qubits=(2,)))
+    # The excited-state average normalizes to ~1.
+    assert run.normalized[0] == pytest.approx(1.0, abs=0.1)
+
+
+def test_prebuilt_machine_k_mismatch_rejected():
+    compiled = flip_program()
+    machine = QuMA(MachineConfig(qubits=(2,), dcu_points=3))
+    with pytest.raises(ReproError):
+        run_compiled(compiled, MachineConfig(qubits=(2,)), machine=machine)
+
+
+def test_prebuilt_machine_accepted_when_k_matches():
+    compiled = flip_program()
+    machine = QuMA(MachineConfig(qubits=(2,), dcu_points=compiled.k_points))
+    run = run_compiled(compiled, MachineConfig(qubits=(2,)), machine=machine)
+    assert isinstance(run, ExperimentRun)
+    assert run.machine is machine
+
+
+def test_timing_violations_fail_the_run():
+    p = QuantumProgram("tight", qubits=(2,))
+    # No prepz: back-to-back dense points with a crawling controller.
+    k = p.new_kernel("k")
+    k.x(2)
+    k.x(2)
+    k.measure(2)
+    compiled = compile_program(p)
+    config = MachineConfig(qubits=(2,), classical_issue_ns=500)
+    with pytest.raises(ReproError):
+        run_compiled(compiled, config)
+
+
+def test_averages_shape_multi_kernel():
+    p = QuantumProgram("multi", qubits=(2,))
+    for i in range(3):
+        p.new_kernel(f"k{i}").prepz(2).measure(2)
+    compiled = compile_program(p, CompilerOptions(n_rounds=2))
+    run = run_compiled(compiled, MachineConfig(qubits=(2,)))
+    assert compiled.k_points == 3
+    assert len(run.averages) == 3
+    assert isinstance(run.averages, np.ndarray)

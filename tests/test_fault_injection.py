@@ -1,0 +1,150 @@
+"""Fault-injection tests: every failure path fails loudly and observably."""
+
+import pytest
+
+from repro.core import MachineConfig, QuMA
+from repro.core.events import PulseEvent
+from repro.pulse import PulseCalibration
+from repro.utils.errors import ConfigurationError, QueueOverflow
+
+
+def make_machine(**kwargs):
+    kwargs.setdefault("qubits", (2,))
+    return QuMA(MachineConfig(**kwargs))
+
+
+def test_direct_queue_overflow_raises():
+    """Bypassing the QMB's back-pressure check overflows loudly."""
+    machine = make_machine(queue_capacity=2)
+    machine.tcu.push_time_point(10, 1)
+    machine.tcu.push_time_point(10, 2)
+    with pytest.raises(QueueOverflow):
+        machine.tcu.push_time_point(10, 3)
+
+
+def test_event_queue_overflow_raises():
+    machine = make_machine(queue_capacity=2)
+    ev = PulseEvent(label=1, uop=0, op_name="I", channel="uop2", qubits=(2,))
+    machine.tcu.push_event("pulse", ev)
+    machine.tcu.push_event("pulse", ev)
+    with pytest.raises(QueueOverflow):
+        machine.tcu.push_event("pulse", ev)
+
+
+def test_md_without_mpg_counts_orphans_and_gives_noise_result():
+    machine = make_machine()
+    machine.load("Wait 4\nMD {q2}, r7\nMD {q2}, r8\nhalt")
+    result = machine.run()
+    assert result.completed
+    assert result.orphan_discriminations == 2
+    # Noise-only integration lands near zero, far from the |1> statistic.
+    cal = machine.readout_calibration
+    stats = [r.statistic for r in machine.measurement.results]
+    assert all(abs(s) < abs(cal.s_excited) / 2 for s in stats)
+
+
+def test_stale_label_feedback_bug_is_recorded_not_hung():
+    """A branch path that skips its Wait attaches events to a fired label;
+    the machine completes and reports the violation."""
+    machine = make_machine()
+    machine.load("""
+        mov r0, 1
+        Wait 4
+        MPG {q2}, 300
+        MD {q2}, r7
+        bne r7, r0, skip
+        Wait 400
+        Pulse {q2}, X180
+    skip:
+        MPG {q2}, 300
+        MD {q2}, r8
+        halt
+    """)
+    result = machine.run()
+    assert result.completed
+    assert any("stale_event" in v for v in result.timing_violations)
+
+
+def test_pulse_to_unwired_qubit_rejected():
+    machine = make_machine(qubits=(2,))
+    machine.load("Wait 4\nPulse {q5}, X180\nhalt")
+    with pytest.raises(ConfigurationError):
+        machine.run()
+
+
+def test_mpg_to_unwired_qubit_rejected():
+    machine = make_machine(qubits=(2,))
+    machine.load("Wait 4\nMPG {q5}, 300\nhalt")
+    with pytest.raises(ConfigurationError):
+        machine.run()
+
+
+def test_md_to_unwired_qubit_rejected():
+    machine = make_machine(qubits=(2,))
+    machine.load("Wait 4\nMD {q5}\nhalt")
+    with pytest.raises(ConfigurationError):
+        machine.run()
+
+
+def test_cz_without_flux_channel_rejected_at_runtime():
+    machine = QuMA(MachineConfig(qubits=(0, 1)))
+    machine.load("Wait 4\nPulse {q0, q1}, CZ\nhalt")
+    with pytest.raises(ConfigurationError):
+        machine.run()
+
+
+def test_overlapping_gate_slots_rejected_by_device():
+    """A microprogram with too-tight waits produces overlapping drives on
+    one qubit — the device refuses rather than silently summing."""
+    machine = make_machine()
+    machine.load("""
+        Wait 4
+        Pulse {q2}, X90
+        Wait 1
+        Pulse {q2}, X90
+        halt
+    """)
+    with pytest.raises(ConfigurationError):
+        machine.run()
+
+
+def test_missing_lut_entry_rejected():
+    machine = make_machine()
+    # Sabotage: remove X180 from the drive LUT after construction.
+    lut = machine.ctpgs["ctpg2"].lut
+    del lut._entries[1]
+    machine.load("Wait 4\nPulse {q2}, X180\nhalt")
+    with pytest.raises(ConfigurationError):
+        machine.run()
+
+
+def test_underruns_recorded_with_slow_controller():
+    machine = make_machine(classical_issue_ns=200, trace_enabled=False)
+    body = "\n".join("Wait 2\nPulse {q2}, I" for _ in range(10))
+    machine.load(body + "\nhalt")
+    result = machine.run()
+    assert result.completed
+    assert len([v for v in result.timing_violations if "late_ns" in v]) > 0
+
+
+def test_miscalibrated_amplitude_overflow_rejected_at_config():
+    with pytest.raises(ConfigurationError):
+        MachineConfig(qubits=(2,),
+                      calibration=PulseCalibration(kappa=0.05)).calibration \
+            .amplitude_for(3.14159)
+
+
+def test_flux_pair_with_unwired_qubit_rejected():
+    with pytest.raises(ConfigurationError):
+        MachineConfig(qubits=(0,), flux_pairs=((0, 1),))
+
+
+def test_duplicate_qubit_labels_rejected():
+    with pytest.raises(ConfigurationError):
+        MachineConfig(qubits=(2, 2))
+
+
+def test_run_without_load_rejected():
+    machine = make_machine()
+    with pytest.raises(Exception):
+        machine.run()

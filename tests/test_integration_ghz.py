@@ -1,0 +1,79 @@
+"""Three-qubit GHZ state: compiler + chained CNOT microcode + multiplexed
+measurement, stressing the multi-qubit paths end to end."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, QuantumProgram, compile_program
+from repro.core import MachineConfig, QuMA
+from repro.readout import ReadoutParams
+
+
+def ghz_machine(seed: int) -> QuMA:
+    machine = QuMA(MachineConfig(
+        qubits=(0, 1, 2),
+        flux_pairs=((0, 1), (1, 2)),
+        readouts=(ReadoutParams(f_if_hz=40e6),
+                  ReadoutParams(f_if_hz=50e6, phase_ground=0.8),
+                  ReadoutParams(f_if_hz=62e6, phase_ground=0.2)),
+        seed=seed, trace_enabled=False))
+    program = QuantumProgram("ghz", qubits=(0, 1, 2))
+    k = program.new_kernel("make")
+    k.prepz(0).prepz(1).prepz(2)
+    k.y90(0)
+    k.cnot(0, 1)
+    k.cnot(1, 2)
+    k.measure(0, rd=5)
+    k.measure(1, rd=6)
+    k.measure(2, rd=7)
+    compiled = compile_program(program, CompilerOptions(n_rounds=1))
+    machine.load(compiled.asm)
+    return machine
+
+
+def test_ghz_outcomes_fully_correlated():
+    outcomes = []
+    for seed in range(12):
+        machine = ghz_machine(seed)
+        result = machine.run()
+        assert result.completed
+        assert result.timing_violations == []
+        bits = tuple(machine.registers.read(r) for r in (5, 6, 7))
+        outcomes.append(bits)
+    # GHZ: all three agree in every shot (up to small error rates).
+    agreeing = sum(1 for b in outcomes if len(set(b)) == 1)
+    assert agreeing >= 11
+    # Both branches appear across seeds.
+    assert any(b == (0, 0, 0) for b in outcomes)
+    assert any(b == (1, 1, 1) for b in outcomes)
+
+
+def test_ghz_state_before_measurement():
+    """Gate sequence only (no measurement): inspect the produced state."""
+    machine2 = QuMA(MachineConfig(qubits=(0, 1, 2),
+                                  flux_pairs=((0, 1), (1, 2))))
+    machine2.define_microprogram("CNOT", 2, """
+        Pulse {q0}, mY90
+        Wait 4
+        Pulse {q0, q1}, CZ
+        Wait 8
+        Pulse {q0}, Y90
+        Wait 4
+    """)
+    machine2.load("""
+        Wait 4
+        Pulse {q0}, Y90
+        Wait 4
+        CNOT q1, q0
+        CNOT q2, q1
+        halt
+    """)
+    result = machine2.run()
+    assert result.completed
+    state = machine2.device.state
+    # Populations concentrate on |000> and |111>.
+    p000 = float(state.data[0, 0].real)
+    p111 = float(state.data[7, 7].real)
+    assert p000 == pytest.approx(0.5, abs=0.03)
+    assert p111 == pytest.approx(0.5, abs=0.03)
+    # Coherence between the two branches survives (GHZ, not a mixture).
+    assert abs(state.data[0, 7]) > 0.4

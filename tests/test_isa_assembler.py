@@ -1,0 +1,167 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import (
+    Apply,
+    Bne,
+    Halt,
+    Load,
+    Md,
+    Measure,
+    Movi,
+    Mpg,
+    Pulse,
+    QCall,
+    Store,
+    Wait,
+    WaitReg,
+    assemble,
+)
+from repro.utils.errors import AssemblyError
+
+ALLXY_SNIPPET = """
+    mov r15, 40000   # 200 us
+    mov r1, 0        # loop counter
+    mov r2, 25600    # number of averages
+
+Outer_Loop:
+    QNopReg r15      # Identity, Identity
+    Pulse {q2}, I
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    addi r1, r1, 1
+    bne r1, r2, Outer_Loop
+    halt
+"""
+
+
+def test_assembles_algorithm3_snippet():
+    prog = assemble(ALLXY_SNIPPET)
+    assert isinstance(prog.instructions[0], Movi)
+    assert prog.instructions[0].imm == 40000
+    assert prog.labels["outer_loop"] == 3
+    assert isinstance(prog.instructions[3], WaitReg)
+    assert isinstance(prog.instructions[4], Pulse)
+    assert prog.instructions[4].pairs == (((2,), "I"),)
+    assert isinstance(prog.instructions[8], Mpg)
+    assert prog.instructions[8].duration == 300
+    assert isinstance(prog.instructions[9], Md)
+    assert prog.instructions[9].rd is None
+    bne = prog.instructions[-2]
+    assert isinstance(bne, Bne)
+    assert bne.target == "outer_loop"
+    assert isinstance(prog.instructions[-1], Halt)
+
+
+def test_pulse_general_form():
+    prog = assemble("Pulse (q0, X180), ({q1, q2}, Y90)")
+    pulse = prog.instructions[0]
+    assert pulse.pairs == (((0,), "X180"), ((1, 2), "Y90"))
+
+
+def test_pulse_multi_qubit_sugar():
+    prog = assemble("Pulse {q0, q1}, CZ")
+    assert prog.instructions[0].pairs == (((0, 1), "CZ"),)
+
+
+def test_md_with_register():
+    prog = assemble("MD {q0}, r7")
+    assert prog.instructions[0].rd == 7
+
+
+def test_md_with_dollar_register():
+    prog = assemble("MD {q0}, $r7")
+    assert prog.instructions[0].rd == 7
+
+
+def test_apply_and_measure():
+    prog = assemble("Apply X180, q0\nMeasure q0, r7")
+    assert prog.instructions[0] == Apply(op="X180", qubit=0)
+    assert prog.instructions[1] == Measure(qubit=0, rd=7)
+
+
+def test_load_store_bracket_syntax():
+    prog = assemble("load r9, r3[0]\nstore r9, r3[1]")
+    assert prog.instructions[0] == Load(rd=9, rs=3, offset=0)
+    assert prog.instructions[1] == Store(rt=9, rs=3, offset=1)
+
+
+def test_mnemonics_case_insensitive():
+    prog = assemble("WAIT 4\nwait 4\nWait 4")
+    assert all(isinstance(i, Wait) for i in prog.instructions)
+
+
+def test_label_case_insensitive_reference():
+    prog = assemble("Loop:\nnop\nbne r1, r2, LOOP")
+    assert prog.instructions[1].target == "loop"
+
+
+def test_qcall_requires_registration():
+    with pytest.raises(AssemblyError):
+        assemble("CNOT q0, q1")
+    prog = assemble("CNOT q0, q1", uprogs=["CNOT"])
+    assert prog.instructions[0] == QCall(uprog="CNOT", qubits=(0, 1))
+    assert prog.uprog_names == ["CNOT"]
+
+
+def test_undefined_label_raises_with_line():
+    with pytest.raises(AssemblyError) as err:
+        assemble("nop\nbne r1, r2, nowhere")
+    assert err.value.line == 2
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("a:\nnop\na:\nnop")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("frobnicate r1")
+
+
+def test_unknown_operation_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("Pulse {q0}, NOSUCH")
+
+
+def test_operand_count_checked():
+    with pytest.raises(AssemblyError):
+        assemble("mov r1")
+    with pytest.raises(AssemblyError):
+        assemble("add r1, r2")
+
+
+def test_out_of_range_immediate_reports_line():
+    with pytest.raises(AssemblyError) as err:
+        assemble("nop\nmov r1, 99999999")
+    assert err.value.line == 2
+
+
+def test_label_on_same_line_as_instruction():
+    prog = assemble("start: nop\njmp start")
+    assert prog.labels["start"] == 0
+
+
+def test_end_label():
+    prog = assemble("beq r0, r0, end\nnop\nend:")
+    assert prog.labels["end"] == 2
+
+
+def test_comment_only_lines_ignored():
+    prog = assemble("# a comment\n\n   # another\nnop")
+    assert len(prog) == 1
+
+
+def test_wait_zero_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("Wait 0")
+
+
+def test_hex_immediates():
+    prog = assemble("mov r1, 0x10")
+    assert prog.instructions[0].imm == 16

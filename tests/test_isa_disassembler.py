@@ -1,0 +1,61 @@
+"""Tests for the disassembler (including assemble/disassemble round trips)."""
+
+from repro.isa import assemble, disassemble, disassemble_program
+from repro.isa.encoding import encode_program
+
+SOURCE = """
+    mov r15, 40000
+    mov r1, 0
+loop:
+    QNopReg r15
+    Pulse {q2}, I
+    Wait 4
+    Pulse (q0, X180), ({q1, q2}, Y90)
+    MPG {q2}, 300
+    MD {q2}
+    MD {q2}, r7
+    Apply X180, q0
+    Measure q0, r7
+    load r9, r3[0]
+    add r9, r9, r7
+    store r9, r3[0]
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+"""
+
+
+def test_disassemble_single_instructions():
+    prog = assemble(SOURCE)
+    texts = [disassemble(i) for i in prog.instructions]
+    assert texts[0] == "mov r15, 40000"
+    assert "Pulse {q2}, I" in texts
+    assert "Pulse ({q0}, X180), ({q1, q2}, Y90)" in texts
+    assert "MPG {q2}, 300" in texts
+    assert "MD {q2}" in texts
+    assert "MD {q2}, r7" in texts
+    assert "Apply X180, q0" in texts
+    assert "Measure q0, r7" in texts
+    assert "QNopReg r15" in texts
+
+
+def test_reassembly_fixed_point():
+    """asm -> text -> asm must produce the identical binary."""
+    prog = assemble(SOURCE)
+    text = disassemble_program(prog)
+    prog2 = assemble(text)
+    assert encode_program(prog) == encode_program(prog2)
+
+
+def test_labels_rendered_at_position():
+    prog = assemble("start:\nnop\njmp start")
+    text = disassemble_program(prog)
+    lines = [ln.strip() for ln in text.splitlines()]
+    assert lines[0] == "start:"
+    assert lines[1] == "nop"
+    assert lines[2] == "jmp start"
+
+
+def test_qcall_disassembles_as_mnemonic():
+    prog = assemble("CNOT q0, q1", uprogs=["CNOT"])
+    assert disassemble(prog.instructions[0]) == "CNOT q0, q1"

@@ -1,0 +1,194 @@
+"""Tests for binary encoding, including hypothesis round-trip properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    DEFAULT_OPERATIONS,
+    Add,
+    Apply,
+    Halt,
+    Md,
+    Movi,
+    Mpg,
+    Nop,
+    Pulse,
+    Program,
+    QCall,
+    Wait,
+    WaitReg,
+    assemble,
+    decode_word,
+    encode_instruction,
+)
+from repro.isa.encoding import decode_program, encode_program, word_count
+from repro.utils.errors import EncodingError
+
+OPS = DEFAULT_OPERATIONS
+
+
+def roundtrip_one(instr):
+    words = encode_instruction(instr, OPS, {"CNOT": 0})
+    assert len(words) == word_count(instr)
+    decoded, extras = decode_word(words[0], OPS, {0: "CNOT"})
+    return decoded, extras
+
+
+def test_nop_halt():
+    assert roundtrip_one(Nop())[0] == Nop()
+    assert roundtrip_one(Halt())[0] == Halt()
+
+
+def test_movi_negative():
+    decoded, _ = roundtrip_one(Movi(rd=3, imm=-12345))
+    assert decoded == Movi(rd=3, imm=-12345)
+
+
+def test_rtype():
+    decoded, _ = roundtrip_one(Add(rd=1, rs=2, rt=3))
+    assert decoded == Add(rd=1, rs=2, rt=3)
+
+
+def test_wait():
+    decoded, _ = roundtrip_one(Wait(interval=40000))
+    assert decoded == Wait(interval=40000)
+
+
+def test_waitreg():
+    decoded, _ = roundtrip_one(WaitReg(rs=15))
+    assert decoded == WaitReg(rs=15)
+
+
+def test_pulse_single_word():
+    p = Pulse.single((2,), "X180")
+    decoded, extras = roundtrip_one(p)
+    assert decoded == p
+    assert extras["more"] is False
+
+
+def test_pulse_multi_word():
+    p = Pulse(pairs=(((0,), "X180"), ((1, 2), "Y90")))
+    words = encode_instruction(p, OPS)
+    assert len(words) == 2
+    first, extras = decode_word(words[0], OPS)
+    assert extras["more"] is True
+    assert first.pairs == (((0,), "X180"),)
+
+
+def test_mpg_md():
+    assert roundtrip_one(Mpg(qubits=(2,), duration=300))[0] == Mpg(qubits=(2,), duration=300)
+    assert roundtrip_one(Md(qubits=(2,)))[0] == Md(qubits=(2,))
+    assert roundtrip_one(Md(qubits=(2,), rd=7))[0] == Md(qubits=(2,), rd=7)
+
+
+def test_md_r0_with_flag_distinct_from_none():
+    with_rd = encode_instruction(Md(qubits=(1,), rd=0), OPS)[0]
+    without = encode_instruction(Md(qubits=(1,)), OPS)[0]
+    assert with_rd != without
+    assert decode_word(with_rd, OPS)[0].rd == 0
+    assert decode_word(without, OPS)[0].rd is None
+
+
+def test_apply():
+    decoded, _ = roundtrip_one(Apply(op="mY90", qubit=9))
+    assert decoded == Apply(op="mY90", qubit=9)
+
+
+def test_qcall():
+    decoded, _ = roundtrip_one(QCall(uprog="CNOT", qubits=(1, 2)))
+    assert decoded == QCall(uprog="CNOT", qubits=(1, 2))
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(EncodingError):
+        decode_word(0x3F << 26, OPS)
+
+
+def test_unknown_uprog_id_raises():
+    word = encode_instruction(QCall(uprog="CNOT", qubits=(0,)), OPS, {"CNOT": 5})[0]
+    with pytest.raises(EncodingError):
+        decode_word(word, OPS, {})
+
+
+def test_branch_needs_offset():
+    from repro.isa import Bne
+
+    with pytest.raises(EncodingError):
+        encode_instruction(Bne(rs=1, rt=2, target="x"), OPS)
+
+
+PROGRAM = """
+    mov r1, 0
+    mov r2, 3
+loop:
+    Pulse (q0, X180), (q1, Y90)
+    Wait 4
+    MPG {q0}, 300
+    MD {q0}, r7
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+"""
+
+
+def test_program_binary_roundtrip():
+    prog = assemble(PROGRAM)
+    blob = prog.to_binary()
+    back = Program.from_binary(blob, op_table=prog.op_table)
+    assert len(back) == len(prog)
+    # Branch target must resolve to the same instruction index.
+    bne_orig = prog.instructions[-2]
+    bne_back = back.instructions[-2]
+    assert prog.labels[bne_orig.target] == back.labels[bne_back.target]
+    # Non-branch instructions survive exactly.
+    for a, b in zip(prog.instructions, back.instructions):
+        if not hasattr(a, "target"):
+            assert a == b
+    # Re-encoding yields the identical binary.
+    assert back.to_binary() == blob
+
+
+def test_branch_into_multiword_pulse_rejected():
+    prog = assemble(PROGRAM)
+    words = encode_program(prog)
+    # Find the second word of the 2-pair Pulse (index 2 holds pair 1, 3 pair 2).
+    # Forge a branch targeting the continuation word.
+    bad = list(words)
+    bne_index = len(bad) - 2
+    # offset so target = pulse continuation word (word 3)
+    offset = 3 - (bne_index + 1)
+    bad[bne_index] = (0x0C << 26) | (1 << 21) | (2 << 16) | (offset & 0xFFFF)
+    with pytest.raises(EncodingError):
+        decode_program(bad, prog.op_table)
+
+
+@given(rd=st.integers(0, 31), imm=st.integers(-(1 << 20), (1 << 20) - 1))
+def test_movi_roundtrip_property(rd, imm):
+    decoded, _ = decode_word(encode_instruction(Movi(rd=rd, imm=imm), OPS)[0], OPS)
+    assert decoded == Movi(rd=rd, imm=imm)
+
+
+@given(interval=st.integers(1, (1 << 20) - 1))
+def test_wait_roundtrip_property(interval):
+    decoded, _ = decode_word(encode_instruction(Wait(interval=interval), OPS)[0], OPS)
+    assert decoded.interval == interval
+
+
+@given(
+    qubits=st.sets(st.integers(0, 9), min_size=1, max_size=10),
+    op=st.sampled_from(["I", "X180", "X90", "mX90", "Y180", "Y90", "mY90", "CZ"]),
+)
+def test_pulse_roundtrip_property(qubits, op):
+    p = Pulse.single(tuple(qubits), op)
+    decoded, _ = decode_word(encode_instruction(p, OPS)[0], OPS)
+    assert decoded == p
+
+
+@given(
+    qubits=st.sets(st.integers(0, 9), min_size=1, max_size=10),
+    duration=st.integers(1, (1 << 16) - 1),
+)
+def test_mpg_roundtrip_property(qubits, duration):
+    m = Mpg(qubits=tuple(qubits), duration=duration)
+    decoded, _ = decode_word(encode_instruction(m, OPS)[0], OPS)
+    assert decoded == m

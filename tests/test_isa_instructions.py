@@ -1,0 +1,120 @@
+"""Tests for instruction dataclass validation."""
+
+import pytest
+
+from repro.isa import (
+    Addi,
+    Apply,
+    Bne,
+    Load,
+    Md,
+    Measure,
+    Movi,
+    Mpg,
+    Pulse,
+    QCall,
+    Wait,
+    WaitReg,
+)
+from repro.isa.instructions import mask_qubits, qubit_mask
+
+
+def test_movi_range():
+    Movi(rd=15, imm=40000)
+    Movi(rd=1, imm=-1)
+    with pytest.raises(ValueError):
+        Movi(rd=1, imm=1 << 20)
+    with pytest.raises(ValueError):
+        Movi(rd=32, imm=0)
+
+
+def test_addi_range():
+    Addi(rd=1, rs=1, imm=1)
+    with pytest.raises(ValueError):
+        Addi(rd=1, rs=1, imm=1 << 15)
+
+
+def test_load_offset_range():
+    Load(rd=9, rs=3, offset=0)
+    with pytest.raises(ValueError):
+        Load(rd=9, rs=3, offset=1 << 15)
+
+
+def test_wait_interval_bounds():
+    Wait(interval=4)
+    Wait(interval=40000)
+    with pytest.raises(ValueError):
+        Wait(interval=0)
+    with pytest.raises(ValueError):
+        Wait(interval=1 << 20)
+
+
+def test_waitreg_register():
+    WaitReg(rs=15)
+    with pytest.raises(ValueError):
+        WaitReg(rs=40)
+
+
+def test_pulse_normalizes_qubits():
+    p = Pulse.single((2, 0), "X180")
+    assert p.pairs[0][0] == (0, 2)
+
+
+def test_pulse_rejects_empty_and_dupes():
+    with pytest.raises(ValueError):
+        Pulse(pairs=())
+    with pytest.raises(ValueError):
+        Pulse.single((), "I")
+    with pytest.raises(ValueError):
+        Pulse.single((1, 1), "I")
+
+
+def test_pulse_qubit_range():
+    with pytest.raises(ValueError):
+        Pulse.single((10,), "I")
+
+
+def test_mpg_duration():
+    Mpg(qubits=(2,), duration=300)
+    with pytest.raises(ValueError):
+        Mpg(qubits=(2,), duration=0)
+    with pytest.raises(ValueError):
+        Mpg(qubits=(2,), duration=1 << 16)
+
+
+def test_md_optional_register():
+    assert Md(qubits=(2,)).rd is None
+    assert Md(qubits=(2,), rd=7).rd == 7
+    with pytest.raises(ValueError):
+        Md(qubits=(2,), rd=33)
+
+
+def test_measure_optional_register():
+    assert Measure(qubit=0).rd is None
+    assert Measure(qubit=0, rd=7).rd == 7
+
+
+def test_apply_quantum_flag():
+    assert Apply(op="X180", qubit=0).is_quantum
+    assert not Movi(rd=0, imm=0).is_quantum
+    assert Wait(interval=1).is_quantum
+    assert WaitReg(rs=0).is_quantum
+
+
+def test_qcall_arity():
+    QCall(uprog="CNOT", qubits=(0, 1))
+    QCall(uprog="reset", qubits=(3,))
+    with pytest.raises(ValueError):
+        QCall(uprog="x", qubits=())
+    with pytest.raises(ValueError):
+        QCall(uprog="x", qubits=(0, 1, 2))
+
+
+def test_branch_registers_checked():
+    with pytest.raises(ValueError):
+        Bne(rs=99, rt=0, target="loop")
+
+
+def test_qubit_mask_roundtrip():
+    for qubits in [(0,), (2,), (0, 1, 9), tuple(range(10))]:
+        assert mask_qubits(qubit_mask(qubits)) == qubits

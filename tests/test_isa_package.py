@@ -1,0 +1,109 @@
+"""Tests for the portable program-package format."""
+
+import pytest
+
+from repro.core import MachineConfig, QuMA
+from repro.isa.package import (
+    load_package,
+    pack_program,
+    save_package,
+    unpack_program,
+)
+from repro.utils.errors import ReproError
+
+CNOT_BODY = """
+    Pulse {q0}, mY90
+    Wait 4
+    Pulse {q0, q1}, CZ
+    Wait 8
+    Pulse {q0}, Y90
+    Wait 4
+"""
+
+
+def test_roundtrip_simple_program():
+    machine = QuMA(MachineConfig(qubits=(2,)))
+    program = machine.assemble("""
+        Wait 4
+        Pulse {q2}, X180
+        Wait 4
+        MPG {q2}, 300
+        MD {q2}, r7
+        halt
+    """)
+    text = pack_program(program)
+    back, microprograms = unpack_program(text)
+    assert microprograms == {}
+    assert back.to_binary() == program.to_binary()
+    assert back.instructions == program.instructions
+
+
+def test_roundtrip_with_microprogram():
+    machine = QuMA(MachineConfig(qubits=(0, 1), flux_pairs=((0, 1),)))
+    machine.define_microprogram("CNOT", 2, CNOT_BODY)
+    program = machine.assemble("""
+        Wait 4
+        Pulse {q1}, X180
+        Wait 4
+        CNOT q0, q1
+        MPG {q0}, 300
+        MD {q0}, r6
+        halt
+    """)
+    text = pack_program(program, {"CNOT": (2, CNOT_BODY)})
+    back, microprograms = unpack_program(text)
+    assert "CNOT" in microprograms
+    assert back.uprog_names == ["CNOT"]
+    assert back.to_binary() == program.to_binary()
+
+
+def test_pack_rejects_missing_microprogram_bodies():
+    machine = QuMA(MachineConfig(qubits=(0, 1), flux_pairs=((0, 1),)))
+    machine.define_microprogram("CNOT", 2, CNOT_BODY)
+    program = machine.assemble("CNOT q0, q1")
+    with pytest.raises(ReproError):
+        pack_program(program)
+
+
+def test_unpack_rejects_garbage():
+    with pytest.raises(ReproError):
+        unpack_program("not json at all {")
+    with pytest.raises(ReproError):
+        unpack_program('{"format": "something-else"}')
+    with pytest.raises(ReproError):
+        unpack_program('{"format": "quma-program", "version": 99}')
+
+
+def test_package_file_runs_through_cli(tmp_path, capsys):
+    from repro.cli import main
+
+    machine = QuMA(MachineConfig(qubits=(0, 1), flux_pairs=((0, 1),)))
+    machine.define_microprogram("CNOT", 2, CNOT_BODY)
+    program = machine.assemble("""
+        Wait 4
+        Pulse {q1}, X180
+        Wait 4
+        CNOT q0, q1
+        MPG {q0}, 300
+        MD {q0}, r6
+        halt
+    """)
+    path = tmp_path / "bell.qpkg"
+    save_package(program, str(path), {"CNOT": (2, CNOT_BODY)})
+    # The CLI machine needs the flux pair: via a config file.
+    from repro.core.config_io import save_config
+
+    cfg = tmp_path / "m.json"
+    save_config(MachineConfig(qubits=(0, 1), flux_pairs=((0, 1),)), str(cfg))
+    rc = main(["run", str(path), "--config", str(cfg)])
+    assert rc == 0
+    assert "'r6': 1" in capsys.readouterr().out
+
+
+def test_save_load_file_roundtrip(tmp_path):
+    machine = QuMA(MachineConfig(qubits=(2,)))
+    program = machine.assemble("Wait 4\nPulse {q2}, Y90\nhalt")
+    path = tmp_path / "p.qpkg"
+    save_package(program, str(path))
+    back, _ = load_package(str(path))
+    assert back.instructions == program.instructions

@@ -1,0 +1,81 @@
+"""Property-based tests for the compiler: every random kernel program
+compiles, assembles, and runs clean through the machine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import CompilerOptions, QuantumProgram, compile_program
+from repro.compiler.decomposition import decompose
+from repro.compiler.ir import OpKind
+from repro.compiler.scheduling import schedule
+from repro.core import MachineConfig, QuMA
+
+GATES = ["i", "x", "y", "x90", "y90", "mx90", "my90", "h", "z"]
+
+kernel_body = st.lists(st.sampled_from(GATES), min_size=0, max_size=6)
+program_bodies = st.lists(kernel_body, min_size=1, max_size=4)
+
+
+def build_program(bodies) -> QuantumProgram:
+    program = QuantumProgram("prop", qubits=(2,))
+    for i, body in enumerate(bodies):
+        kernel = program.new_kernel(f"k{i}")
+        kernel.prepz(2)
+        for gate in body:
+            kernel.gate(gate, 2)
+        kernel.measure(2)
+    return program
+
+
+@settings(max_examples=25, deadline=None)
+@given(bodies=program_bodies)
+def test_random_programs_run_clean(bodies):
+    program = build_program(bodies)
+    compiled = compile_program(program, CompilerOptions(n_rounds=1))
+    machine = QuMA(MachineConfig(qubits=(2,), trace_enabled=False,
+                                 dcu_points=compiled.k_points))
+    machine.load(compiled.asm)
+    result = machine.run()
+    assert result.completed
+    assert result.timing_violations == []
+    assert result.measurements == len(bodies)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bodies=program_bodies)
+def test_k_points_equals_measure_count(bodies):
+    program = build_program(bodies)
+    compiled = compile_program(program)
+    assert compiled.k_points == program.measure_count() == len(bodies)
+
+
+@settings(max_examples=40, deadline=None)
+@given(body=kernel_body)
+def test_schedule_never_overlaps_single_qubit(body):
+    """ASAP scheduling leaves at least one gate slot between pulses."""
+    program = QuantumProgram("p", qubits=(2,))
+    kernel = program.new_kernel("k")
+    kernel.prepz(2)
+    for gate in body:
+        kernel.gate(gate, 2)
+    points = schedule(decompose(kernel.ops), gate_slot_cycles=4)
+    for point in points:
+        if point.is_register_wait:
+            continue
+        assert point.interval_cycles >= 4
+        # At most one pulse per point on a single qubit.
+        pulse_events = [op for op in point.events if op.kind is OpKind.PULSE]
+        assert len(pulse_events) <= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(bodies=program_bodies, rounds=st.integers(min_value=2, max_value=4))
+def test_rounds_multiply_measurements(bodies, rounds):
+    program = build_program(bodies)
+    compiled = compile_program(program, CompilerOptions(n_rounds=rounds))
+    machine = QuMA(MachineConfig(qubits=(2,), trace_enabled=False,
+                                 dcu_points=compiled.k_points))
+    machine.load(compiled.asm)
+    result = machine.run()
+    assert result.completed
+    assert result.measurements == rounds * len(bodies)
+    assert machine.dcu.rounds_completed == rounds

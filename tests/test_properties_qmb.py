@@ -1,0 +1,110 @@
+"""Property tests for QMB/TCU queue invariants under random streams."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MachineConfig
+from repro.core.qmb import QuantumMicroinstructionBuffer
+from repro.core.timing import TimingControlUnit
+from repro.isa import DEFAULT_OPERATIONS, Md, Mpg, Pulse, Wait
+from repro.sim import Simulator
+
+uinstr_strategy = st.one_of(
+    st.builds(Wait, interval=st.integers(1, 1000)),
+    st.builds(lambda op: Pulse.single((2,), op),
+              st.sampled_from(["I", "X180", "X90", "Y90"])),
+    st.builds(lambda d: Mpg(qubits=(2,), duration=d), st.integers(1, 400)),
+    st.builds(lambda rd: Md(qubits=(2,), rd=rd),
+              st.one_of(st.none(), st.integers(0, 31))),
+)
+
+
+def make_qmb(capacity=256):
+    sim = Simulator()
+    config = MachineConfig(qubits=(2,), queue_capacity=capacity,
+                           td_auto_start=False)
+    tcu = TimingControlUnit(sim, capacity=capacity)
+    for name in ("pulse", "mpg", "md"):
+        tcu.add_event_queue(name, lambda e: None)
+    return sim, tcu, QuantumMicroinstructionBuffer(tcu, config,
+                                                   DEFAULT_OPERATIONS.copy())
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=st.lists(uinstr_strategy, min_size=1, max_size=40))
+def test_labels_strictly_increase_in_timing_queue(stream):
+    _, tcu, qmb = make_qmb()
+    for uinstr in stream:
+        assert qmb.accept(uinstr)
+    labels = [tp.label for tp in tcu.timing_queue]
+    assert labels == sorted(labels)
+    assert len(set(labels)) == len(labels)
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=st.lists(uinstr_strategy, min_size=1, max_size=40))
+def test_event_labels_monotone_within_each_queue(stream):
+    _, tcu, qmb = make_qmb()
+    for uinstr in stream:
+        qmb.accept(uinstr)
+    for queue in tcu.event_queues.values():
+        labels = [e.label for e in queue.entries]
+        assert labels == sorted(labels)
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=st.lists(uinstr_strategy, min_size=1, max_size=40))
+def test_every_event_label_has_a_time_point(stream):
+    _, tcu, qmb = make_qmb()
+    for uinstr in stream:
+        qmb.accept(uinstr)
+    point_labels = {tp.label for tp in tcu.timing_queue}
+    for queue in tcu.event_queues.values():
+        for event in queue.entries:
+            assert event.label in point_labels
+
+
+@settings(max_examples=30, deadline=None)
+@given(stream=st.lists(uinstr_strategy, min_size=1, max_size=60))
+def test_all_queued_events_eventually_fire(stream):
+    """Once T_D starts, every queued event fires and the queues drain."""
+    sim, tcu, qmb = make_qmb()
+    fired = []
+    for queue in tcu.event_queues.values():
+        queue.sink = fired.append
+    queued = 0
+    for uinstr in stream:
+        qmb.accept(uinstr)
+    queued = sum(len(q) for q in tcu.event_queues.values())
+    tcu.start()
+    sim.run()
+    assert tcu.queues_empty()
+    assert len(fired) == queued
+    assert tcu.violations == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(stream=st.lists(uinstr_strategy, min_size=1, max_size=30),
+       capacity=st.integers(min_value=2, max_value=6))
+def test_backpressure_never_loses_or_reorders(stream, capacity):
+    """With a tiny capacity, rejected pushes retried after each fire still
+    deliver every event exactly once, in order."""
+    sim, tcu, qmb = make_qmb(capacity=capacity)
+    fired = []
+    for queue in tcu.event_queues.values():
+        queue.sink = fired.append
+    pending = list(stream)
+    tcu.start()
+
+    def pump():
+        while pending:
+            if not qmb.accept(pending[0]):
+                tcu.wait_for_space(pump)
+                return
+            pending.pop(0)
+
+    sim.after(0, pump)
+    sim.run()
+    assert not pending
+    assert tcu.queues_empty()
+    fired_labels = [e.label for e in fired]
+    assert fired_labels == sorted(fired_labels)

@@ -1,0 +1,76 @@
+"""Tests for pulse envelope shapes."""
+
+import numpy as np
+import pytest
+
+from repro.pulse import gaussian, drag, square, zeros
+
+
+def test_zeros_identity_pulse():
+    env = zeros(20)
+    assert len(env) == 20
+    assert np.all(env == 0)
+
+
+def test_gaussian_peak_near_center():
+    env = gaussian(20, 5.0, amplitude=0.8)
+    assert len(env) == 20
+    peak = np.argmax(np.abs(env))
+    assert peak in (9, 10)
+    assert np.abs(env[peak]) <= 0.8 + 1e-12
+
+
+def test_gaussian_starts_and_ends_at_zero():
+    env = gaussian(20, 5.0)
+    assert abs(env[0]) < 0.02
+    assert abs(env[-1]) < 0.02
+
+
+def test_gaussian_phase_rotates_iq():
+    x = gaussian(20, 5.0, 1.0, 0.0)
+    y = gaussian(20, 5.0, 1.0, np.pi / 2)
+    assert np.allclose(x.imag, 0)
+    assert np.allclose(y.real, 0, atol=1e-12)
+    assert np.allclose(y.imag, x.real)
+
+
+def test_gaussian_symmetric():
+    env = gaussian(20, 5.0).real
+    assert np.allclose(env, env[::-1], atol=1e-12)
+
+
+def test_gaussian_default_sigma_quarter_duration():
+    a = gaussian(20)
+    b = gaussian(20, 5.0)
+    assert np.allclose(a, b)
+
+
+def test_gaussian_rejects_bad_args():
+    with pytest.raises(ValueError):
+        gaussian(0)
+    with pytest.raises(ValueError):
+        gaussian(20, -1.0)
+
+
+def test_drag_reduces_to_gaussian_at_beta_zero():
+    assert np.allclose(drag(20, 5.0, beta=0.0), gaussian(20, 5.0))
+
+
+def test_drag_quadrature_is_derivative_like():
+    env = drag(20, 5.0, beta=0.5)
+    # Derivative of a symmetric bump is antisymmetric.
+    q = env.imag
+    assert q[2] * q[-3] < 0
+
+
+def test_square_flat_top():
+    env = square(10, 0.5)
+    assert np.allclose(env, 0.5)
+
+
+def test_square_with_ramps():
+    env = square(10, 1.0, rise_ns=3)
+    assert env[0] == 0.0
+    assert np.allclose(env.real[3:7], 1.0)
+    with pytest.raises(ValueError):
+        square(4, 1.0, rise_ns=3)

@@ -1,0 +1,102 @@
+"""Tests for the codeword waveform LUT (Table 1, Section 5.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.pulse import (
+    PulseCalibration,
+    WaveformLUT,
+    Waveform,
+    build_single_qubit_lut,
+    zeros,
+)
+from repro.pulse.lut import SINGLE_QUBIT_PULSES
+from repro.utils.errors import ConfigurationError
+
+
+def test_upload_and_lookup():
+    lut = WaveformLUT()
+    w = Waveform("I", zeros(20))
+    lut.upload(0, w)
+    assert lut.lookup(0) is w
+    assert 0 in lut
+    assert len(lut) == 1
+
+
+def test_codeword_range_checked():
+    lut = WaveformLUT(max_entries=8)
+    with pytest.raises(ConfigurationError):
+        lut.upload(8, Waveform("x", zeros(4)))
+
+
+def test_missing_codeword_raises():
+    with pytest.raises(KeyError):
+        WaveformLUT().lookup(3)
+
+
+def test_table1_default_lut_has_seven_pulses():
+    lut = build_single_qubit_lut()
+    assert len(lut) == 7
+    assert lut.codewords() == list(range(7))
+    # Table 1 ordering.
+    assert lut.lookup(0).name == "I"
+    assert lut.lookup(1).name == "X180"
+    assert lut.lookup(2).name == "X90"
+    assert lut.lookup(3).name == "mX90"
+    assert lut.lookup(4).name == "Y180"
+    assert lut.lookup(5).name == "Y90"
+    assert lut.lookup(6).name == "mY90"
+
+
+def test_allxy_lut_memory_is_420_bytes():
+    # Section 5.1.1: 7 x 2 x 20 ns x Rs samples = 420 bytes at 12 bits.
+    lut = build_single_qubit_lut()
+    assert lut.memory_bytes() == 420.0
+
+
+def test_identity_pulse_is_zero():
+    assert build_single_qubit_lut().lookup(0).is_zero()
+
+
+def test_x180_twice_the_x90_amplitude():
+    lut = build_single_qubit_lut()
+    a180 = np.max(np.abs(lut.lookup(1).samples))
+    a90 = np.max(np.abs(lut.lookup(2).samples))
+    assert a180 == pytest.approx(2 * a90, rel=1e-9)
+
+
+def test_y_pulses_in_quadrature():
+    lut = build_single_qubit_lut()
+    x = lut.lookup(1).samples
+    y = lut.lookup(4).samples
+    assert np.allclose(y, 1j * x, atol=1e-12)
+
+
+def test_negative_rotations_flip_sign():
+    lut = build_single_qubit_lut()
+    assert np.allclose(lut.lookup(3).samples, -lut.lookup(2).samples)
+    assert np.allclose(lut.lookup(6).samples, -lut.lookup(5).samples)
+
+
+def test_amplitude_error_scales_pulses():
+    nominal = build_single_qubit_lut()
+    off = build_single_qubit_lut(PulseCalibration(amplitude_error=0.10))
+    ratio = np.max(np.abs(off.lookup(1).samples)) / np.max(np.abs(nominal.lookup(1).samples))
+    assert ratio == pytest.approx(1.10)
+
+
+def test_phase_error_rotates_axis():
+    off = build_single_qubit_lut(PulseCalibration(phase_error_rad=np.pi / 2))
+    # With a 90-degree phase error the X180 drives the y axis.
+    w = off.lookup(1).samples
+    assert np.allclose(w.real, 0, atol=1e-12)
+
+
+def test_amplitude_overflow_rejected():
+    with pytest.raises(ConfigurationError):
+        PulseCalibration(kappa=0.01).amplitude_for(np.pi)
+
+
+def test_pulse_set_covers_allxy_needs():
+    # The 21 AllXY pairs draw only from these 7 operations.
+    assert set(SINGLE_QUBIT_PULSES) == {"I", "X180", "X90", "mX90", "Y180", "Y90", "mY90"}

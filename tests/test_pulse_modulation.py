@@ -1,0 +1,56 @@
+"""Tests for SSB modulation phase bookkeeping (Section 4.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.pulse import demodulate, gaussian, modulate, ssb_phase
+
+F_SSB = -50e6  # the paper's -50 MHz single-sideband modulation
+
+
+def test_phase_zero_at_t0_zero():
+    assert ssb_phase(F_SSB, 0) == pytest.approx(0.0)
+
+
+def test_phase_periodic_in_20ns():
+    # 50 MHz -> 20 ns period: triggering on the SSB grid keeps phase 0.
+    for t0 in [0, 20, 40, 200000]:
+        assert ssb_phase(F_SSB, t0) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_5ns_shift_gives_quarter_turn():
+    # Section 4.2.3: a 5 ns delay turns an x rotation into a y rotation.
+    phi = ssb_phase(F_SSB, 5)
+    assert phi == pytest.approx(np.pi / 2)
+
+
+def test_10ns_shift_gives_half_turn():
+    assert ssb_phase(F_SSB, 10) == pytest.approx(np.pi)
+
+
+def test_phase_sign_convention():
+    # Positive f_ssb with positive t0 gives negative (wrapped) phase.
+    phi = ssb_phase(50e6, 5)
+    assert phi == pytest.approx(3 * np.pi / 2)
+
+
+def test_modulate_preserves_magnitude():
+    env = gaussian(20, 5.0, 0.7)
+    mod = modulate(env, F_SSB)
+    assert np.allclose(np.abs(mod), np.abs(env))
+
+
+def test_modulate_then_demodulate_recovers_envelope():
+    env = gaussian(20, 5.0, 0.7)
+    mod = modulate(env, F_SSB)
+    rec = demodulate(mod, F_SSB)
+    assert np.allclose(rec, env, atol=1e-12)
+
+
+def test_demodulate_uses_absolute_time():
+    env = gaussian(20, 5.0, 0.7)
+    mod = modulate(env, F_SSB)
+    # Demodulating as if the record started 5 ns later rotates by pi/2.
+    rec = demodulate(mod, F_SSB, t0_ns=5)
+    expected_phase = np.exp(-2j * np.pi * F_SSB * 5e-9)
+    assert np.allclose(rec, env * expected_phase, atol=1e-12)

@@ -1,0 +1,45 @@
+"""Tests for the Waveform container and memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.pulse import Waveform, gaussian, zeros
+
+
+def test_duration():
+    w = Waveform("x", gaussian(20, 5.0))
+    assert w.duration_ns == 20
+    assert len(w) == 20
+
+
+def test_memory_accounting_matches_paper_per_pulse():
+    # One 20 ns pulse: 2 channels x 20 samples x 12 bits = 480 bits = 60 B.
+    w = Waveform("x", gaussian(20, 5.0))
+    assert w.memory_bits == 2 * 20 * 12
+    assert w.memory_bytes == 60.0
+
+
+def test_seven_pulses_are_420_bytes():
+    # Section 5.1.1: the AllXY LUT of 7 pulses consumes 420 bytes.
+    total = sum(Waveform(str(i), zeros(20)).memory_bytes for i in range(7))
+    assert total == 420.0
+
+
+def test_samples_read_only():
+    w = Waveform("x", gaussian(20, 5.0))
+    with pytest.raises((ValueError, RuntimeError)):
+        w.samples[0] = 1.0
+
+
+def test_is_zero():
+    assert Waveform("i", zeros(20)).is_zero()
+    assert not Waveform("x", gaussian(20, 5.0, 0.5)).is_zero()
+
+
+def test_concatenate():
+    a = Waveform("a", zeros(10))
+    b = Waveform("b", gaussian(20, 5.0))
+    c = a.concatenate(b)
+    assert c.duration_ns == 30
+    assert c.name == "a+b"
+    assert np.allclose(c.samples[10:], b.samples)

@@ -1,0 +1,157 @@
+"""Tests for the time-ordered quantum device."""
+
+import numpy as np
+import pytest
+
+from repro.pulse import PulseCalibration, Waveform, build_single_qubit_lut, square, zeros
+from repro.qubit import QuantumDevice, TransmonParams
+from repro.utils.errors import ConfigurationError
+
+CAL = PulseCalibration()
+LUT = build_single_qubit_lut(CAL)
+
+
+def make_device(n=1, **kwargs):
+    params = [TransmonParams(kappa=CAL.kappa) for _ in range(n)]
+    return QuantumDevice(params, **kwargs)
+
+
+def test_initial_state_ground():
+    dev = make_device()
+    assert dev.prob_one(0) == pytest.approx(0.0)
+
+
+def test_x180_at_ssb_grid_inverts():
+    dev = make_device()
+    dev.play_waveform((0,), LUT.lookup(1), start_ns=100)  # 100 ns = 5 SSB periods
+    assert dev.prob_one(0) == pytest.approx(1.0, abs=1e-4)
+
+
+def test_x180_5ns_off_grid_still_inverts():
+    # A y rotation also takes |0> to |1>; the phase matters for axes,
+    # not for full flips from the pole.
+    dev = make_device()
+    dev.play_waveform((0,), LUT.lookup(1), start_ns=105)
+    assert dev.prob_one(0) == pytest.approx(1.0, abs=1e-4)
+
+
+def test_x90_then_x90_on_grid_inverts():
+    dev = make_device()
+    dev.play_waveform((0,), LUT.lookup(2), start_ns=0)
+    dev.play_waveform((0,), LUT.lookup(2), start_ns=20)
+    assert dev.prob_one(0) == pytest.approx(1.0, abs=1e-3)
+
+
+def test_x90_then_x90_with_5ns_slip_fails_to_invert():
+    """The paper's timing-sensitivity argument as observable physics: the
+    second pulse slipping 5 ns becomes a y90, leaving p1 = 0.5."""
+    dev = make_device()
+    dev.play_waveform((0,), LUT.lookup(2), start_ns=0)
+    dev.play_waveform((0,), LUT.lookup(2), start_ns=25)
+    assert dev.prob_one(0) == pytest.approx(0.5, abs=1e-2)
+
+
+def test_idle_decay_to_ground():
+    dev = make_device()
+    dev.play_waveform((0,), LUT.lookup(1), start_ns=0)
+    t1 = dev.params[0].t1_ns
+    dev.advance_to(int(20 + t1))
+    assert dev.prob_one(0) == pytest.approx(np.exp(-1.0), abs=0.02)
+
+
+def test_time_cannot_move_backwards():
+    dev = make_device()
+    dev.advance_to(100)
+    with pytest.raises(ValueError):
+        dev.advance_to(50)
+
+
+def test_overlapping_drive_same_qubit_rejected():
+    dev = make_device()
+    dev.play_waveform((0,), LUT.lookup(1), start_ns=0)
+    with pytest.raises(ConfigurationError):
+        dev.play_waveform((0,), LUT.lookup(1), start_ns=10)
+
+
+def test_simultaneous_drive_different_qubits_ok():
+    dev = make_device(2)
+    dev.play_waveform((0,), LUT.lookup(1), start_ns=0)
+    dev.play_waveform((1,), LUT.lookup(1), start_ns=0)
+    assert dev.prob_one(0) == pytest.approx(1.0, abs=1e-4)
+    assert dev.prob_one(1) == pytest.approx(1.0, abs=1e-4)
+
+
+def test_identity_pulse_occupies_slot_but_does_nothing():
+    dev = make_device()
+    dev.play_waveform((0,), LUT.lookup(0), start_ns=0)
+    assert dev.prob_one(0) == pytest.approx(0.0)
+    with pytest.raises(ConfigurationError):
+        dev.play_waveform((0,), LUT.lookup(1), start_ns=10)
+
+
+def test_cz_waveform_entangles():
+    dev = make_device(2)
+    flux = Waveform("CZ", square(40, 0.5), meta={"kind": "cz"})
+    # Prepare |+>|+> then CZ: creates entanglement.
+    dev.play_waveform((0,), LUT.lookup(2), start_ns=0)
+    dev.play_waveform((1,), LUT.lookup(2), start_ns=0)
+    dev.play_waveform((0, 1), flux, start_ns=20)
+    # Purity dips only by the ~60 ns of idle decoherence.
+    assert dev.state.purity() == pytest.approx(1.0, abs=1e-2)
+    # Reduced states are mixed for an entangled pure state.
+    r0 = dev.state.reduced(0)
+    purity0 = np.real(np.trace(r0 @ r0))
+    assert purity0 < 0.6
+
+
+def test_cz_waveform_needs_two_qubits():
+    dev = make_device(2)
+    flux = Waveform("CZ", square(40, 0.5), meta={"kind": "cz"})
+    with pytest.raises(ConfigurationError):
+        dev.play_waveform((0,), flux, start_ns=0)
+
+
+def test_measure_project_is_sampled_and_collapses():
+    dev = make_device(seed=5)
+    dev.play_waveform((0,), LUT.lookup(2), start_ns=0)  # superposition
+    out = dev.measure_project(0, t_ns=40)
+    assert out in (0, 1)
+    assert dev.prob_one(0) == pytest.approx(float(out), abs=1e-6)
+
+
+def test_measure_statistics():
+    counts = 0
+    for seed in range(200):
+        dev = make_device(seed=seed)
+        dev.play_waveform((0,), LUT.lookup(2), start_ns=0)
+        counts += dev.measure_project(0, t_ns=40)
+    assert 60 < counts < 140
+
+
+def test_reset():
+    dev = make_device()
+    dev.play_waveform((0,), LUT.lookup(1), start_ns=0)
+    dev.reset()
+    assert dev.prob_one(0) == pytest.approx(0.0)
+    # busy-until cleared: a pulse at t=now is allowed again.
+    dev.play_waveform((0,), LUT.lookup(1), start_ns=dev.now_ns)
+
+
+def test_cache_used_across_repeats():
+    dev = make_device()
+    for i in range(5):
+        dev.play_waveform((0,), LUT.lookup(1), start_ns=i * 40)
+    stats = dev.cache_stats()
+    assert stats["misses"] <= 2  # 40 ns spacing -> same SSB phase bucket
+    assert stats["hits"] >= 3
+
+
+def test_empty_device_rejected():
+    with pytest.raises(ConfigurationError):
+        QuantumDevice([])
+
+
+def test_zero_waveform_skips_integration():
+    dev = make_device()
+    dev.play_waveform((0,), Waveform("I", zeros(20)), start_ns=0)
+    assert dev.cache_stats()["misses"] == 0

@@ -1,0 +1,132 @@
+"""Tests for pulse-envelope integration (the SSB timing physics)."""
+
+import numpy as np
+import pytest
+
+from repro.pulse import PulseCalibration, build_single_qubit_lut, gaussian, ssb_phase
+from repro.qubit import (
+    PulseUnitaryCache,
+    allclose_up_to_phase,
+    integrate_envelope,
+    rx,
+    ry,
+)
+
+CAL = PulseCalibration()
+LUT = build_single_qubit_lut(CAL)
+F_SSB = -50e6
+
+
+def test_x180_pulse_integrates_to_rx_pi():
+    u = integrate_envelope(LUT.lookup(1).samples, CAL.kappa)
+    assert allclose_up_to_phase(u, rx(np.pi), atol=1e-6)
+
+
+def test_x90_pulse_integrates_to_rx_half_pi():
+    u = integrate_envelope(LUT.lookup(2).samples, CAL.kappa)
+    assert allclose_up_to_phase(u, rx(np.pi / 2), atol=1e-6)
+
+
+def test_y180_pulse_integrates_to_ry_pi():
+    u = integrate_envelope(LUT.lookup(4).samples, CAL.kappa)
+    assert allclose_up_to_phase(u, ry(np.pi), atol=1e-6)
+
+
+def test_minus_rotations():
+    u = integrate_envelope(LUT.lookup(3).samples, CAL.kappa)
+    assert allclose_up_to_phase(u, rx(-np.pi / 2), atol=1e-6)
+    u = integrate_envelope(LUT.lookup(6).samples, CAL.kappa)
+    assert allclose_up_to_phase(u, ry(-np.pi / 2), atol=1e-6)
+
+
+def test_unitarity():
+    u = integrate_envelope(LUT.lookup(1).samples, CAL.kappa, phase0=0.3,
+                           detuning_hz=1e6)
+    assert np.allclose(u @ u.conj().T, np.eye(2), atol=1e-12)
+
+
+def test_zero_envelope_is_identity():
+    u = integrate_envelope(np.zeros(20, dtype=complex), CAL.kappa)
+    assert np.allclose(u, np.eye(2))
+
+
+def test_5ns_ssb_phase_turns_x_into_y():
+    """The paper's Section 4.2.3 example, end to end."""
+    phase = ssb_phase(F_SSB, 5)  # pulse played 5 ns late
+    u = integrate_envelope(LUT.lookup(1).samples, CAL.kappa, phase0=phase)
+    assert allclose_up_to_phase(u, ry(np.pi), atol=1e-6)
+
+
+def test_20ns_ssb_phase_preserves_x():
+    phase = ssb_phase(F_SSB, 20)  # full SSB period: no phase error
+    u = integrate_envelope(LUT.lookup(1).samples, CAL.kappa, phase0=phase)
+    assert allclose_up_to_phase(u, rx(np.pi), atol=1e-6)
+
+
+def test_10ns_ssb_phase_inverts_axis():
+    phase = ssb_phase(F_SSB, 10)
+    u = integrate_envelope(LUT.lookup(2).samples, CAL.kappa, phase0=phase)
+    assert allclose_up_to_phase(u, rx(-np.pi / 2), atol=1e-6)
+
+
+def test_amplitude_error_overrotates():
+    bad = build_single_qubit_lut(PulseCalibration(amplitude_error=0.05))
+    u = integrate_envelope(bad.lookup(1).samples, CAL.kappa)
+    # Overrotation by 5%: |1>-population after the pulse < 1.
+    p1 = abs((u @ np.array([1, 0], dtype=complex))[1]) ** 2
+    assert p1 == pytest.approx(np.sin(1.05 * np.pi / 2) ** 2, abs=1e-4)
+
+
+def test_detuning_tilts_axis():
+    u = integrate_envelope(LUT.lookup(1).samples, CAL.kappa, detuning_hz=20e6)
+    p1 = abs((u @ np.array([1, 0], dtype=complex))[1]) ** 2
+    assert p1 < 0.999  # detuned pulse no longer fully inverts
+
+
+def test_ramsey_phase_accumulation_via_detuning():
+    """Free evolution under detuning: x90 - idle - x90 fringes."""
+    detuning = 1e6  # 1 MHz
+    idle_ns = 250  # quarter period -> the two pi/2 pulses add to ~pi/2 net
+    u90 = rx(np.pi / 2)
+    # Idle evolution = rz(2*pi*detuning*t).
+    from repro.qubit import rz
+
+    idle = rz(2 * np.pi * detuning * idle_ns * 1e-9)
+    u = u90 @ idle @ u90
+    p1 = abs((u @ np.array([1, 0], dtype=complex))[1]) ** 2
+    assert p1 == pytest.approx(0.5, abs=1e-6)
+
+
+def test_cache_hits_for_repeated_pulses():
+    cache = PulseUnitaryCache(CAL.kappa)
+    w = LUT.lookup(1)
+    u1 = cache.unitary(w, 0.0)
+    u2 = cache.unitary(w, 0.0)
+    assert cache.hits == 1 and cache.misses == 1
+    assert u1 is u2
+
+
+def test_cache_distinguishes_phases():
+    cache = PulseUnitaryCache(CAL.kappa)
+    w = LUT.lookup(1)
+    cache.unitary(w, 0.0)
+    cache.unitary(w, np.pi / 2)
+    assert cache.misses == 2
+
+
+def test_cache_invalidated_on_different_content():
+    cache = PulseUnitaryCache(CAL.kappa)
+    a = build_single_qubit_lut(PulseCalibration()).lookup(1)
+    b = build_single_qubit_lut(PulseCalibration(amplitude_error=0.1)).lookup(1)
+    ua = cache.unitary(a, 0.0)
+    ub = cache.unitary(b, 0.0)
+    assert not np.allclose(ua, ub)
+
+
+def test_gaussian_area_theorem():
+    """Rotation angle equals kappa times envelope area, for small steps."""
+    env = gaussian(40, 10.0, 0.5)
+    u = integrate_envelope(env, 0.2)
+    angle = 2 * np.arccos(np.clip(abs(u[0, 0]), -1, 1))
+    expected = 0.2 * np.sum(env.real)
+    assert angle == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,92 @@
+"""Tests for ideal gates and SU(2) helpers."""
+
+import numpy as np
+import pytest
+
+from repro.qubit import (
+    CNOT,
+    CZ,
+    HADAMARD,
+    I2,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    allclose_up_to_phase,
+    rx,
+    ry,
+    rz,
+    su2_rotation,
+)
+
+
+def test_paulis_unitary_and_hermitian():
+    for p in (PAULI_X, PAULI_Y, PAULI_Z):
+        assert np.allclose(p @ p, I2)
+        assert np.allclose(p, p.conj().T)
+
+
+def test_rx_pi_is_x_up_to_phase():
+    assert allclose_up_to_phase(rx(np.pi), PAULI_X)
+
+
+def test_ry_pi_is_y_up_to_phase():
+    assert allclose_up_to_phase(ry(np.pi), PAULI_Y)
+
+
+def test_rz_pi_is_z_up_to_phase():
+    assert allclose_up_to_phase(rz(np.pi), PAULI_Z)
+
+
+def test_rx_composition():
+    assert np.allclose(rx(0.3) @ rx(0.4), rx(0.7))
+
+
+def test_x90_squared_is_x180():
+    assert np.allclose(rx(np.pi / 2) @ rx(np.pi / 2), rx(np.pi))
+
+
+def test_z_equals_x_times_y_up_to_phase():
+    # Section 5.3.2: Z = X . Y up to an irrelevant global phase.
+    assert allclose_up_to_phase(PAULI_X @ PAULI_Y, PAULI_Z)
+
+
+def test_su2_rotation_unitary():
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        n = rng.normal(size=3)
+        theta = rng.uniform(-2 * np.pi, 2 * np.pi)
+        u = su2_rotation(*n, theta)
+        assert np.allclose(u @ u.conj().T, I2, atol=1e-12)
+
+
+def test_su2_zero_axis_is_identity():
+    assert np.allclose(su2_rotation(0, 0, 0, 1.0), I2)
+
+
+def test_cnot_from_cz_and_ry():
+    # Section 5.3.2: CNOT_{c,t} = Ry(pi/2)_t . CZ . Ry(-pi/2)_t.
+    ryt = np.kron(I2, ry(np.pi / 2))  # first qubit = control (MSB)
+    rymt = np.kron(I2, ry(-np.pi / 2))
+    composed = ryt @ CZ @ rymt
+    assert allclose_up_to_phase(composed, CNOT)
+
+
+def test_hadamard_squares_to_identity():
+    assert np.allclose(HADAMARD @ HADAMARD, I2)
+
+
+def test_allclose_up_to_phase_rejects_different():
+    assert not allclose_up_to_phase(PAULI_X, PAULI_Z)
+    assert allclose_up_to_phase(1j * PAULI_X, PAULI_X)
+
+
+def test_allclose_up_to_phase_shape_mismatch():
+    assert not allclose_up_to_phase(PAULI_X, CZ)
+
+
+@pytest.mark.parametrize("theta", [0.0, 0.1, np.pi / 2, np.pi, 2 * np.pi])
+def test_rotation_angle_on_bloch_sphere(theta):
+    # |0> rotated by rx(theta) has z = cos(theta).
+    psi = rx(theta) @ np.array([1, 0], dtype=complex)
+    z = abs(psi[0]) ** 2 - abs(psi[1]) ** 2
+    assert z == pytest.approx(np.cos(theta), abs=1e-12)

@@ -1,0 +1,105 @@
+"""Tests for decoherence channels."""
+
+import numpy as np
+import pytest
+
+from repro.qubit import (
+    DensityMatrix,
+    PAULI_X,
+    amplitude_damping_kraus,
+    decoherence_kraus,
+    phase_damping_kraus,
+    rx,
+)
+from repro.utils.errors import ConfigurationError
+
+
+def kraus_complete(ops):
+    total = sum(k.conj().T @ k for k in ops)
+    return np.allclose(total, np.eye(2), atol=1e-12)
+
+
+def test_amplitude_damping_completeness():
+    for gamma in [0.0, 0.1, 0.5, 1.0]:
+        assert kraus_complete(amplitude_damping_kraus(gamma))
+
+
+def test_phase_damping_completeness():
+    for lam in [0.0, 0.3, 1.0]:
+        assert kraus_complete(phase_damping_kraus(lam))
+
+
+def test_decoherence_completeness():
+    assert kraus_complete(decoherence_kraus(100.0, 18000.0, 12000.0))
+
+
+def test_t1_population_decay():
+    dm = DensityMatrix.ground(1)
+    dm.apply_unitary(PAULI_X, (0,))
+    t1 = 18000.0
+    dt = 5000.0
+    dm.apply_kraus(decoherence_kraus(dt, t1, t1), 0)
+    assert dm.prob_one(0) == pytest.approx(np.exp(-dt / t1), rel=1e-9)
+
+
+def test_t2_coherence_decay():
+    t1, t2 = 18000.0, 12000.0
+    dt = 3000.0
+    dm = DensityMatrix.ground(1)
+    dm.apply_unitary(rx(np.pi / 2), (0,))
+    before = abs(dm.reduced(0)[0, 1])
+    dm.apply_kraus(decoherence_kraus(dt, t1, t2), 0)
+    after = abs(dm.reduced(0)[0, 1])
+    assert after / before == pytest.approx(np.exp(-dt / t2), rel=1e-9)
+
+
+def test_t2_equal_2t1_limit_allowed():
+    # Pure-T1-limited qubit: T2 = 2*T1 has no extra dephasing.
+    ops = decoherence_kraus(1000.0, 10000.0, 20000.0)
+    assert kraus_complete(ops)
+
+
+def test_t2_above_2t1_rejected():
+    with pytest.raises(ConfigurationError):
+        decoherence_kraus(1.0, 10000.0, 20001.0)
+
+
+def test_zero_dt_is_identity():
+    ops = decoherence_kraus(0.0, 100.0, 100.0)
+    dm = DensityMatrix.ground(1)
+    dm.apply_unitary(rx(0.4), (0,))
+    before = dm.data.copy()
+    dm.apply_kraus(ops, 0)
+    assert np.allclose(dm.data, before)
+
+
+def test_channel_composes_over_time():
+    """Applying dt then dt equals applying 2*dt (semigroup property)."""
+    t1, t2 = 18000.0, 12000.0
+    a = DensityMatrix.ground(1)
+    a.apply_unitary(rx(1.1), (0,))
+    b = a.copy()
+    a.apply_kraus(decoherence_kraus(400.0, t1, t2), 0)
+    a.apply_kraus(decoherence_kraus(400.0, t1, t2), 0)
+    b.apply_kraus(decoherence_kraus(800.0, t1, t2), 0)
+    assert np.allclose(a.data, b.data, atol=1e-12)
+
+
+def test_state_stays_physical_under_decoherence():
+    dm = DensityMatrix.ground(1)
+    dm.apply_unitary(rx(2.2), (0,))
+    for _ in range(10):
+        dm.apply_kraus(decoherence_kraus(1000.0, 18000.0, 12000.0), 0)
+        assert dm.is_physical()
+
+
+def test_negative_dt_rejected():
+    with pytest.raises(ValueError):
+        decoherence_kraus(-1.0, 100.0, 100.0)
+
+
+def test_gamma_bounds_checked():
+    with pytest.raises(ValueError):
+        amplitude_damping_kraus(1.5)
+    with pytest.raises(ValueError):
+        phase_damping_kraus(-0.1)

@@ -1,0 +1,107 @@
+"""Tests for frequency-multiplexed readout (Section 5.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MachineConfig, QuMA
+from repro.readout import ReadoutParams, calibrate_readout
+from repro.readout.multiplex import crosstalk_matrix, multiplexed_trace
+from repro.readout.resonator import mean_trace
+from repro.utils import derive_rng
+from repro.utils.errors import ConfigurationError
+
+DURATION = 1500
+RO_A = ReadoutParams(f_if_hz=40e6)
+RO_B = ReadoutParams(f_if_hz=52e6, phase_ground=0.9, phase_excited=-0.2)
+
+
+def test_multiplexed_trace_is_sum_of_signals():
+    rng = derive_rng(0, "x")
+    quiet_a = ReadoutParams(f_if_hz=40e6, noise_std=0.0)
+    quiet_b = ReadoutParams(f_if_hz=52e6, noise_std=0.0)
+    combined = multiplexed_trace({0: quiet_a, 1: quiet_b}, {0: 0, 1: 1},
+                                 DURATION, rng)
+    expected = (mean_trace(quiet_a, 0, DURATION, 0)
+                + mean_trace(quiet_b, 1, DURATION, 0))
+    assert np.allclose(combined, expected)
+
+
+def test_multiplexed_trace_validation():
+    rng = derive_rng(0, "x")
+    with pytest.raises(ConfigurationError):
+        multiplexed_trace({}, {}, DURATION, rng)
+    with pytest.raises(ConfigurationError):
+        multiplexed_trace({0: RO_A}, {1: 0}, DURATION, rng)
+
+
+def test_crosstalk_small_at_wide_if_separation():
+    cal_a = calibrate_readout(RO_A, DURATION, n_shots=20, seed=1)
+    cal_b = calibrate_readout(RO_B, DURATION, n_shots=20, seed=1)
+    m = crosstalk_matrix({0: RO_A, 1: RO_B},
+                         {0: cal_a.weights, 1: cal_b.weights}, DURATION)
+    assert m[0, 0] == pytest.approx(1.0)
+    assert m[1, 1] == pytest.approx(1.0)
+    # 12 MHz apart over 1.5 us: filters nearly orthogonal.
+    assert abs(m[0, 1]) < 0.1
+    assert abs(m[1, 0]) < 0.1
+
+
+def test_crosstalk_grows_as_ifs_approach():
+    def off_diagonal(f_b):
+        ro_b = ReadoutParams(f_if_hz=f_b)
+        cal_a = calibrate_readout(RO_A, DURATION, n_shots=10, seed=1)
+        cal_b = calibrate_readout(ro_b, DURATION, n_shots=10, seed=1)
+        m = crosstalk_matrix({0: RO_A, 1: ro_b},
+                             {0: cal_a.weights, 1: cal_b.weights}, DURATION)
+        return abs(m[0, 1])
+
+    far = off_diagonal(60e6)
+    near = off_diagonal(41e6)
+    assert near > far
+
+
+def test_machine_simultaneous_two_qubit_measurement():
+    """One MPG addressing both qubits: one multiplexed record, two MDUs,
+    both results correct."""
+    config = MachineConfig(qubits=(0, 1), readouts=(RO_A, RO_B))
+    machine = QuMA(config)
+    machine.load("""
+        Wait 4
+        Pulse {q1}, X180
+        Wait 4
+        MPG {q0, q1}, 300
+        MD {q0, q1}, r5
+        halt
+    """)
+    result = machine.run()
+    assert result.completed
+    # Both MDUs discriminated the same feedline record; q1 was excited.
+    outcomes = {r.qubit: r.value for r in machine.measurement.results}
+    assert outcomes == {0: 0, 1: 1}
+
+
+def test_machine_multiplexed_statistics():
+    """Simultaneous measurement discriminates both qubits reliably."""
+    correct = 0
+    shots = 20
+    for seed in range(shots):
+        config = MachineConfig(qubits=(0, 1), readouts=(RO_A, RO_B),
+                               seed=seed, trace_enabled=False)
+        machine = QuMA(config)
+        machine.load("""
+            Wait 4
+            Pulse {q0}, X180
+            Wait 4
+            MPG {q0, q1}, 300
+            MD {q0, q1}
+            halt
+        """)
+        machine.run()
+        outcomes = {r.qubit: r.value for r in machine.measurement.results}
+        correct += outcomes == {0: 1, 1: 0}
+    assert correct >= shots - 1
+
+
+def test_readouts_must_parallel_qubits():
+    with pytest.raises(ConfigurationError):
+        MachineConfig(qubits=(0, 1), readouts=(RO_A,))

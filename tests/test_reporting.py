@@ -1,0 +1,42 @@
+"""Tests for ASCII reporting helpers."""
+
+from repro.reporting import format_queue_tables, format_table, sparkline
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert lines[0].startswith("a ")
+    assert "long_header" in lines[0]
+    assert len(lines) == 4
+    # All rows same width.
+    assert len(set(len(ln) for ln in lines)) == 1
+
+
+def test_format_table_title():
+    text = format_table(["x"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_queue_tables_front_at_bottom():
+    snap = {"timing": ["(4, 2)", "(40000, 1)"], "pulse": ["(I, 1)"],
+            "mpg": [], "md": []}
+    text = format_queue_tables(snap, td_cycles=0)
+    lines = text.splitlines()
+    assert "T_D = 0" in lines[0]
+    # The front entry (40000, 1) is on the last line.
+    assert "(40000, 1)" in lines[-1]
+    assert "(I, 1)" in lines[-1]
+    assert "(4, 2)" in lines[-2]
+
+
+def test_sparkline_monotone():
+    s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert s[0] == "▁"
+    assert s[-1] == "█"
+    assert len(s) == 8
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([]) == ""
+    assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"

@@ -1,0 +1,45 @@
+"""Tests for the waveform-lane renderer."""
+
+from repro.reporting import render_pulse_lanes
+from repro.sim import TraceRecorder
+
+
+def make_trace():
+    tr = TraceRecorder()
+    tr.emit(100, "ctpg2", "pulse_start", name="X90", duration_ns=20)
+    tr.emit(120, "ctpg2", "pulse_start", name="X90", duration_ns=20)
+    tr.emit(140, "readout", "msmt_pulse_start", qubit=2, duration_ns=1500)
+    return tr
+
+
+def test_lanes_present_with_annotations():
+    text = render_pulse_lanes(make_trace(), 0, 2000, width=40)
+    assert "drive" in text
+    assert "readout" in text
+    assert "X90 @ 100 ns" in text
+    assert "measure q2 @ 140 ns" in text
+
+
+def test_fills_appear_in_lanes():
+    text = render_pulse_lanes(make_trace(), 0, 2000, width=40)
+    drive_line = next(ln for ln in text.splitlines() if ln.strip().startswith("drive"))
+    readout_line = next(ln for ln in text.splitlines()
+                        if ln.strip().startswith("readout"))
+    assert "█" in drive_line
+    assert "▒" in readout_line
+    # Measurement occupies most of the window; gates a small slice.
+    assert readout_line.count("▒") > drive_line.count("█")
+
+
+def test_events_outside_window_excluded():
+    text = render_pulse_lanes(make_trace(), 0, 130, width=40)
+    assert "measure" not in text
+    assert "X90 @ 100 ns" in text
+
+
+def test_minimum_one_cell_per_pulse():
+    tr = TraceRecorder()
+    tr.emit(10, "ctpg0", "pulse_start", name="I", duration_ns=20)
+    text = render_pulse_lanes(tr, 0, 100000, width=30)
+    drive_line = next(ln for ln in text.splitlines() if "drive" in ln)
+    assert "█" in drive_line

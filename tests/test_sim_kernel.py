@@ -1,0 +1,125 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(30, lambda: order.append("c"))
+    sim.at(10, lambda: order.append("a"))
+    sim.at(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_run_fifo():
+    sim = Simulator()
+    order = []
+    sim.at(10, lambda: order.append(1))
+    sim.at(10, lambda: order.append(2))
+    sim.at(10, lambda: order.append(3))
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.at(17, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [17]
+    assert sim.now == 17
+
+
+def test_after_is_relative():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.after(5, lambda: seen.append(sim.now))
+
+    sim.at(10, first)
+    sim.run()
+    assert seen == [15]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.after(-1, lambda: None)
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.at(10, lambda: fired.append(10))
+    sim.at(100, lambda: fired.append(100))
+    sim.run(until=50)
+    assert fired == [10]
+    assert sim.now == 50
+    sim.run()
+    assert fired == [10, 100]
+
+
+def test_cancelled_event_skipped():
+    sim = Simulator()
+    fired = []
+    ev = sim.at(10, lambda: fired.append("x"))
+    ev.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_events_scheduled_during_run():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(sim.now)
+        if n > 0:
+            sim.after(10, lambda: chain(n - 1))
+
+    sim.at(0, lambda: chain(3))
+    sim.run()
+    assert seen == [0, 10, 20, 30]
+
+
+def test_step_single_event():
+    sim = Simulator()
+    fired = []
+    sim.at(5, lambda: fired.append(1))
+    sim.at(6, lambda: fired.append(2))
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.after(1, forever)
+
+    sim.at(0, forever)
+    sim.run(max_events=100)
+    assert sim.now <= 100
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    sim.at(1, lambda: None)
+    ev = sim.at(2, lambda: None)
+    ev.cancel()
+    assert sim.pending() == 1

@@ -1,0 +1,50 @@
+"""Tests for the trace recorder."""
+
+from repro.sim import TraceRecorder
+
+
+def test_emit_and_len():
+    tr = TraceRecorder()
+    tr.emit(10, "ctpg0", "pulse_start", codeword=1)
+    tr.emit(20, "mdu0", "result", value=1)
+    assert len(tr) == 2
+
+
+def test_disabled_recorder_is_noop():
+    tr = TraceRecorder(enabled=False)
+    tr.emit(10, "u", "k")
+    assert len(tr) == 0
+
+
+def test_filter_by_unit_and_kind():
+    tr = TraceRecorder()
+    tr.emit(1, "a", "x")
+    tr.emit(2, "a", "y")
+    tr.emit(3, "b", "x")
+    assert [r.time for r in tr.filter(unit="a")] == [1, 2]
+    assert [r.time for r in tr.filter(kind="x")] == [1, 3]
+    assert [r.time for r in tr.filter(unit="a", kind="x")] == [1]
+
+
+def test_filter_by_sets():
+    tr = TraceRecorder()
+    tr.emit(1, "a", "x")
+    tr.emit(2, "b", "y")
+    tr.emit(3, "c", "z")
+    assert [r.unit for r in tr.filter(units=["a", "c"])] == ["a", "c"]
+    assert [r.kind for r in tr.filter(kinds=["y"])] == ["y"]
+
+
+def test_detail_payload_preserved():
+    tr = TraceRecorder()
+    tr.emit(5, "u", "k", codeword=7, qubit=2)
+    rec = tr.records[0]
+    assert rec.detail == {"codeword": 7, "qubit": 2}
+    assert "codeword=7" in str(rec)
+
+
+def test_clear():
+    tr = TraceRecorder()
+    tr.emit(1, "u", "k")
+    tr.clear()
+    assert len(tr) == 0

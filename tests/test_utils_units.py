@@ -1,0 +1,45 @@
+"""Tests for time-unit conversions."""
+
+import pytest
+
+from repro.utils import (
+    CYCLE_NS,
+    cycles_to_ns,
+    ns_to_cycles,
+    ns_to_samples,
+    ns_to_us,
+    us_to_ns,
+)
+
+
+def test_cycle_is_5ns():
+    # Section 5.2: "a cycle time of 5 ns is used".
+    assert CYCLE_NS == 5
+
+
+def test_cycles_to_ns_roundtrip():
+    for cycles in [0, 1, 4, 300, 40000]:
+        assert ns_to_cycles(cycles_to_ns(cycles)) == cycles
+
+
+def test_allxy_init_wait_is_200us():
+    # 40000 cycles = 200 us (Algorithm 3 comment).
+    assert cycles_to_ns(40000) == us_to_ns(200)
+
+
+def test_measurement_pulse_duration():
+    # MPG {q2}, 300 -> 1.5 us.
+    assert cycles_to_ns(300) == 1500
+
+
+def test_ns_to_cycles_rejects_off_grid():
+    with pytest.raises(ValueError):
+        ns_to_cycles(7)
+
+
+def test_samples_one_per_ns():
+    assert ns_to_samples(20) == 20
+
+
+def test_us_ns_roundtrip():
+    assert ns_to_us(us_to_ns(1.5)) == pytest.approx(1.5)
