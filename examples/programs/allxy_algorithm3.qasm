@@ -1,0 +1,344 @@
+# compiled from OpenQL-like program 'allxy'
+    mov r15, 40000
+    mov r1, 0
+    mov r2, 25600
+Outer_Loop:
+    # kernel pair0_0
+    QNopReg r15
+    Pulse {q2}, I
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair0_1
+    QNopReg r15
+    Pulse {q2}, I
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair1_0
+    QNopReg r15
+    Pulse {q2}, X180
+    Wait 4
+    Pulse {q2}, X180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair1_1
+    QNopReg r15
+    Pulse {q2}, X180
+    Wait 4
+    Pulse {q2}, X180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair2_0
+    QNopReg r15
+    Pulse {q2}, Y180
+    Wait 4
+    Pulse {q2}, Y180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair2_1
+    QNopReg r15
+    Pulse {q2}, Y180
+    Wait 4
+    Pulse {q2}, Y180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair3_0
+    QNopReg r15
+    Pulse {q2}, X180
+    Wait 4
+    Pulse {q2}, Y180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair3_1
+    QNopReg r15
+    Pulse {q2}, X180
+    Wait 4
+    Pulse {q2}, Y180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair4_0
+    QNopReg r15
+    Pulse {q2}, Y180
+    Wait 4
+    Pulse {q2}, X180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair4_1
+    QNopReg r15
+    Pulse {q2}, Y180
+    Wait 4
+    Pulse {q2}, X180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair5_0
+    QNopReg r15
+    Pulse {q2}, X90
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair5_1
+    QNopReg r15
+    Pulse {q2}, X90
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair6_0
+    QNopReg r15
+    Pulse {q2}, Y90
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair6_1
+    QNopReg r15
+    Pulse {q2}, Y90
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair7_0
+    QNopReg r15
+    Pulse {q2}, X90
+    Wait 4
+    Pulse {q2}, Y90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair7_1
+    QNopReg r15
+    Pulse {q2}, X90
+    Wait 4
+    Pulse {q2}, Y90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair8_0
+    QNopReg r15
+    Pulse {q2}, Y90
+    Wait 4
+    Pulse {q2}, X90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair8_1
+    QNopReg r15
+    Pulse {q2}, Y90
+    Wait 4
+    Pulse {q2}, X90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair9_0
+    QNopReg r15
+    Pulse {q2}, X90
+    Wait 4
+    Pulse {q2}, Y180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair9_1
+    QNopReg r15
+    Pulse {q2}, X90
+    Wait 4
+    Pulse {q2}, Y180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair10_0
+    QNopReg r15
+    Pulse {q2}, Y90
+    Wait 4
+    Pulse {q2}, X180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair10_1
+    QNopReg r15
+    Pulse {q2}, Y90
+    Wait 4
+    Pulse {q2}, X180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair11_0
+    QNopReg r15
+    Pulse {q2}, X180
+    Wait 4
+    Pulse {q2}, Y90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair11_1
+    QNopReg r15
+    Pulse {q2}, X180
+    Wait 4
+    Pulse {q2}, Y90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair12_0
+    QNopReg r15
+    Pulse {q2}, Y180
+    Wait 4
+    Pulse {q2}, X90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair12_1
+    QNopReg r15
+    Pulse {q2}, Y180
+    Wait 4
+    Pulse {q2}, X90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair13_0
+    QNopReg r15
+    Pulse {q2}, X90
+    Wait 4
+    Pulse {q2}, X180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair13_1
+    QNopReg r15
+    Pulse {q2}, X90
+    Wait 4
+    Pulse {q2}, X180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair14_0
+    QNopReg r15
+    Pulse {q2}, X180
+    Wait 4
+    Pulse {q2}, X90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair14_1
+    QNopReg r15
+    Pulse {q2}, X180
+    Wait 4
+    Pulse {q2}, X90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair15_0
+    QNopReg r15
+    Pulse {q2}, Y90
+    Wait 4
+    Pulse {q2}, Y180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair15_1
+    QNopReg r15
+    Pulse {q2}, Y90
+    Wait 4
+    Pulse {q2}, Y180
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair16_0
+    QNopReg r15
+    Pulse {q2}, Y180
+    Wait 4
+    Pulse {q2}, Y90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair16_1
+    QNopReg r15
+    Pulse {q2}, Y180
+    Wait 4
+    Pulse {q2}, Y90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair17_0
+    QNopReg r15
+    Pulse {q2}, X180
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair17_1
+    QNopReg r15
+    Pulse {q2}, X180
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair18_0
+    QNopReg r15
+    Pulse {q2}, Y180
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair18_1
+    QNopReg r15
+    Pulse {q2}, Y180
+    Wait 4
+    Pulse {q2}, I
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair19_0
+    QNopReg r15
+    Pulse {q2}, X90
+    Wait 4
+    Pulse {q2}, X90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair19_1
+    QNopReg r15
+    Pulse {q2}, X90
+    Wait 4
+    Pulse {q2}, X90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair20_0
+    QNopReg r15
+    Pulse {q2}, Y90
+    Wait 4
+    Pulse {q2}, Y90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    # kernel pair20_1
+    QNopReg r15
+    Pulse {q2}, Y90
+    Wait 4
+    Pulse {q2}, Y90
+    Wait 4
+    MPG {q2}, 300
+    MD {q2}
+    addi r1, r1, 1
+    bne r1, r2, Outer_Loop
+    halt

@@ -6,6 +6,7 @@ Usage::
     python -m repro disassemble prog.bin
     python -m repro run prog.qasm --qubits 2 --trace
     python -m repro allxy --rounds 256
+    python -m repro batch --experiment rabi --points 8 --backend process
 """
 
 from __future__ import annotations
@@ -99,6 +100,73 @@ def cmd_allxy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_sweep_stats(sweep) -> None:
+    print(f"{len(sweep)} jobs | backend={sweep.backend} | "
+          f"{sweep.elapsed_s:.2f} s | {sweep.jobs_per_second:.1f} jobs/s")
+    print(f"compile cache hit rate:  {sweep.cache_hit_rate:.0%}")
+    print(f"machine reuse rate:      {sweep.machine_reuse_rate:.0%}")
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Batched execution through the orchestration service."""
+    import numpy as np
+
+    from repro.service import ExperimentService, JobSpec, derive_job_seed
+
+    config = MachineConfig(qubits=_parse_qubits(args.qubits), seed=args.seed,
+                           trace_enabled=False)
+    with ExperimentService(backend=args.backend, workers=args.workers) as svc:
+        if args.program:
+            with open(args.program) as f:
+                asm = f.read()
+            specs = [JobSpec(config=config, asm=asm,
+                             k_points=args.k_points,
+                             seed=derive_job_seed(args.seed, i),
+                             params={"job": i}, label=f"job{i}")
+                     for i in range(args.repeat)]
+            sweep = svc.run_batch(specs)
+            for job in sweep:
+                values = " ".join(f"{v:8.3f}" for v in job.averages)
+                print(f"{job.label:>8}  seed={job.seed:<12} S = {values}")
+        elif args.experiment == "rabi":
+            from repro.experiments.rabi import rabi_job
+
+            expected_pi = config.calibration.amplitude_for(np.pi)
+            amplitudes = np.linspace(0.0, min(2.2 * expected_pi, 0.999),
+                                     args.points)
+            qubit = config.qubits[0]
+            sweep = svc.run_batch([
+                rabi_job(config, qubit, amp, args.rounds)
+                for amp in amplitudes])
+            print("amplitude   P(|1>)")
+            for job in sweep:
+                print(f"{job.params['amplitude']:9.4f}   "
+                      f"{float(job.normalized[0]):.3f}")
+        else:  # allxy repeats with derived per-job seeds
+            from repro.experiments.allxy import (
+                allxy_job,
+                rescale_with_calibration_points,
+            )
+
+            specs = []
+            for i in range(args.repeat):
+                spec = allxy_job(config, config.qubits[0], args.rounds)
+                spec.seed = derive_job_seed(args.seed, i)
+                spec.label = f"allxy#{i}"
+                specs.append(spec)
+            sweep = svc.run_batch(specs)
+            from repro.experiments.allxy import allxy_ideal_staircase
+
+            ideal = allxy_ideal_staircase()
+            for job in sweep:
+                fidelity = rescale_with_calibration_points(job.averages)
+                deviation = float(np.mean(np.abs(fidelity - ideal)))
+                print(f"{job.label:>10}  seed={job.seed:<12} "
+                      f"deviation={deviation:.4f}")
+        _print_sweep_stats(sweep)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -127,6 +195,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=128)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_allxy)
+
+    p = sub.add_parser(
+        "batch",
+        help="batched execution through the orchestration service")
+    p.add_argument("--experiment", choices=("rabi", "allxy"), default="rabi",
+                   help="built-in experiment to batch (ignored with --program)")
+    p.add_argument("--program", default=None,
+                   help="raw .qasm to run --repeat times with derived seeds")
+    p.add_argument("--repeat", type=int, default=4,
+                   help="jobs for --program / allxy repeats")
+    p.add_argument("--points", type=int, default=8,
+                   help="sweep points for the rabi experiment")
+    p.add_argument("--rounds", type=int, default=16,
+                   help="averaging rounds per job")
+    p.add_argument("--k-points", type=int, default=1, dest="k_points",
+                   help="measurements per round for --program jobs")
+    p.add_argument("--backend", choices=("serial", "process"),
+                   default="serial")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for the process backend")
+    p.add_argument("--qubits", default="2")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_batch)
 
     return parser
 

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from repro.pulse.lut import PulseCalibration
 from repro.qubit.transmon import TransmonParams
@@ -108,6 +110,21 @@ class MachineConfig:
             raise ConfigurationError("classical issue time must be >= 1 ns")
         if self.issue_width < 1:
             raise ConfigurationError("issue width must be at least 1")
+
+    def fingerprint(self, *, exclude: tuple[str, ...] = ()) -> str:
+        """Stable content digest of the full configuration.
+
+        Two configs with equal field values (recursively, including the
+        nested transmon/readout/calibration dataclasses) produce the same
+        hex digest across processes and sessions — the key material for
+        the service layer's compile cache and machine pool.  ``exclude``
+        drops named top-level fields, e.g. ``("dcu_points",)`` for pool
+        compatibility where the data collection unit is resized per job.
+        """
+        data = {name: value for name, value in sorted(asdict(self).items())
+                if name not in exclude}
+        blob = json.dumps(data, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()
 
     def device_index(self, chip_label: int) -> int:
         """Map a chip qubit label (e.g. q2) to the device's dense index."""

@@ -56,6 +56,19 @@ class ExecutionController:
         self.instructions_executed = 0
         self._pending_uinstrs = []
 
+    def reset(self, seed: int | None = None) -> None:
+        """Return to the just-constructed state (no program loaded)."""
+        self._jitter_rng = derive_rng(
+            self.config.seed if seed is None else seed, "classical_jitter")
+        self.program = None
+        self.pc = 0
+        self.halted = True
+        self.instructions_executed = 0
+        self.stall_ns = 0
+        self.data_memory = {}
+        self._pending_uinstrs = []
+        self._stall_started = None
+
     def start(self) -> None:
         """Begin fetching at the current simulation time."""
         if self.program is None:

@@ -53,6 +53,14 @@ class MeasurementPath:
         self.results: list = []
         self.orphan_discriminations = 0
 
+    def reset(self, seed: int | None = None) -> None:
+        """Drop in-flight and recorded measurements; re-derive the noise RNG."""
+        self._rng = derive_rng(self.config.seed if seed is None else seed,
+                               "readout_noise")
+        self._active.clear()
+        self.results.clear()
+        self.orphan_discriminations = 0
+
     # -- MPG: measurement pulse generation --------------------------------------
 
     def on_mpg(self, event: MpgEvent) -> None:

@@ -34,6 +34,11 @@ class QuantumMicroinstructionBuffer:
                               for i, p in enumerate(config.flux_pairs)}
         self.auto_start = config.td_auto_start
 
+    def reset(self) -> None:
+        """Forget the label stream (for a fresh run on a reused machine)."""
+        self.current_label = None
+        self._next_label = 1
+
     # -- routing ---------------------------------------------------------
 
     def route_pulse_events(self, pulse: ins.Pulse, label: int) -> list[PulseEvent]:

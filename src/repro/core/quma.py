@@ -53,6 +53,17 @@ class RunResult:
     stall_ns: int = 0
 
 
+def check_run_result(result: RunResult) -> None:
+    """Raise unless a run completed cleanly with a full data round."""
+    if not result.completed:
+        raise ReproError("experiment program did not run to completion")
+    if result.timing_violations:
+        raise ReproError(
+            f"{len(result.timing_violations)} timing violations during run")
+    if result.averages is None:
+        raise ReproError("no complete data-collection round")
+
+
 class QuMA:
     """The assembled quantum microarchitecture."""
 
@@ -135,6 +146,40 @@ class QuMA:
         self.exec_ctrl = ExecutionController(self.sim, self.config, self.registers,
                                              self.microcode, self.qmb,
                                              trace=self.trace)
+
+    # -- machine reuse -------------------------------------------------------
+
+    def reset(self, seed: int | None = None, dcu_points: int | None = None) -> None:
+        """Restore the just-constructed state without rebuilding the stack.
+
+        Re-derives every run-time RNG stream (device projection, readout
+        noise, classical jitter) from ``seed`` — defaulting to the
+        construction seed, in which case the machine is bit-for-bit
+        indistinguishable from a freshly built ``QuMA(config)``.  The
+        expensive construction artifacts (readout calibration, drive LUTs,
+        pulse-unitary caches) are deterministic functions of the config and
+        are kept, which is what makes pooled reuse cheap.
+
+        ``dcu_points`` resizes the data collection unit for the next
+        program's K (and updates ``config.dcu_points`` to match).
+        """
+        seed = self.config.seed if seed is None else seed
+        self.sim.reset()
+        self.trace.clear()
+        self.device.restart(seed)
+        if dcu_points is not None and dcu_points != self.config.dcu_points:
+            self.config.dcu_points = dcu_points
+            self.dcu = DataCollectionUnit(dcu_points)
+            self.measurement.dcu = self.dcu
+        else:
+            self.dcu.clear()
+        self.registers.reset()
+        self.measurement.reset(seed)
+        self.tcu.reset()
+        self.qmb.reset()
+        self.exec_ctrl.reset(seed)
+        for ctpg in self.ctpgs.values():
+            ctpg.triggers_received = 0
 
     # -- event routing ------------------------------------------------------
 

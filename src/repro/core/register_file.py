@@ -31,6 +31,12 @@ class RegisterFile:
         self._pending = [0] * self.N_REGS
         self._waiters: list[tuple[tuple[int, ...], Callable[[], None]]] = []
 
+    def reset(self) -> None:
+        """Zero all registers and forget pending write-backs and waiters."""
+        self.values = [0] * self.N_REGS
+        self._pending = [0] * self.N_REGS
+        self._waiters.clear()
+
     def read(self, reg: int) -> int:
         """Architectural read (the caller must have checked pending)."""
         return self.values[reg]

@@ -86,6 +86,22 @@ class TimingControlUnit:
         self.event_queues[name] = queue
         return queue
 
+    def reset(self) -> None:
+        """Return to the just-constructed state, keeping registered queues."""
+        if self._armed is not None:
+            self._armed.cancel()
+        self.timing_queue.clear()
+        for queue in self.event_queues.values():
+            queue.entries.clear()
+        self.started = False
+        self.violations.clear()
+        self._counter_zero_ns = 0
+        self._td_origin_ns = 0
+        self._armed = None
+        self._space_waiters.clear()
+        self.labels_fired = 0
+        self.last_fired_label = 0
+
     # -- producer side (QMB) -------------------------------------------------
 
     def timing_space(self) -> int:

@@ -10,6 +10,7 @@ from repro.experiments.allxy import (
     ALLXY_PAIRS,
     AllXYResult,
     allxy_ideal_staircase,
+    allxy_job,
     allxy_labels,
     build_allxy_program,
     run_allxy,
@@ -20,15 +21,22 @@ from repro.experiments.analysis import (
     fit_damped_cosine,
     fit_rb_decay,
 )
-from repro.experiments.coherence import run_t1, run_ramsey, run_echo, CoherenceResult
-from repro.experiments.rabi import run_rabi, RabiResult
+from repro.experiments.coherence import (
+    CoherenceResult,
+    coherence_job,
+    run_echo,
+    run_ramsey,
+    run_t1,
+)
+from repro.experiments.rabi import rabi_job, run_rabi, RabiResult
 from repro.experiments.cliffords import CliffordGroup
-from repro.experiments.rb import run_rb, RBResult
+from repro.experiments.rb import rb_sequence_job, run_rb, RBResult
 
 __all__ = [
     "ALLXY_PAIRS",
     "AllXYResult",
     "allxy_ideal_staircase",
+    "allxy_job",
     "allxy_labels",
     "build_allxy_program",
     "run_allxy",
@@ -41,9 +49,12 @@ __all__ = [
     "run_ramsey",
     "run_echo",
     "CoherenceResult",
+    "coherence_job",
+    "rabi_job",
     "run_rabi",
     "RabiResult",
     "CliffordGroup",
+    "rb_sequence_job",
     "run_rb",
     "RBResult",
 ]

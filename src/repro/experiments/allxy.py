@@ -14,10 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compiler.codegen import CompilerOptions, compile_program
+from repro.compiler.codegen import CompilerOptions
 from repro.compiler.program import QuantumProgram
 from repro.core.config import MachineConfig
-from repro.experiments.runner import ExperimentRun, run_compiled
+from repro.experiments.runner import ExperimentRun
+from repro.service import ExperimentService, JobSpec, default_service
 
 #: Algorithm 1's gate table: 21 pairs over {I, X180, Y180, X90, Y90}.
 ALLXY_PAIRS: list[tuple[str, str]] = [
@@ -103,14 +104,24 @@ def rescale_with_calibration_points(averages: np.ndarray,
     return (averages - s0) / (s1 - s0)
 
 
+def allxy_job(config: MachineConfig, qubit: int, n_rounds: int) -> JobSpec:
+    """The full AllXY run as one service job."""
+    return JobSpec(config=config, program=build_allxy_program(qubit),
+                   compiler_options=CompilerOptions(n_rounds=n_rounds),
+                   params={"qubit": qubit, "n_rounds": n_rounds},
+                   label=f"allxy q{qubit} N={n_rounds}")
+
+
 def run_allxy(config: MachineConfig | None = None, n_rounds: int = 128,
-              qubit: int | None = None) -> AllXYResult:
+              qubit: int | None = None,
+              service: ExperimentService | None = None) -> AllXYResult:
     """Run the full AllXY experiment through the QuMA stack."""
     config = config if config is not None else MachineConfig()
+    service = service if service is not None else default_service()
     qubit = qubit if qubit is not None else config.qubits[0]
-    program = build_allxy_program(qubit)
-    compiled = compile_program(program, CompilerOptions(n_rounds=n_rounds))
-    run = run_compiled(compiled, config)
+    job = service.run_job(allxy_job(config, qubit, n_rounds))
+    run = ExperimentRun(machine=None, result=job.run, averages=job.averages,
+                        s_ground=job.s_ground, s_excited=job.s_excited)
     fidelity = rescale_with_calibration_points(run.averages)
     ideal = allxy_ideal_staircase()
     deviation = float(np.mean(np.abs(fidelity - ideal)))

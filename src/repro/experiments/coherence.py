@@ -9,11 +9,11 @@ explicit model note in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.compiler.codegen import CompilerOptions, compile_program
+from repro.compiler.codegen import CompilerOptions
 from repro.compiler.program import QuantumProgram
 from repro.core.config import MachineConfig
 from repro.experiments.analysis import (
@@ -22,7 +22,8 @@ from repro.experiments.analysis import (
     fit_damped_cosine,
     fit_exponential_decay,
 )
-from repro.experiments.runner import ExperimentRun, run_compiled
+from repro.experiments.runner import ExperimentRun
+from repro.service import ExperimentService, JobSpec, default_service
 from repro.utils.units import CYCLE_NS
 
 
@@ -65,26 +66,40 @@ def _delay_kernels(program: QuantumProgram, qubit: int, delays_cycles: list[int]
         kernel.measure(qubit)
 
 
-def _run_sweep(kind: str, delays_cycles: list[int], config: MachineConfig,
-               n_rounds: int) -> tuple[ExperimentRun, np.ndarray]:
+def coherence_job(kind: str, delays_cycles: list[int], config: MachineConfig,
+                  n_rounds: int) -> JobSpec:
+    """One coherence sweep (all delays as kernels) as a service job."""
     qubit = config.qubits[0]
     program = QuantumProgram(kind, qubits=(qubit,))
     _delay_kernels(program, qubit, delays_cycles, kind)
-    compiled = compile_program(program, CompilerOptions(n_rounds=n_rounds))
-    run = run_compiled(compiled, config)
+    return JobSpec(config=config, program=program,
+                   compiler_options=CompilerOptions(n_rounds=n_rounds),
+                   params={"kind": kind, "points": len(delays_cycles)},
+                   label=f"{kind} x{len(delays_cycles)}")
+
+
+def _run_sweep(kind: str, delays_cycles: list[int], config: MachineConfig,
+               n_rounds: int,
+               service: ExperimentService | None = None
+               ) -> tuple[ExperimentRun, np.ndarray]:
+    service = service if service is not None else default_service()
+    job = service.run_job(coherence_job(kind, delays_cycles, config, n_rounds))
+    run = ExperimentRun(machine=None, result=job.run, averages=job.averages,
+                        s_ground=job.s_ground, s_excited=job.s_excited)
     return run, run.normalized
 
 
 def run_t1(config: MachineConfig | None = None,
            delays_cycles: list[int] | None = None,
-           n_rounds: int = 64) -> CoherenceResult:
+           n_rounds: int = 64,
+           service: ExperimentService | None = None) -> CoherenceResult:
     """Excite, wait tau, measure; fit P1(tau) = A exp(-tau/T1) + B."""
     config = config if config is not None else MachineConfig()
     if delays_cycles is None:
         t1_cycles = int(config.transmons[0].t1_ns / CYCLE_NS)
         delays_cycles = [max(1, int(f * t1_cycles)) for f in
                          (0.02, 0.15, 0.3, 0.5, 0.75, 1.0, 1.5, 2.2)]
-    run, pop = _run_sweep("t1", delays_cycles, config, n_rounds)
+    run, pop = _run_sweep("t1", delays_cycles, config, n_rounds, service)
     delays_ns = np.asarray(delays_cycles) * CYCLE_NS
     fit = fit_exponential_decay(delays_ns, pop)
     return CoherenceResult("t1", delays_ns, pop, fit, run)
@@ -93,7 +108,8 @@ def run_t1(config: MachineConfig | None = None,
 def run_ramsey(config: MachineConfig | None = None,
                delays_cycles: list[int] | None = None,
                artificial_detuning_hz: float = 0.4e6,
-               n_rounds: int = 64) -> CoherenceResult:
+               n_rounds: int = 64,
+               service: ExperimentService | None = None) -> CoherenceResult:
     """x90 - wait - x90 with an artificial detuning; fit damped cosine.
 
     The detuning is applied as a drive-frequency offset (the experimental
@@ -102,15 +118,17 @@ def run_ramsey(config: MachineConfig | None = None,
     modulated waveforms, off-grid delays rotate the second pulse's axis
     (Section 4.2.3), which is a *different* experiment.
     """
-    config = config if config is not None else MachineConfig()
-    config.drive_detuning_hz = artificial_detuning_hz
+    base = config if config is not None else MachineConfig()
+    # A private copy: detuning the drive must not leak into the caller's
+    # config (which may seed other experiments' jobs and pool keys).
+    config = replace(base, drive_detuning_hz=artificial_detuning_hz)
     if delays_cycles is None:
         ssb_grid = 4  # cycles per SSB period (20 ns at -50 MHz)
         t2_cycles = int(config.transmons[0].t2_ns / CYCLE_NS)
         raw = np.linspace(0.02, 2.0, 24) * t2_cycles
         delays_cycles = sorted({max(ssb_grid, int(round(d / ssb_grid)) * ssb_grid)
                                 for d in raw})
-    run, pop = _run_sweep("ramsey", delays_cycles, config, n_rounds)
+    run, pop = _run_sweep("ramsey", delays_cycles, config, n_rounds, service)
     delays_ns = np.asarray(delays_cycles) * CYCLE_NS
     fit = fit_damped_cosine(delays_ns, pop,
                             freq_guess=abs(artificial_detuning_hz) * 1e-9)
@@ -119,7 +137,8 @@ def run_ramsey(config: MachineConfig | None = None,
 
 def run_echo(config: MachineConfig | None = None,
              delays_cycles: list[int] | None = None,
-             n_rounds: int = 64) -> CoherenceResult:
+             n_rounds: int = 64,
+             service: ExperimentService | None = None) -> CoherenceResult:
     """x90 - tau/2 - X180 - tau/2 - x90; fit exponential decay toward 0.5."""
     config = config if config is not None else MachineConfig()
     if delays_cycles is None:
@@ -129,7 +148,7 @@ def run_echo(config: MachineConfig | None = None,
         t2_cycles = int(config.transmons[0].t2_ns / CYCLE_NS)
         delays_cycles = [max(2, int(f * t2_cycles)) for f in
                          (0.05, 0.15, 0.3, 0.5, 0.75, 1.0, 1.3, 1.7, 2.2)]
-    run, pop = _run_sweep("echo", delays_cycles, config, n_rounds)
+    run, pop = _run_sweep("echo", delays_cycles, config, n_rounds, service)
     delays_ns = np.asarray(delays_cycles) * CYCLE_NS
     fit = fit_exponential_decay(delays_ns, pop)
     return CoherenceResult("echo", delays_ns, pop, fit, run)

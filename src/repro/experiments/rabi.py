@@ -5,20 +5,22 @@ resulting population oscillation, the standard calibration that fixes the
 X180 amplitude.  Each amplitude point is realized by uploading a custom
 waveform into the CTPG lookup table under a scratch codeword — the exact
 mechanism the control box uses for calibration sweeps.
+
+Points execute through the orchestration service: one job per amplitude,
+sharing a pooled machine and the cached assembly of the (amplitude-
+independent) sequence program.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 from scipy.optimize import curve_fit
 
 from repro.core.config import MachineConfig
-from repro.core.quma import QuMA
 from repro.pulse.envelopes import gaussian
-from repro.pulse.waveform import Waveform
-from repro.utils.errors import ConfigurationError
+from repro.service import ExperimentService, JobSpec, LUTUpload, default_service
 
 #: Scratch operation name for the swept pulse.
 RABI_OP = "RABI"
@@ -35,19 +37,9 @@ class RabiResult:
         return abs(self.pi_amplitude - self.expected_pi_amplitude)
 
 
-def _rabi_point(config: MachineConfig, qubit: int, amplitude: float,
-                n_rounds: int) -> float:
-    """One amplitude point: upload, run, return rescaled population."""
-    machine = QuMA(MachineConfig(
-        qubits=config.qubits, transmons=config.transmons,
-        readout=config.readout, calibration=config.calibration,
-        seed=config.seed, dcu_points=1))
-    cal = config.calibration
-    rabi_id = machine.op_table.define(RABI_OP)
-    waveform = Waveform(RABI_OP, gaussian(cal.duration_ns, cal.sigma_ns,
-                                          float(amplitude)))
-    machine.ctpgs[f"ctpg{qubit}"].lut.upload(rabi_id, waveform)
-    machine.load(f"""
+def _point_asm(qubit: int, n_rounds: int) -> str:
+    """The per-point sequence; identical across amplitudes (cache-friendly)."""
+    return f"""
         mov r15, 40000
         mov r1, 0
         mov r2, {n_rounds}
@@ -60,26 +52,37 @@ def _rabi_point(config: MachineConfig, qubit: int, amplitude: float,
         addi r1, r1, 1
         bne r1, r2, Outer_Loop
         halt
-    """)
-    result = machine.run()
-    if not result.completed or result.averages is None:
-        raise ConfigurationError("rabi point did not complete")
-    ro = machine.readout_calibration
-    return float((result.averages[0] - ro.s_ground)
-                 / (ro.s_excited - ro.s_ground))
+    """
+
+
+def rabi_job(config: MachineConfig, qubit: int, amplitude: float,
+             n_rounds: int) -> JobSpec:
+    """One amplitude point as a service job: upload the pulse, run, average."""
+    cal = config.calibration
+    samples = gaussian(cal.duration_ns, cal.sigma_ns, float(amplitude))
+    return JobSpec(
+        config=replace(config, dcu_points=1),
+        asm=_point_asm(qubit, n_rounds),
+        uploads=(LUTUpload.from_array(qubit, RABI_OP, samples),),
+        params={"amplitude": float(amplitude)},
+        label=f"rabi a={amplitude:.4f}",
+    )
 
 
 def run_rabi(config: MachineConfig | None = None,
              amplitudes: np.ndarray | None = None,
-             n_rounds: int = 64) -> RabiResult:
+             n_rounds: int = 64,
+             service: ExperimentService | None = None) -> RabiResult:
     """Amplitude-Rabi through the machine, one uploaded pulse per point."""
     config = config if config is not None else MachineConfig()
+    service = service if service is not None else default_service()
     expected_pi = config.calibration.amplitude_for(np.pi)
     if amplitudes is None:
         amplitudes = np.linspace(0.0, min(2.2 * expected_pi, 0.999), 21)
     qubit = config.qubits[0]
-    populations = np.asarray([
-        _rabi_point(config, qubit, amp, n_rounds) for amp in amplitudes])
+    sweep = service.run_batch([
+        rabi_job(config, qubit, amp, n_rounds) for amp in amplitudes])
+    populations = np.asarray([job.normalized[0] for job in sweep])
 
     def model(a, a_pi, visibility, offset):
         return offset + visibility * (1 - np.cos(np.pi * a / a_pi)) / 2.0

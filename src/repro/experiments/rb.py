@@ -8,15 +8,14 @@ compiled to QuMIS and executed through the complete QuMA stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.config import MachineConfig
-from repro.core.quma import QuMA
 from repro.experiments.analysis import RBFit, fit_rb_decay
 from repro.experiments.cliffords import clifford_group
-from repro.utils.errors import ConfigurationError
+from repro.service import ExperimentService, JobSpec, default_service
 from repro.utils.rng import derive_rng
 
 
@@ -52,20 +51,16 @@ def _sequence_asm(qubit: int, pulse_names: list[str], n_rounds: int) -> str:
     return "\n".join(lines)
 
 
-def _survival_for_sequence(config: MachineConfig, qubit: int,
-                           pulse_names: list[str], n_rounds: int) -> float:
-    machine = QuMA(MachineConfig(
-        qubits=config.qubits, transmons=config.transmons,
-        readout=config.readout, calibration=config.calibration,
-        drive_detuning_hz=config.drive_detuning_hz,
-        seed=config.seed, dcu_points=1))
-    machine.load(_sequence_asm(qubit, pulse_names, n_rounds))
-    result = machine.run()
-    if not result.completed or result.averages is None:
-        raise ConfigurationError("RB sequence did not complete")
-    ro = machine.readout_calibration
-    p1 = (result.averages[0] - ro.s_ground) / (ro.s_excited - ro.s_ground)
-    return float(1.0 - p1)  # survival of |0>
+def rb_sequence_job(config: MachineConfig, qubit: int,
+                    pulse_names: list[str], n_rounds: int,
+                    length: int) -> JobSpec:
+    """One RB sequence as a service job (pooled machine, dcu K = 1)."""
+    return JobSpec(
+        config=replace(config, dcu_points=1),
+        asm=_sequence_asm(qubit, pulse_names, n_rounds),
+        params={"length": length, "pulses": len(pulse_names)},
+        label=f"rb m={length}",
+    )
 
 
 def run_rb(config: MachineConfig | None = None,
@@ -73,22 +68,25 @@ def run_rb(config: MachineConfig | None = None,
            sequences_per_length: int = 3,
            n_rounds: int = 32,
            seed: int = 0,
-           fixed_offset: float | None = 0.5) -> RBResult:
+           fixed_offset: float | None = 0.5,
+           service: ExperimentService | None = None) -> RBResult:
     """Randomized benchmarking through the full stack.
 
     ``fixed_offset`` pins the fit asymptote (0.5 = fully depolarized);
-    pass None to fit it freely when many lengths are measured.
+    pass None to fit it freely when many lengths are measured.  All
+    sequences execute as one service batch (worker-pool capable); the
+    random sequences themselves are drawn in the caller from ``seed``.
     """
     config = config if config is not None else MachineConfig()
+    service = service if service is not None else default_service()
     if lengths is None:
         lengths = [1, 4, 10, 20, 40, 70]
     qubit = config.qubits[0]
     group = clifford_group()
     rng = derive_rng(seed, "rb_sequences")
 
-    survival = []
+    specs = []
     for m in lengths:
-        values = []
         for _ in range(sequences_per_length):
             indices = [int(rng.integers(len(group))) for _ in range(m)]
             recovery = group.recovery(indices)
@@ -98,8 +96,16 @@ def run_rb(config: MachineConfig | None = None,
             pulses.extend(group[recovery].pulses)
             if not pulses:
                 pulses = ["I"]
-            values.append(_survival_for_sequence(config, qubit, pulses, n_rounds))
-        survival.append(float(np.mean(values)))
+            specs.append(rb_sequence_job(config, qubit, pulses, n_rounds, m))
+    sweep = service.run_batch(specs)
+
+    survival = []
+    per_length = [sweep.jobs[i:i + sequences_per_length]
+                  for i in range(0, len(sweep.jobs), sequences_per_length)]
+    for jobs in per_length:
+        # survival of |0> = 1 - P(|1>)
+        survival.append(float(np.mean([1.0 - job.normalized[0]
+                                       for job in jobs])))
 
     lengths_arr = np.asarray(lengths, dtype=float)
     survival_arr = np.asarray(survival)

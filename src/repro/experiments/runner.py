@@ -8,24 +8,34 @@ import numpy as np
 
 from repro.compiler.codegen import CompiledProgram
 from repro.core.config import MachineConfig
-from repro.core.quma import QuMA, RunResult
+from repro.core.quma import QuMA, RunResult, check_run_result
 from repro.utils.errors import ReproError
 
 
 @dataclass
 class ExperimentRun:
-    """Everything an experiment needs back from the machine."""
+    """Everything an experiment needs back from the machine.
 
-    machine: QuMA
+    ``machine`` may be None when the run came through the orchestration
+    service (pooled machines never leave the pool; a worker process's
+    machines never leave the worker) — the calibration points needed for
+    rescaling travel as the ``s_ground``/``s_excited`` scalars instead.
+    """
+
+    machine: QuMA | None
     result: RunResult
     averages: np.ndarray  #: data collection unit output, length K
+    s_ground: float | None = None
+    s_excited: float | None = None
 
     @property
     def normalized(self) -> np.ndarray:
         """Averages rescaled by the machine's readout calibration points."""
-        cal = self.machine.readout_calibration
-        span = cal.s_excited - cal.s_ground
-        return (self.averages - cal.s_ground) / span
+        s0, s1 = self.s_ground, self.s_excited
+        if s0 is None or s1 is None:
+            cal = self.machine.readout_calibration
+            s0, s1 = cal.s_ground, cal.s_excited
+        return (self.averages - s0) / (s1 - s0)
 
 
 def run_compiled(compiled: CompiledProgram, config: MachineConfig,
@@ -44,11 +54,5 @@ def run_compiled(compiled: CompiledProgram, config: MachineConfig,
             f"machine K={machine.config.dcu_points} but program K={compiled.k_points}")
     machine.load(compiled.asm)
     result = machine.run()
-    if not result.completed:
-        raise ReproError("experiment program did not run to completion")
-    if result.timing_violations:
-        raise ReproError(
-            f"{len(result.timing_violations)} timing violations during run")
-    if result.averages is None:
-        raise ReproError("no complete data-collection round")
+    check_run_result(result)
     return ExperimentRun(machine=machine, result=result, averages=result.averages)

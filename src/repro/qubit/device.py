@@ -63,6 +63,17 @@ class QuantumDevice:
         self.state = DensityMatrix.ground(self.n_qubits)
         self._busy_until = [0] * self.n_qubits
 
+    def restart(self, seed: int | np.random.Generator | None = 0) -> None:
+        """Return to the just-constructed state: ground, t = 0, fresh RNG.
+
+        With the construction seed this reproduces a newly-built device
+        bit-for-bit; the pulse-unitary caches are kept (they memoize a
+        pure function of waveform and phase).
+        """
+        self.reset()
+        self.now_ns = 0
+        self._rng = derive_rng(seed, "device")
+
     # -- drive -------------------------------------------------------------
 
     def play_waveform(self, qubits: tuple[int, ...], waveform: Waveform,

@@ -1,0 +1,48 @@
+"""Experiment-orchestration service: batched execution of compiled programs.
+
+The classical analogue of a lab-control stack driving a real processor:
+jobs (:class:`JobSpec`) describe one compiled-program execution; a
+compile cache reuses codegen and assembly across sweep points; a machine
+pool reuses :class:`~repro.core.quma.QuMA` control stacks across jobs
+with compatible configs; and a scheduler executes batches serially or on
+a ``multiprocessing`` worker pool with deterministic per-job seeding.
+
+Quick use::
+
+    from repro.service import ExperimentService, JobSpec, grid
+
+    service = ExperimentService(backend="process", workers=4)
+    sweep = service.run_sweep(make_job, grid(amplitude=amps), seed_root=7)
+"""
+
+from repro.service.cache import CompileCache, program_fingerprint
+from repro.service.job import (
+    JobResult,
+    JobSpec,
+    LUTUpload,
+    SweepResult,
+    derive_job_seed,
+)
+from repro.service.pool import MachinePool, pool_key
+from repro.service.scheduler import (
+    ExperimentService,
+    default_service,
+    execute_job,
+    grid,
+)
+
+__all__ = [
+    "CompileCache",
+    "ExperimentService",
+    "JobResult",
+    "JobSpec",
+    "LUTUpload",
+    "MachinePool",
+    "SweepResult",
+    "default_service",
+    "derive_job_seed",
+    "execute_job",
+    "grid",
+    "pool_key",
+    "program_fingerprint",
+]

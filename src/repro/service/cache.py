@@ -1,0 +1,160 @@
+"""Compile cache: sweeps reuse codegen instead of recompiling per point.
+
+Two levels mirror the toolchain's two passes (the asm80 two-pass idiom —
+compile once, execute many):
+
+1. **codegen** — ``QuantumProgram`` + ``CompilerOptions`` → assembly text
+   and the per-round measurement count K;
+2. **assembly** — assembly text + operation-table contents → an assembled
+   :class:`~repro.isa.program.Program`, loadable into any machine whose
+   table defines the same names (instructions carry operation *names*,
+   resolved per machine at issue time).
+
+Keys are stable content digests — program structure, compiler options,
+operation names, and (for raw-asm jobs) the source hash — so two
+processes compute identical keys for identical work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import astuple, dataclass
+
+from repro.compiler.codegen import CompilerOptions, compile_program
+from repro.compiler.program import QuantumProgram
+from repro.isa.assembler import assemble
+from repro.isa.operations import DEFAULT_OPERATIONS
+from repro.isa.program import Program
+from repro.service.job import JobSpec
+
+
+def program_fingerprint(program: QuantumProgram) -> str:
+    """Stable content digest of a high-level program's structure."""
+    parts = [program.name, repr(program.qubits)]
+    for kernel in program.kernels:
+        for op in kernel.ops:
+            parts.append(f"{kernel.name}|{op.name}|{op.qubits}|"
+                         f"{op.kind.name}|{op.duration_cycles}|{op.rd}")
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def options_fingerprint(options: CompilerOptions) -> str:
+    return hashlib.sha256(repr(astuple(options)).encode()).hexdigest()
+
+
+def asm_fingerprint(asm: str, op_names: tuple[str, ...]) -> str:
+    blob = asm + "\x00" + "|".join(op_names)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ResolvedJob:
+    """A job's executable form: assembled program plus run metadata."""
+
+    program: Program
+    k_points: int
+    cache_hit: bool  #: the assembled program was served from cache
+
+
+class _LRU(OrderedDict):
+    def __init__(self, max_entries: int):
+        super().__init__()
+        self.max_entries = max_entries
+
+    def get_touch(self, key):
+        if key in self:
+            self.move_to_end(key)
+            return self[key]
+        return None
+
+    def put(self, key, value) -> None:
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.max_entries:
+            self.popitem(last=False)
+
+
+class CompileCache:
+    """Keyed reuse of codegen and assembly across jobs.
+
+    Entries are immutable once stored (``Program`` is only ever read by
+    the execution controller), so one cache instance can serve every job
+    a scheduler backend executes in its process.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self._codegen = _LRU(max_entries)
+        self._assembly = _LRU(max_entries)
+        self.codegen_hits = 0
+        self.codegen_misses = 0
+        self.assembly_hits = 0
+        self.assembly_misses = 0
+
+    # -- levels --------------------------------------------------------------
+
+    def compiled_for(self, program: QuantumProgram,
+                     options: CompilerOptions) -> tuple[str, int]:
+        """Assembly text and K for a high-level program (level 1)."""
+        key = (program_fingerprint(program), options_fingerprint(options))
+        entry = self._codegen.get_touch(key)
+        if entry is not None:
+            self.codegen_hits += 1
+            return entry
+        self.codegen_misses += 1
+        compiled = compile_program(program, options)
+        entry = (compiled.asm, compiled.k_points)
+        self._codegen.put(key, entry)
+        return entry
+
+    def assembled_for(self, asm: str,
+                      extra_ops: tuple[str, ...] = ()) -> tuple[Program, bool]:
+        """Assembled ``Program`` for source text (level 2).
+
+        ``extra_ops`` are scratch operation names (LUT uploads) defined on
+        top of the default table, in order — part of the key because they
+        change name resolution.
+        """
+        op_names = tuple(DEFAULT_OPERATIONS.names()) + tuple(extra_ops)
+        key = asm_fingerprint(asm, op_names)
+        program = self._assembly.get_touch(key)
+        if program is not None:
+            self.assembly_hits += 1
+            return program, True
+        self.assembly_misses += 1
+        table = DEFAULT_OPERATIONS.copy()
+        for name in extra_ops:
+            table.define(name)
+        program = assemble(asm, op_table=table)
+        self._assembly.put(key, program)
+        return program, False
+
+    # -- job resolution ------------------------------------------------------
+
+    def resolve(self, spec: JobSpec) -> ResolvedJob:
+        """Executable form of a job spec, reusing cached work."""
+        if spec.asm is not None:
+            asm, k_points = spec.asm, spec.k_points
+        else:
+            asm, k_points = self.compiled_for(spec.program,
+                                              spec.compiler_options)
+        extra_ops = tuple(up.op_name for up in spec.uploads)
+        program, hit = self.assembled_for(asm, extra_ops)
+        return ResolvedJob(program=program, k_points=k_points, cache_hit=hit)
+
+    # -- inspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "codegen_hits": self.codegen_hits,
+            "codegen_misses": self.codegen_misses,
+            "assembly_hits": self.assembly_hits,
+            "assembly_misses": self.assembly_misses,
+            "entries": len(self._codegen) + len(self._assembly),
+        }
+
+    def clear(self) -> None:
+        self._codegen.clear()
+        self._assembly.clear()
+        self.codegen_hits = self.codegen_misses = 0
+        self.assembly_hits = self.assembly_misses = 0

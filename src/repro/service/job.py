@@ -1,0 +1,159 @@
+"""Job model: one compiled-program execution and its collected results.
+
+A :class:`JobSpec` is a self-contained, picklable description of one run —
+program (high-level or raw assembly), machine configuration, scratch LUT
+uploads, and the per-job run seed.  The scheduler turns specs into
+:class:`JobResult`\\ s; a batch of results aggregates into a
+:class:`SweepResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler.codegen import CompilerOptions
+from repro.compiler.program import QuantumProgram
+from repro.core.config import MachineConfig
+from repro.core.quma import RunResult
+from repro.utils.errors import ConfigurationError
+
+
+def derive_job_seed(root: int, index: int) -> int:
+    """Deterministic, well-mixed per-job seed from a sweep root seed.
+
+    Stable across processes and platforms (numpy's SeedSequence entropy
+    mixing), so worker-pool and serial execution hand every job the same
+    seed regardless of scheduling order.
+    """
+    return int(np.random.SeedSequence([int(root), int(index)])
+               .generate_state(1, np.uint32)[0])
+
+
+@dataclass(frozen=True)
+class LUTUpload:
+    """A scratch waveform uploaded to one qubit's drive CTPG before a run.
+
+    The mechanism calibration sweeps use on the control box: the operation
+    name is defined in the machine's table (idempotently) and the samples
+    land in the LUT under the resulting codeword.  Samples are stored as a
+    plain tuple so specs stay picklable and content-hashable.
+    """
+
+    qubit: int
+    op_name: str
+    samples: tuple[complex, ...]
+
+    @classmethod
+    def from_array(cls, qubit: int, op_name: str,
+                   samples: np.ndarray) -> "LUTUpload":
+        return cls(qubit=qubit, op_name=op_name,
+                   samples=tuple(np.asarray(samples).tolist()))
+
+
+@dataclass
+class JobSpec:
+    """Everything needed to execute one program on one machine setup.
+
+    Exactly one of ``program`` (lowered through the compiler) or ``asm``
+    (raw QIS+QuMIS text) must be given.  ``seed`` is the *run* seed for
+    the stochastic streams (device projection, readout noise, classical
+    jitter); the machine's construction artifacts (readout calibration)
+    always derive from ``config.seed``, so jobs with different run seeds
+    still share pooled machines.
+    """
+
+    config: MachineConfig
+    program: QuantumProgram | None = None
+    asm: str | None = None
+    compiler_options: CompilerOptions = field(default_factory=CompilerOptions)
+    #: Run seed; None means ``config.seed`` (legacy single-run behavior).
+    seed: int | None = None
+    #: Measurements per round for raw-``asm`` jobs (program jobs derive K).
+    k_points: int = 1
+    uploads: tuple[LUTUpload, ...] = ()
+    #: Sweep-point coordinates, carried through to the result.
+    params: dict = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self):
+        if (self.program is None) == (self.asm is None):
+            raise ConfigurationError(
+                "JobSpec needs exactly one of program= or asm=")
+        if self.k_points < 1:
+            raise ConfigurationError("k_points must be at least 1")
+
+    @property
+    def run_seed(self) -> int:
+        return self.config.seed if self.seed is None else self.seed
+
+
+@dataclass
+class JobResult:
+    """One job's collected statistics plus execution metadata."""
+
+    averages: np.ndarray   #: data collection unit output, length K
+    run: RunResult
+    s_ground: float        #: readout calibration point for |0>
+    s_excited: float       #: readout calibration point for |1>
+    seed: int
+    params: dict
+    label: str
+    cache_hit: bool        #: assembled program came from the compile cache
+    machine_reused: bool   #: machine came warm from the pool
+    compile_s: float
+    execute_s: float
+
+    @property
+    def normalized(self) -> np.ndarray:
+        """Averages rescaled by the readout calibration points."""
+        return (self.averages - self.s_ground) / (self.s_excited - self.s_ground)
+
+
+@dataclass
+class SweepResult:
+    """An ordered batch of job results with aggregate statistics."""
+
+    jobs: list[JobResult]
+    elapsed_s: float
+    backend: str
+    cache_stats: dict = field(default_factory=dict)
+    pool_stats: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    def __getitem__(self, index: int) -> JobResult:
+        return self.jobs[index]
+
+    def averages(self) -> np.ndarray:
+        """Job-major matrix of raw averages, shape (n_jobs, K)."""
+        return np.stack([job.averages for job in self.jobs])
+
+    def normalized(self) -> np.ndarray:
+        """Job-major matrix of calibration-rescaled averages."""
+        return np.stack([job.normalized for job in self.jobs])
+
+    def param_values(self, key: str) -> list:
+        """One sweep coordinate across jobs, in submission order."""
+        return [job.params[key] for job in self.jobs]
+
+    @property
+    def jobs_per_second(self) -> float:
+        return len(self.jobs) / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return sum(1 for j in self.jobs if j.cache_hit) / len(self.jobs)
+
+    @property
+    def machine_reuse_rate(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return sum(1 for j in self.jobs if j.machine_reused) / len(self.jobs)

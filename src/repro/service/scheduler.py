@@ -1,0 +1,208 @@
+"""The experiment scheduler: serial and worker-pool execution backends.
+
+One :class:`ExperimentService` owns a compile cache and a machine pool
+and executes :class:`~repro.service.job.JobSpec` batches through a
+backend:
+
+* ``"serial"`` — in-process loop sharing one cache and pool;
+* ``"process"`` — a persistent ``multiprocessing`` worker pool, each
+  worker holding its own cache and machine pool that stay warm across
+  batches.
+
+Job execution is a pure function of the spec (per-job RNG streams are
+re-derived from the spec's run seed), so both backends produce
+numerically identical results in submission order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.quma import check_run_result
+from repro.pulse.waveform import Waveform
+from repro.service.cache import CompileCache
+from repro.service.job import (
+    JobResult,
+    JobSpec,
+    SweepResult,
+    derive_job_seed,
+)
+from repro.service.pool import MachinePool
+from repro.utils.errors import ConfigurationError
+
+
+def grid(**axes: Iterable) -> list[dict]:
+    """Cartesian sweep points from named axes, last axis fastest.
+
+    >>> grid(detuning=(0.0, 1e6), amplitude=(0.1, 0.2))[0]
+    {'detuning': 0.0, 'amplitude': 0.1}
+    """
+    names = list(axes)
+    return [dict(zip(names, combo))
+            for combo in itertools.product(*axes.values())]
+
+
+def execute_job(spec: JobSpec, pool: MachinePool,
+                cache: CompileCache) -> JobResult:
+    """Run one job against a pool and cache; deterministic given the spec."""
+    t0 = time.perf_counter()
+    resolved = cache.resolve(spec)
+    t1 = time.perf_counter()
+    machine, reused = pool.acquire(spec.config)
+    try:
+        machine.reset(seed=spec.run_seed, dcu_points=resolved.k_points)
+        for upload in spec.uploads:
+            op_id = machine.op_table.define(upload.op_name)
+            waveform = Waveform(upload.op_name, np.asarray(upload.samples))
+            machine.ctpgs[f"ctpg{upload.qubit}"].lut.upload(op_id, waveform)
+        machine.exec_ctrl.load(resolved.program)
+        result = machine.run()
+        check_run_result(result)
+        cal = machine.readout_calibration
+        return JobResult(
+            averages=result.averages.copy(),
+            run=result,
+            s_ground=cal.s_ground,
+            s_excited=cal.s_excited,
+            seed=spec.run_seed,
+            params=dict(spec.params),
+            label=spec.label,
+            cache_hit=resolved.cache_hit,
+            machine_reused=reused,
+            compile_s=t1 - t0,
+            execute_s=time.perf_counter() - t1,
+        )
+    finally:
+        pool.release(machine)
+
+
+# -- process-backend worker state ------------------------------------------
+# Each worker process holds its own pool and cache, created once at worker
+# start and kept warm for the lifetime of the service's executor.
+
+_WORKER: dict = {}
+
+
+def _worker_init() -> None:
+    _WORKER["pool"] = MachinePool()
+    _WORKER["cache"] = CompileCache()
+
+
+def _worker_execute(spec: JobSpec) -> JobResult:
+    return execute_job(spec, _WORKER["pool"], _WORKER["cache"])
+
+
+class ExperimentService:
+    """Batched experiment orchestration over cache + pool + backend."""
+
+    BACKENDS = ("serial", "process")
+
+    def __init__(self, backend: str = "serial", workers: int | None = None,
+                 cache: CompileCache | None = None,
+                 pool: MachinePool | None = None):
+        if backend not in self.BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose from {self.BACKENDS}")
+        if workers is not None and workers < 1:
+            raise ConfigurationError("need at least one worker")
+        self.backend = backend
+        self.workers = workers if workers is not None else max(
+            1, (multiprocessing.cpu_count() or 2) - 1)
+        self.cache = cache if cache is not None else CompileCache()
+        self.pool = pool if pool is not None else MachinePool()
+        self._executor: multiprocessing.pool.Pool | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_executor(self) -> multiprocessing.pool.Pool:
+        if self._executor is None:
+            self._executor = multiprocessing.Pool(
+                processes=self.workers, initializer=_worker_init)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for the serial backend)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor.join()
+            self._executor = None
+
+    def __enter__(self) -> "ExperimentService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+
+    def run_job(self, spec: JobSpec) -> JobResult:
+        """Execute a single job (serially, even on the process backend)."""
+        return execute_job(spec, self.pool, self.cache)
+
+    def run_batch(self, specs: Sequence[JobSpec]) -> SweepResult:
+        """Execute jobs, returning results in submission order."""
+        specs = list(specs)
+        t0 = time.perf_counter()
+        if self.backend == "process" and len(specs) > 1:
+            results = self._ensure_executor().map(_worker_execute, specs)
+        else:
+            results = [execute_job(spec, self.pool, self.cache)
+                       for spec in specs]
+        # Per-batch aggregates derived from the jobs themselves, so they
+        # are correct on both backends (worker-local pools and caches
+        # never report back; the serial service's cumulative state stays
+        # inspectable via self.pool.stats() / self.cache.stats()).
+        reuses = sum(1 for job in results if job.machine_reused)
+        hits = sum(1 for job in results if job.cache_hit)
+        return SweepResult(
+            jobs=results,
+            elapsed_s=time.perf_counter() - t0,
+            backend=self.backend,
+            cache_stats={"hits": hits, "misses": len(results) - hits},
+            pool_stats={"builds": len(results) - reuses, "reuses": reuses},
+        )
+
+    def run_sweep(self, factory: Callable[[dict], JobSpec],
+                  points: Iterable[dict], *,
+                  seed_root: int | None = None) -> SweepResult:
+        """Build one job per sweep point and execute the batch.
+
+        ``factory`` maps a point's parameter dict to a :class:`JobSpec`
+        (specs are built in the parent process; only specs cross to
+        workers).  With ``seed_root`` every job gets an independent,
+        reproducible run seed derived from (root, index); without it jobs
+        keep the factory's seeds (defaulting to the config seed).
+        """
+        specs = []
+        for index, params in enumerate(points):
+            params = dict(params)
+            spec = factory(params)
+            if not spec.params:
+                spec.params = params
+            if seed_root is not None:
+                spec.seed = derive_job_seed(seed_root, index)
+            specs.append(spec)
+        return self.run_batch(specs)
+
+
+# -- shared default service -------------------------------------------------
+
+_DEFAULT_SERVICE: ExperimentService | None = None
+
+
+def default_service() -> ExperimentService:
+    """The process-wide serial service.
+
+    Experiments route through this by default, so successive calls (a
+    Rabi scan after an AllXY run, every point of a coherence sweep) share
+    one machine pool and one compile cache.
+    """
+    global _DEFAULT_SERVICE
+    if _DEFAULT_SERVICE is None:
+        _DEFAULT_SERVICE = ExperimentService(backend="serial")
+    return _DEFAULT_SERVICE

@@ -45,6 +45,12 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = 0
 
+    def reset(self) -> None:
+        """Return to the just-constructed state: t = 0, no pending events."""
+        self.now = 0
+        self._heap.clear()
+        self._seq = 0
+
     def at(self, time: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute time ``time`` (ns)."""
         time = int(time)

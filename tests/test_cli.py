@@ -93,3 +93,31 @@ def test_allxy_command(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "deviation:" in out
+
+
+def test_batch_rabi_sweep(capsys):
+    rc = main(["batch", "--experiment", "rabi", "--points", "3",
+               "--rounds", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "amplitude   P(|1>)" in out
+    assert "3 jobs | backend=serial" in out
+    assert "compile cache hit rate:" in out
+    assert "machine reuse rate:" in out
+
+
+def test_batch_allxy_repeats(capsys):
+    rc = main(["batch", "--experiment", "allxy", "--repeat", "2",
+               "--rounds", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "allxy#0" in out and "allxy#1" in out
+    assert "deviation=" in out
+
+
+def test_batch_raw_program(source_file, capsys):
+    rc = main(["batch", "--program", str(source_file), "--repeat", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "job0" in out and "job1" in out
+    assert "2 jobs | backend=serial" in out

@@ -53,6 +53,12 @@ def test_composite_z(capsys):
     assert "measured 0   (expect 0" in out
 
 
+def test_parameter_sweep(capsys):
+    out = run_example("parameter_sweep.py", argv=["4", "4"], capsys=capsys)
+    assert "machine reuse rate:" in out
+    assert "machines built: 3" in out
+
+
 @pytest.mark.slow
 def test_bell_state(capsys):
     out = run_example("bell_state.py", capsys=capsys)

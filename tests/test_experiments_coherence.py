@@ -15,6 +15,12 @@ def fast_config(**kwargs):
                          trace_enabled=False, **kwargs)
 
 
+def test_ramsey_does_not_mutate_caller_config():
+    config = fast_config()
+    run_ramsey(config, delays_cycles=[4, 8, 12, 16, 20, 24], n_rounds=2)
+    assert config.drive_detuning_hz == 0.0
+
+
 @pytest.mark.slow
 def test_t1_fit_recovers_configured_value():
     result = run_t1(fast_config(), n_rounds=48)
