@@ -122,7 +122,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             specs = [JobSpec(config=config, asm=asm,
                              k_points=args.k_points,
                              seed=derive_job_seed(args.seed, i),
-                             params={"job": i}, label=f"job{i}")
+                             params={"job": i}, label=f"job{i}",
+                             replay=args.replay)
                      for i in range(args.repeat)]
             sweep = svc.run_batch(specs)
             for job in sweep:
@@ -136,7 +137,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
                                      args.points)
             qubit = config.qubits[0]
             sweep = svc.run_batch([
-                rabi_job(config, qubit, amp, args.rounds)
+                rabi_job(config, qubit, amp, args.rounds, replay=args.replay)
                 for amp in amplitudes])
             print("amplitude   P(|1>)")
             for job in sweep:
@@ -150,7 +151,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
             specs = []
             for i in range(args.repeat):
-                spec = allxy_job(config, config.qubits[0], args.rounds)
+                spec = allxy_job(config, config.qubits[0], args.rounds,
+                                 replay=args.replay)
                 spec.seed = derive_job_seed(args.seed, i)
                 spec.label = f"allxy#{i}"
                 specs.append(spec)
@@ -211,6 +213,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="averaging rounds per job")
     p.add_argument("--k-points", type=int, default=1, dest="k_points",
                    help="measurements per round for --program jobs")
+    p.add_argument("--no-replay", dest="replay", action="store_false",
+                   help="disable the round-replay fast path "
+                        "(full event-driven simulation of every round)")
     p.add_argument("--backend", choices=("serial", "process"),
                    default="serial")
     p.add_argument("--workers", type=int, default=None,

@@ -52,6 +52,8 @@ class MeasurementPath:
         self._active: dict[int, _ActiveMeasurement] = {}
         self.results: list = []
         self.orphan_discriminations = 0
+        #: optional schedule recorder (round-replay engine); observes only
+        self.recorder = None
 
     def reset(self, seed: int | None = None) -> None:
         """Drop in-flight and recorded measurements; re-derive the noise RNG."""
@@ -60,6 +62,7 @@ class MeasurementPath:
         self._active.clear()
         self.results.clear()
         self.orphan_discriminations = 0
+        self.recorder = None
 
     # -- MPG: measurement pulse generation --------------------------------------
 
@@ -88,6 +91,8 @@ class MeasurementPath:
             # calibrated weight function regardless of absolute time.
             if len(chip_qubits) == 1:
                 (q,) = chip_qubits
+                if self.recorder is not None:
+                    self.recorder.trace_template(q, duration_ns)
                 record = transmitted_trace(self.config.readout_for(q),
                                            outcomes[q], duration_ns, 0,
                                            self._rng)

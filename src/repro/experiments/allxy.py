@@ -104,22 +104,31 @@ def rescale_with_calibration_points(averages: np.ndarray,
     return (averages - s0) / (s1 - s0)
 
 
-def allxy_job(config: MachineConfig, qubit: int, n_rounds: int) -> JobSpec:
+def allxy_job(config: MachineConfig, qubit: int, n_rounds: int,
+              replay: bool = True) -> JobSpec:
     """The full AllXY run as one service job."""
     return JobSpec(config=config, program=build_allxy_program(qubit),
                    compiler_options=CompilerOptions(n_rounds=n_rounds),
                    params={"qubit": qubit, "n_rounds": n_rounds},
-                   label=f"allxy q{qubit} N={n_rounds}")
+                   label=f"allxy q{qubit} N={n_rounds}", replay=replay)
 
 
 def run_allxy(config: MachineConfig | None = None, n_rounds: int = 128,
               qubit: int | None = None,
-              service: ExperimentService | None = None) -> AllXYResult:
-    """Run the full AllXY experiment through the QuMA stack."""
+              service: ExperimentService | None = None,
+              replay: bool = True) -> AllXYResult:
+    """Run the full AllXY experiment through the QuMA stack.
+
+    ``replay`` enables the round-replay fast path (default); replayed and
+    fully simulated runs produce bit-identical averages for the same
+    seed.  Note the fast path additionally needs
+    ``config.trace_enabled=False`` (the `MachineConfig` default is True)
+    — traced runs always take the full event-driven path.
+    """
     config = config if config is not None else MachineConfig()
     service = service if service is not None else default_service()
     qubit = qubit if qubit is not None else config.qubits[0]
-    job = service.run_job(allxy_job(config, qubit, n_rounds))
+    job = service.run_job(allxy_job(config, qubit, n_rounds, replay=replay))
     run = ExperimentRun(machine=None, result=job.run, averages=job.averages,
                         s_ground=job.s_ground, s_excited=job.s_excited)
     fidelity = rescale_with_calibration_points(run.averages)

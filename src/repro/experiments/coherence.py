@@ -67,23 +67,29 @@ def _delay_kernels(program: QuantumProgram, qubit: int, delays_cycles: list[int]
 
 
 def coherence_job(kind: str, delays_cycles: list[int], config: MachineConfig,
-                  n_rounds: int) -> JobSpec:
-    """One coherence sweep (all delays as kernels) as a service job."""
+                  n_rounds: int, replay: bool = True) -> JobSpec:
+    """One coherence sweep (all delays as kernels) as a service job.
+
+    Every delay is one K-point of a replay-eligible program, so the
+    round-replay engine records two rounds of the whole sweep and
+    vectorizes the remaining ``n_rounds - 2``.
+    """
     qubit = config.qubits[0]
     program = QuantumProgram(kind, qubits=(qubit,))
     _delay_kernels(program, qubit, delays_cycles, kind)
     return JobSpec(config=config, program=program,
                    compiler_options=CompilerOptions(n_rounds=n_rounds),
                    params={"kind": kind, "points": len(delays_cycles)},
-                   label=f"{kind} x{len(delays_cycles)}")
+                   label=f"{kind} x{len(delays_cycles)}", replay=replay)
 
 
 def _run_sweep(kind: str, delays_cycles: list[int], config: MachineConfig,
                n_rounds: int,
-               service: ExperimentService | None = None
-               ) -> tuple[ExperimentRun, np.ndarray]:
+               service: ExperimentService | None = None,
+               replay: bool = True) -> tuple[ExperimentRun, np.ndarray]:
     service = service if service is not None else default_service()
-    job = service.run_job(coherence_job(kind, delays_cycles, config, n_rounds))
+    job = service.run_job(coherence_job(kind, delays_cycles, config, n_rounds,
+                                        replay=replay))
     run = ExperimentRun(machine=None, result=job.run, averages=job.averages,
                         s_ground=job.s_ground, s_excited=job.s_excited)
     return run, run.normalized
@@ -92,14 +98,16 @@ def _run_sweep(kind: str, delays_cycles: list[int], config: MachineConfig,
 def run_t1(config: MachineConfig | None = None,
            delays_cycles: list[int] | None = None,
            n_rounds: int = 64,
-           service: ExperimentService | None = None) -> CoherenceResult:
+           service: ExperimentService | None = None,
+           replay: bool = True) -> CoherenceResult:
     """Excite, wait tau, measure; fit P1(tau) = A exp(-tau/T1) + B."""
     config = config if config is not None else MachineConfig()
     if delays_cycles is None:
         t1_cycles = int(config.transmons[0].t1_ns / CYCLE_NS)
         delays_cycles = [max(1, int(f * t1_cycles)) for f in
                          (0.02, 0.15, 0.3, 0.5, 0.75, 1.0, 1.5, 2.2)]
-    run, pop = _run_sweep("t1", delays_cycles, config, n_rounds, service)
+    run, pop = _run_sweep("t1", delays_cycles, config, n_rounds, service,
+                          replay=replay)
     delays_ns = np.asarray(delays_cycles) * CYCLE_NS
     fit = fit_exponential_decay(delays_ns, pop)
     return CoherenceResult("t1", delays_ns, pop, fit, run)
@@ -109,7 +117,8 @@ def run_ramsey(config: MachineConfig | None = None,
                delays_cycles: list[int] | None = None,
                artificial_detuning_hz: float = 0.4e6,
                n_rounds: int = 64,
-               service: ExperimentService | None = None) -> CoherenceResult:
+               service: ExperimentService | None = None,
+               replay: bool = True) -> CoherenceResult:
     """x90 - wait - x90 with an artificial detuning; fit damped cosine.
 
     The detuning is applied as a drive-frequency offset (the experimental
@@ -128,7 +137,8 @@ def run_ramsey(config: MachineConfig | None = None,
         raw = np.linspace(0.02, 2.0, 24) * t2_cycles
         delays_cycles = sorted({max(ssb_grid, int(round(d / ssb_grid)) * ssb_grid)
                                 for d in raw})
-    run, pop = _run_sweep("ramsey", delays_cycles, config, n_rounds, service)
+    run, pop = _run_sweep("ramsey", delays_cycles, config, n_rounds,
+                          service, replay=replay)
     delays_ns = np.asarray(delays_cycles) * CYCLE_NS
     fit = fit_damped_cosine(delays_ns, pop,
                             freq_guess=abs(artificial_detuning_hz) * 1e-9)
@@ -138,7 +148,8 @@ def run_ramsey(config: MachineConfig | None = None,
 def run_echo(config: MachineConfig | None = None,
              delays_cycles: list[int] | None = None,
              n_rounds: int = 64,
-             service: ExperimentService | None = None) -> CoherenceResult:
+             service: ExperimentService | None = None,
+             replay: bool = True) -> CoherenceResult:
     """x90 - tau/2 - X180 - tau/2 - x90; fit exponential decay toward 0.5."""
     config = config if config is not None else MachineConfig()
     if delays_cycles is None:
@@ -148,7 +159,8 @@ def run_echo(config: MachineConfig | None = None,
         t2_cycles = int(config.transmons[0].t2_ns / CYCLE_NS)
         delays_cycles = [max(2, int(f * t2_cycles)) for f in
                          (0.05, 0.15, 0.3, 0.5, 0.75, 1.0, 1.3, 1.7, 2.2)]
-    run, pop = _run_sweep("echo", delays_cycles, config, n_rounds, service)
+    run, pop = _run_sweep("echo", delays_cycles, config, n_rounds, service,
+                          replay=replay)
     delays_ns = np.asarray(delays_cycles) * CYCLE_NS
     fit = fit_exponential_decay(delays_ns, pop)
     return CoherenceResult("echo", delays_ns, pop, fit, run)

@@ -56,16 +56,23 @@ def _point_asm(qubit: int, n_rounds: int) -> str:
 
 
 def rabi_job(config: MachineConfig, qubit: int, amplitude: float,
-             n_rounds: int) -> JobSpec:
-    """One amplitude point as a service job: upload the pulse, run, average."""
+             n_rounds: int, replay: bool = True) -> JobSpec:
+    """One amplitude point as a service job: upload the pulse, run, average.
+
+    Declaring ``n_rounds`` on the raw-asm spec opts the job into the
+    round-replay fast path (the uploaded samples are part of the replay
+    cache key, so every amplitude gets its own verified channel).
+    """
     cal = config.calibration
     samples = gaussian(cal.duration_ns, cal.sigma_ns, float(amplitude))
     return JobSpec(
         config=replace(config, dcu_points=1),
         asm=_point_asm(qubit, n_rounds),
+        n_rounds=n_rounds,
         uploads=(LUTUpload.from_array(qubit, RABI_OP, samples),),
         params={"amplitude": float(amplitude)},
         label=f"rabi a={amplitude:.4f}",
+        replay=replay,
     )
 
 

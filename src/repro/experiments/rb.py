@@ -53,13 +53,20 @@ def _sequence_asm(qubit: int, pulse_names: list[str], n_rounds: int) -> str:
 
 def rb_sequence_job(config: MachineConfig, qubit: int,
                     pulse_names: list[str], n_rounds: int,
-                    length: int) -> JobSpec:
-    """One RB sequence as a service job (pooled machine, dcu K = 1)."""
+                    length: int, replay: bool = True) -> JobSpec:
+    """One RB sequence as a service job (pooled machine, dcu K = 1).
+
+    Declaring ``n_rounds`` opts the raw-asm spec into the round-replay
+    fast path: each random sequence records two rounds and vectorizes
+    the rest.
+    """
     return JobSpec(
         config=replace(config, dcu_points=1),
         asm=_sequence_asm(qubit, pulse_names, n_rounds),
+        n_rounds=n_rounds,
         params={"length": length, "pulses": len(pulse_names)},
         label=f"rb m={length}",
+        replay=replay,
     )
 
 
@@ -69,7 +76,8 @@ def run_rb(config: MachineConfig | None = None,
            n_rounds: int = 32,
            seed: int = 0,
            fixed_offset: float | None = 0.5,
-           service: ExperimentService | None = None) -> RBResult:
+           service: ExperimentService | None = None,
+           replay: bool = True) -> RBResult:
     """Randomized benchmarking through the full stack.
 
     ``fixed_offset`` pins the fit asymptote (0.5 = fully depolarized);
@@ -96,7 +104,8 @@ def run_rb(config: MachineConfig | None = None,
             pulses.extend(group[recovery].pulses)
             if not pulses:
                 pulses = ["I"]
-            specs.append(rb_sequence_job(config, qubit, pulses, n_rounds, m))
+            specs.append(rb_sequence_job(config, qubit, pulses, n_rounds, m,
+                                         replay=replay))
     sweep = service.run_batch(specs)
 
     survival = []

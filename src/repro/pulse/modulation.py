@@ -23,9 +23,18 @@ def ssb_phase(f_ssb_hz: float, t0_ns: float) -> float:
     Returned in radians, wrapped to [0, 2*pi).
     """
     # Work in whole modulation cycles and wrap before converting to
-    # radians; this keeps the phase exact for large absolute times.
-    cycles = -f_ssb_hz * (float(t0_ns) * 1e-9)
-    frac = np.mod(cycles, 1.0)
+    # radians; this keeps the phase exact for large absolute times.  For
+    # integer-valued frequency and trigger time (the hardware case: Hz on
+    # an integer grid, integer-ns triggers) the wrap is done in exact
+    # integer arithmetic, so triggers one modulation period apart get
+    # *bit-identical* phases — which is what lets the round-replay engine
+    # prove a repeated round's pulse unitaries are exactly periodic.
+    f = -float(f_ssb_hz)
+    t = float(t0_ns)
+    if f.is_integer() and t.is_integer():
+        frac = (int(f) * int(t)) % 1_000_000_000 / 1e9
+    else:
+        frac = float(np.mod(f * (t * 1e-9), 1.0))
     if frac > 1.0 - 1e-9:  # collapse rounding residue at the wrap point
         frac = 0.0
     return float(2.0 * np.pi * frac)

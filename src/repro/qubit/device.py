@@ -16,8 +16,9 @@ from repro.pulse.modulation import ssb_phase
 from repro.pulse.waveform import Waveform
 from repro.qubit.dynamics import PulseUnitaryCache
 from repro.qubit.gates import CZ
-from repro.qubit.noise import decoherence_kraus
+from repro.qubit.noise import decoherence_kraus, decoherence_superop
 from repro.qubit.state import DensityMatrix
+from repro.sim.tracing import ScheduleRecorder
 from repro.qubit.transmon import TransmonParams
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import derive_rng
@@ -43,8 +44,28 @@ class QuantumDevice:
             PulseUnitaryCache(p.kappa, drive_detuning_hz) for p in qubits
         ]
         self._rng = derive_rng(seed, "device")
+        #: optional schedule recorder (round-replay engine); observes ops only
+        self.recorder: ScheduleRecorder | None = None
 
     # -- time --------------------------------------------------------------
+
+    def apply_idle(self, state: DensityMatrix, dt_ns: int) -> None:
+        """Apply ``dt_ns`` of idle decoherence on every qubit of ``state``.
+
+        One-qubit states go through the memoized 4x4 superoperator (one
+        matmul); larger registers loop per-qubit Kraus channels.  The
+        replay engine calls this on scratch states with recorded
+        intervals, so recorded and replayed rounds share one code path
+        (and therefore identical floating-point results).
+        """
+        if dt_ns == 0:
+            return
+        if state.n_qubits == 1:
+            p = self.params[0]
+            state.apply_superop(decoherence_superop(dt_ns, p.t1_ns, p.t2_ns))
+            return
+        for q, p in enumerate(self.params):
+            state.apply_kraus(decoherence_kraus(dt_ns, p.t1_ns, p.t2_ns), q)
 
     def advance_to(self, t_ns: int) -> None:
         """Advance device time, applying idle decoherence on every qubit."""
@@ -54,8 +75,9 @@ class QuantumDevice:
         dt = t_ns - self.now_ns
         if dt == 0:
             return
-        for q, p in enumerate(self.params):
-            self.state.apply_kraus(decoherence_kraus(dt, p.t1_ns, p.t2_ns), q)
+        self.apply_idle(self.state, dt)
+        if self.recorder is not None:
+            self.recorder.idle(dt)
         self.now_ns = t_ns
 
     def reset(self) -> None:
@@ -73,6 +95,7 @@ class QuantumDevice:
         self.reset()
         self.now_ns = 0
         self._rng = derive_rng(seed, "device")
+        self.recorder = None
 
     # -- drive -------------------------------------------------------------
 
@@ -104,6 +127,8 @@ class QuantumDevice:
             if self.cz_phase_error_rad == 0.0:
                 u = CZ
             self.state.apply_unitary(u, qubits)
+            if self.recorder is not None:
+                self.recorder.unitary(qubits, u)
             return
         if waveform.is_zero():
             return
@@ -114,6 +139,8 @@ class QuantumDevice:
         for q in qubits:
             u = self._caches[q].unitary(waveform, phase)
             self.state.apply_unitary(u, (q,))
+            if self.recorder is not None:
+                self.recorder.unitary((q,), u)
 
     # -- measurement -------------------------------------------------------
 
@@ -124,7 +151,13 @@ class QuantumDevice:
         noise) are layered on by the readout chain, not here.
         """
         self.advance_to(t_ns)
-        return self.state.sample_measure(qubit, self._rng)
+        p1 = self.state.prob_one(qubit)
+        outcome = 1 if self._rng.random() < p1 else 0
+        self.state.project(qubit, outcome)
+        if self.recorder is not None:
+            self.recorder.measure(qubit, p1, outcome, int(t_ns),
+                                  self.state.basis_index())
+        return outcome
 
     def prob_one(self, qubit: int, t_ns: int | None = None) -> float:
         """P(|1>) of ``qubit``, optionally advancing to ``t_ns`` first."""

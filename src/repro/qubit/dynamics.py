@@ -17,7 +17,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.pulse.waveform import Waveform
-from repro.qubit.gates import su2_rotation
 
 
 def integrate_envelope(samples: np.ndarray, kappa: float, phase0: float = 0.0,
@@ -27,19 +26,45 @@ def integrate_envelope(samples: np.ndarray, kappa: float, phase0: float = 0.0,
     ``kappa`` is the drive strength in rad/ns per unit amplitude;
     ``phase0`` the constant carrier phase (rad); ``detuning_hz`` the
     drive-qubit frequency mismatch.
+
+    All per-sample rotations are built in one numpy pass (a stack of
+    2x2 matrices) and reduced with a log-depth pairwise product instead
+    of a per-sample Python loop — ~3x faster on a 20 ns gaussian pulse
+    (see bench_microbenchmarks.py::test_perf_integrate_envelope).
     """
     drive = np.asarray(samples, dtype=complex) * np.exp(1j * phase0)
     wz = 2.0 * np.pi * detuning_hz * 1e-9  # rad per ns about z
-    u = np.eye(2, dtype=complex)
-    for d in drive:
-        wx = kappa * d.real
-        wy = kappa * d.imag
-        theta = np.sqrt(wx * wx + wy * wy + wz * wz)
-        if theta == 0.0:
-            continue
-        step = su2_rotation(wx / theta, wy / theta, wz / theta, theta)
-        u = step @ u
-    return u
+    wx = kappa * drive.real
+    wy = kappa * drive.imag
+    theta = np.sqrt(wx * wx + wy * wy + wz * wz)
+    active = theta != 0.0
+    if not active.any():
+        return np.eye(2, dtype=complex)
+    wx, wy, theta = wx[active], wy[active], theta[active]
+    nx, ny, nz = wx / theta, wy / theta, wz / theta
+    # Renormalize the axis exactly as the scalar su2_rotation helper does,
+    # so each per-sample matrix matches the loop version bit-for-bit (the
+    # pairwise reduction below still reassociates the product, changing
+    # the result at the ~1e-16 level).
+    norm = np.sqrt(nx * nx + ny * ny + nz * nz)
+    nx, ny, nz = nx / norm, ny / norm, nz / norm
+    half = theta / 2.0
+    c, s = np.cos(half), np.sin(half)
+    mats = np.empty((len(theta), 2, 2), dtype=complex)
+    mats[:, 0, 0] = c - 1j * nz * s
+    mats[:, 0, 1] = (-1j * nx - ny) * s
+    mats[:, 1, 0] = (-1j * nx + ny) * s
+    mats[:, 1, 1] = c + 1j * nz * s
+    # Ordered product U = M[n-1] @ ... @ M[1] @ M[0], reduced pairwise:
+    # each pass multiplies adjacent pairs (later @ earlier), halving the
+    # stack; an odd trailing matrix (the latest in time) stays at the end.
+    while len(mats) > 1:
+        paired = mats[1::2] @ mats[0:len(mats) - 1:2]
+        if len(mats) % 2:
+            mats = np.concatenate([paired, mats[-1:]])
+        else:
+            mats = paired
+    return mats[0]
 
 
 class PulseUnitaryCache:

@@ -61,3 +61,26 @@ def _decoherence_kraus_cached(dt_ns: float, t1_ns: float,
     amp = amplitude_damping_kraus(gamma)
     deph = phase_damping_kraus(lam)
     return tuple(d @ a for a in amp for d in deph)
+
+
+def decoherence_superop(dt_ns: float, t1_ns: float, t2_ns: float) -> np.ndarray:
+    """The channel of :func:`decoherence_kraus` as a 4x4 superoperator.
+
+    Acts on the row-major vectorization of a single-qubit density matrix:
+    ``vec(rho') = S vec(rho)`` with ``S = sum_k K (x) conj(K)``.  Cached
+    with the same (dt, T1, T2) key as the Kraus form, so the one-qubit
+    idle-decoherence hot path costs a single 4x4 matmul instead of a
+    Python loop over four Kraus operators.
+    """
+    return _decoherence_superop_cached(float(dt_ns), float(t1_ns), float(t2_ns))
+
+
+@lru_cache(maxsize=512)
+def _decoherence_superop_cached(dt_ns: float, t1_ns: float,
+                                t2_ns: float) -> np.ndarray:
+    kraus = _decoherence_kraus_cached(dt_ns, t1_ns, t2_ns)
+    s = np.zeros((4, 4), dtype=complex)
+    for k in kraus:
+        s += np.kron(k, k.conj())
+    s.setflags(write=False)
+    return s

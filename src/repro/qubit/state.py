@@ -102,6 +102,21 @@ class DensityMatrix:
         tensor = np.moveaxis(tensor, list(range(k)), bra_axes)
         self.data = tensor.reshape(self.data.shape)
 
+    def apply_superop(self, superop: np.ndarray) -> None:
+        """Apply a single-qubit channel given as a 4x4 superoperator.
+
+        ``superop`` acts on the row-major vectorization of rho:
+        ``vec(rho') = S vec(rho)`` (for Kraus operators ``K``,
+        ``S = sum_k K (x) conj(K)``).  Only defined for 1-qubit states —
+        the hot path of idle decoherence in single-qubit experiments.
+        """
+        if self.n_qubits != 1:
+            raise ValueError("apply_superop is a 1-qubit fast path")
+        superop = np.asarray(superop, dtype=complex)
+        if superop.shape != (4, 4):
+            raise ValueError(f"superoperator shape {superop.shape} != (4, 4)")
+        self.data = (superop @ self.data.reshape(4)).reshape(2, 2)
+
     def apply_kraus(self, kraus_ops: list[np.ndarray], qubit: int) -> None:
         """Apply a single-qubit channel: rho <- sum_k K rho K+."""
         if not 0 <= qubit < self.n_qubits:
@@ -125,6 +140,21 @@ class DensityMatrix:
             term = np.moveaxis(term, 0, bra)
             total += term
         self.data = total.reshape(self.data.shape)
+
+    def basis_index(self) -> int | None:
+        """Computational-basis index if this is *exactly* a basis state.
+
+        Exact float comparison, deliberately: projective measurement
+        collapses product states to bit-exact basis matrices (see
+        :meth:`project`), and the round-replay engine's Markov-chain fast
+        path is only sound for states that are exactly |i><i|.  Returns
+        None otherwise.
+        """
+        diag = self.data.diagonal()
+        idx = int(np.argmax(diag.real))
+        if diag[idx] != 1.0 or np.count_nonzero(self.data) != 1:
+            return None
+        return idx
 
     # -- measurement -------------------------------------------------------
 
@@ -162,7 +192,24 @@ class DensityMatrix:
         index = [slice(None)] * (2 * self.n_qubits)
         index[bra] = other
         tensor[tuple(index)] = 0.0
-        self.data = tensor.reshape(self.data.shape) / p
+        projected = tensor.reshape(self.data.shape)
+        # Normalize by the projected state's own trace rather than by p:
+        # the overall trace drifts at the 1e-16 level during long
+        # evolutions, so dividing by p would leave the collapsed state
+        # off-normalized by that drift.
+        self.data = projected / np.trace(projected)
+        # When the projection collapsed to a *structurally* exact basis
+        # state (a single nonzero entry — zeroed slices are assigned
+        # exact zeros), restore the physically exact collapse: numpy's
+        # vectorized complex division rounds z/z to 1 - ulp for some
+        # operands, and the round-replay engine's Markov-chain fast path
+        # relies on post-measurement product states being bit-exact basis
+        # matrices.
+        if np.count_nonzero(self.data) == 1:
+            diag = self.data.diagonal()
+            idx = int(np.argmax(diag.real))
+            if self.data[idx, idx] != 0.0 and abs(diag[idx] - 1.0) < 1e-9:
+                self.data[idx, idx] = 1.0
         return p
 
     def sample_measure(self, qubit: int, rng: np.random.Generator) -> int:

@@ -29,6 +29,10 @@ class DataCollectionUnit:
         """Append one integration result in stream order."""
         self._values.append(float(statistic))
 
+    def record_batch(self, statistics: np.ndarray) -> None:
+        """Append many integration results at once (replayed rounds)."""
+        self._values.extend(np.asarray(statistics, dtype=float).tolist())
+
     def __len__(self) -> int:
         return len(self._values)
 

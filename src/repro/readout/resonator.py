@@ -43,6 +43,21 @@ class ReadoutParams:
             raise ConfigurationError("noise std must be non-negative")
 
 
+def transmitted_signal(params: ReadoutParams, outcome: int, duration_ns: int,
+                       t0_ns: int) -> np.ndarray:
+    """Deterministic (noise-free) part of the feedline record.
+
+    Shared by the per-shot and batched trace synthesizers so both produce
+    bit-identical signal samples.
+    """
+    amp = params.amp_excited if outcome == 1 else params.amp_ground
+    phase = params.phase_excited if outcome == 1 else params.phase_ground
+    t = np.arange(int(duration_ns), dtype=float)
+    envelope = 1.0 - np.exp(-(t + 0.5) / params.ringup_ns)
+    carrier = np.cos(2.0 * np.pi * params.f_if_hz * (t + float(t0_ns)) * 1e-9 + phase)
+    return amp * envelope * carrier
+
+
 def transmitted_trace(params: ReadoutParams, outcome: int, duration_ns: int,
                       t0_ns: int, rng: np.random.Generator,
                       pulse_on: bool = True) -> np.ndarray:
@@ -58,12 +73,35 @@ def transmitted_trace(params: ReadoutParams, outcome: int, duration_ns: int,
     noise = rng.normal(0.0, params.noise_std, duration_ns) if params.noise_std else 0.0
     if not pulse_on:
         return np.zeros(duration_ns) + noise
-    amp = params.amp_excited if outcome == 1 else params.amp_ground
-    phase = params.phase_excited if outcome == 1 else params.phase_ground
-    t = np.arange(duration_ns, dtype=float)
-    envelope = 1.0 - np.exp(-(t + 0.5) / params.ringup_ns)
-    carrier = np.cos(2.0 * np.pi * params.f_if_hz * (t + float(t0_ns)) * 1e-9 + phase)
-    return amp * envelope * carrier + noise
+    return transmitted_signal(params, outcome, duration_ns, t0_ns) + noise
+
+
+def transmitted_trace_batch(params: ReadoutParams, outcomes: np.ndarray,
+                            duration_ns: int, t0_ns: int,
+                            rng: np.random.Generator) -> np.ndarray:
+    """Synthesize feedline records for a batch of measurements at once.
+
+    Returns an ``(n_shots, duration_ns)`` array.  Noise is drawn as one
+    ``(n_shots, duration_ns)`` block from ``rng``; because numpy
+    Generators fill arrays in row-major stream order, row ``i`` is
+    bit-identical to the ``i``-th sequential :func:`transmitted_trace`
+    call on the same generator — the property the round-replay engine's
+    exact-parity guarantee rests on.
+    """
+    duration_ns = int(duration_ns)
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    outcomes = np.asarray(outcomes, dtype=np.intp)
+    signal = np.stack([transmitted_signal(params, o, duration_ns, t0_ns)
+                       for o in (0, 1)])
+    if not params.noise_std:
+        return signal[outcomes]
+    # standard_normal + in-place scale draws the identical value stream as
+    # rng.normal(0, std, ...) (loc=0 fast path) with one fewer pass.
+    traces = rng.standard_normal((len(outcomes), duration_ns))
+    traces *= params.noise_std
+    traces += signal[outcomes]
+    return traces
 
 
 def mean_trace(params: ReadoutParams, outcome: int, duration_ns: int,

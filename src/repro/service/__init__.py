@@ -15,7 +15,7 @@ Quick use::
     sweep = service.run_sweep(make_job, grid(amplitude=amps), seed_root=7)
 """
 
-from repro.service.cache import CompileCache, program_fingerprint
+from repro.service.cache import CompileCache, ReplayCache, program_fingerprint
 from repro.service.job import (
     JobResult,
     JobSpec,
@@ -34,6 +34,7 @@ from repro.service.scheduler import (
 __all__ = [
     "CompileCache",
     "ExperimentService",
+    "ReplayCache",
     "JobResult",
     "JobSpec",
     "LUTUpload",

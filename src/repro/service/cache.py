@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import astuple, dataclass
+from dataclasses import astuple, dataclass, replace
 
 from repro.compiler.codegen import CompilerOptions, compile_program
 from repro.compiler.program import QuantumProgram
@@ -55,6 +55,9 @@ class ResolvedJob:
     program: Program
     k_points: int
     cache_hit: bool  #: the assembled program was served from cache
+    #: averaging rounds (None for raw-asm jobs that did not declare them);
+    #: the replay fast path needs it to know how many rounds to vectorize.
+    n_rounds: int | None = None
 
 
 class _LRU(OrderedDict):
@@ -135,12 +138,15 @@ class CompileCache:
         """Executable form of a job spec, reusing cached work."""
         if spec.asm is not None:
             asm, k_points = spec.asm, spec.k_points
+            n_rounds = spec.n_rounds
         else:
             asm, k_points = self.compiled_for(spec.program,
                                               spec.compiler_options)
+            n_rounds = spec.compiler_options.n_rounds
         extra_ops = tuple(up.op_name for up in spec.uploads)
         program, hit = self.assembled_for(asm, extra_ops)
-        return ResolvedJob(program=program, k_points=k_points, cache_hit=hit)
+        return ResolvedJob(program=program, k_points=k_points, cache_hit=hit,
+                           n_rounds=n_rounds)
 
     # -- inspection ----------------------------------------------------------
 
@@ -158,3 +164,66 @@ class CompileCache:
         self._assembly.clear()
         self.codegen_hits = self.codegen_misses = 0
         self.assembly_hits = self.assembly_misses = 0
+
+
+class ReplayCache:
+    """Verified replay plans, cached next to the compile cache.
+
+    A :class:`~repro.core.replay.ReplayPlan` is a pure function of the
+    machine configuration (minus run seed), the program, and the LUT
+    uploads — it holds no RNG state — so one verified plan serves every
+    job of a sweep that only varies the run seed.  A hit replays *all*
+    N rounds without touching the event kernel, which is what makes warm
+    service throughput scale with numpy bandwidth instead of per-event
+    Python cost.
+
+    Keys build on the existing content fingerprints:
+    ``MachineConfig.fingerprint()`` (excluding the fields machine reset
+    handles per job; ``config.seed`` stays *in* the key — it seeds the
+    readout calibration, so differently-seeded configs are physically
+    different instruments.  The per-job *run* seed lives on the spec, not
+    the config, so a sweep over run seeds shares one plan), the
+    program/options or raw-asm digest (with ``n_rounds`` normalized out
+    for compiled programs: the steady-state channel does not depend on
+    how often it is repeated), and the upload *samples* (they change the
+    recorded unitaries, not just operation names).
+    """
+
+    CONFIG_EXCLUDE = ("dcu_points", "trace_enabled")
+
+    def __init__(self, max_entries: int = 64):
+        self._plans = _LRU(max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, spec: JobSpec) -> tuple | None:
+        config_fp = spec.config.fingerprint(exclude=self.CONFIG_EXCLUDE)
+        if spec.asm is not None:
+            program_key = ("asm", hashlib.sha256(spec.asm.encode()).hexdigest())
+        else:
+            program_key = ("program", program_fingerprint(spec.program),
+                           options_fingerprint(
+                               replace(spec.compiler_options, n_rounds=1)))
+        uploads_key = hashlib.sha256(repr(
+            [(up.qubit, up.op_name, up.samples) for up in spec.uploads]
+        ).encode()).hexdigest()
+        return (config_fp, program_key, uploads_key)
+
+    def get(self, key: tuple):
+        plan = self._plans.get_touch(key)
+        if plan is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return plan
+
+    def put(self, key: tuple, plan) -> None:
+        self._plans.put(key, plan)
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._plans)}
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = self.misses = 0

@@ -72,10 +72,16 @@ class JobSpec:
     seed: int | None = None
     #: Measurements per round for raw-``asm`` jobs (program jobs derive K).
     k_points: int = 1
+    #: Averaging rounds for raw-``asm`` jobs (program jobs derive N from
+    #: ``compiler_options``).  Declaring it enables the replay fast path.
+    n_rounds: int | None = None
     uploads: tuple[LUTUpload, ...] = ()
     #: Sweep-point coordinates, carried through to the result.
     params: dict = field(default_factory=dict)
     label: str = ""
+    #: Allow the round-replay fast path (ineligible programs fall back to
+    #: full simulation automatically; results are bit-identical either way).
+    replay: bool = True
 
     def __post_init__(self):
         if (self.program is None) == (self.asm is None):
@@ -104,6 +110,8 @@ class JobResult:
     machine_reused: bool   #: machine came warm from the pool
     compile_s: float
     execute_s: float
+    replayed_rounds: int = 0   #: rounds served by the replay fast path
+    replay_plan_hit: bool = False  #: replay plan came from the replay cache
 
     @property
     def normalized(self) -> np.ndarray:

@@ -24,8 +24,9 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.core.quma import check_run_result
+from repro.core.replay import run_with_replay
 from repro.pulse.waveform import Waveform
-from repro.service.cache import CompileCache
+from repro.service.cache import CompileCache, ReplayCache
 from repro.service.job import (
     JobResult,
     JobSpec,
@@ -47,9 +48,17 @@ def grid(**axes: Iterable) -> list[dict]:
             for combo in itertools.product(*axes.values())]
 
 
-def execute_job(spec: JobSpec, pool: MachinePool,
-                cache: CompileCache) -> JobResult:
-    """Run one job against a pool and cache; deterministic given the spec."""
+def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
+                replay_cache: ReplayCache | None = None) -> JobResult:
+    """Run one job against a pool and cache; deterministic given the spec.
+
+    With ``spec.replay`` (the default) eligible programs take the
+    round-replay fast path; a verified plan lands in ``replay_cache`` so
+    subsequent jobs of the same sweep (same config-minus-seed, program,
+    uploads) replay every round without touching the event kernel.
+    Replayed and fully-simulated jobs produce bit-identical averages for
+    the same run seed, so caching never changes results.
+    """
     t0 = time.perf_counter()
     resolved = cache.resolve(spec)
     t1 = time.perf_counter()
@@ -61,7 +70,19 @@ def execute_job(spec: JobSpec, pool: MachinePool,
             waveform = Waveform(upload.op_name, np.asarray(upload.samples))
             machine.ctpgs[f"ctpg{upload.qubit}"].lut.upload(op_id, waveform)
         machine.exec_ctrl.load(resolved.program)
-        result = machine.run()
+        if spec.replay:
+            replay_key = (replay_cache.key_for(spec)
+                          if replay_cache is not None else None)
+            plan = (replay_cache.get(replay_key)
+                    if replay_key is not None else None)
+            result, new_plan, report = run_with_replay(
+                machine, resolved.n_rounds, plan=plan)
+            if (new_plan is not None and not report.plan_hit
+                    and replay_key is not None):
+                replay_cache.put(replay_key, new_plan)
+        else:
+            result = machine.run()
+            report = None
         check_run_result(result)
         cal = machine.readout_calibration
         return JobResult(
@@ -76,6 +97,8 @@ def execute_job(spec: JobSpec, pool: MachinePool,
             machine_reused=reused,
             compile_s=t1 - t0,
             execute_s=time.perf_counter() - t1,
+            replayed_rounds=report.replayed_rounds if report else 0,
+            replay_plan_hit=report.plan_hit if report else False,
         )
     finally:
         pool.release(machine)
@@ -91,10 +114,12 @@ _WORKER: dict = {}
 def _worker_init() -> None:
     _WORKER["pool"] = MachinePool()
     _WORKER["cache"] = CompileCache()
+    _WORKER["replay_cache"] = ReplayCache()
 
 
 def _worker_execute(spec: JobSpec) -> JobResult:
-    return execute_job(spec, _WORKER["pool"], _WORKER["cache"])
+    return execute_job(spec, _WORKER["pool"], _WORKER["cache"],
+                       _WORKER["replay_cache"])
 
 
 class ExperimentService:
@@ -104,7 +129,8 @@ class ExperimentService:
 
     def __init__(self, backend: str = "serial", workers: int | None = None,
                  cache: CompileCache | None = None,
-                 pool: MachinePool | None = None):
+                 pool: MachinePool | None = None,
+                 replay_cache: ReplayCache | None = None):
         if backend not in self.BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; choose from {self.BACKENDS}")
@@ -115,6 +141,8 @@ class ExperimentService:
             1, (multiprocessing.cpu_count() or 2) - 1)
         self.cache = cache if cache is not None else CompileCache()
         self.pool = pool if pool is not None else MachinePool()
+        self.replay_cache = (replay_cache if replay_cache is not None
+                             else ReplayCache())
         self._executor: multiprocessing.pool.Pool | None = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -142,7 +170,7 @@ class ExperimentService:
 
     def run_job(self, spec: JobSpec) -> JobResult:
         """Execute a single job (serially, even on the process backend)."""
-        return execute_job(spec, self.pool, self.cache)
+        return execute_job(spec, self.pool, self.cache, self.replay_cache)
 
     def run_batch(self, specs: Sequence[JobSpec]) -> SweepResult:
         """Execute jobs, returning results in submission order."""
@@ -151,7 +179,8 @@ class ExperimentService:
         if self.backend == "process" and len(specs) > 1:
             results = self._ensure_executor().map(_worker_execute, specs)
         else:
-            results = [execute_job(spec, self.pool, self.cache)
+            results = [execute_job(spec, self.pool, self.cache,
+                                   self.replay_cache)
                        for spec in specs]
         # Per-batch aggregates derived from the jobs themselves, so they
         # are correct on both backends (worker-local pools and caches

@@ -6,6 +6,7 @@ integer-nanosecond time.
 """
 
 from repro.sim.kernel import Simulator, Event
-from repro.sim.tracing import TraceRecord, TraceRecorder
+from repro.sim.tracing import ScheduleRecorder, TraceRecord, TraceRecorder
 
-__all__ = ["Simulator", "Event", "TraceRecord", "TraceRecorder"]
+__all__ = ["Simulator", "Event", "ScheduleRecorder", "TraceRecord",
+           "TraceRecorder"]

@@ -27,6 +27,54 @@ class TraceRecord:
         return f"[{self.time:>9} ns] {self.unit:<14} {self.kind:<16} {parts}"
 
 
+class ScheduleRecorder:
+    """Records the time-ordered quantum-operation schedule of a run.
+
+    Attached to the :class:`~repro.qubit.device.QuantumDevice` (and the
+    measurement path) by the round-replay engine, it captures every
+    operation applied to the density matrix — idle-decoherence intervals,
+    pulse unitaries, projective measurements — plus the feedline-record
+    template of each measurement.  The replay engine slices the stream
+    into per-measurement segments, verifies that consecutive rounds match
+    bit-for-bit, and re-applies the recorded operations to basis states to
+    precompute each K-point's pre-measurement channel (see
+    ``repro.core.replay``).
+
+    Op tuples (payloads are the exact objects the device applied, so a
+    replay reproduces the same floating-point results):
+
+    * ``("idle", dt_ns)`` — decoherence over ``dt_ns`` on every qubit;
+    * ``("unitary", qubits, u)`` — ``u`` applied to device ``qubits``;
+    * ``("measure", qubit, p1, outcome, t_ns, basis_index)`` — projective
+      measurement with its pre-measurement P(|1>), sampled outcome,
+      absolute time, and the post-projection computational-basis index
+      (``None`` if the collapsed state was not exactly a basis state).
+    """
+
+    def __init__(self):
+        self.ops: list[tuple] = []
+        self.trace_infos: list[tuple[int, int]] = []  #: (chip_qubit, duration_ns)
+        self.measure_count = 0
+        self.ineligible: str | None = None
+
+    def idle(self, dt_ns: int) -> None:
+        self.ops.append(("idle", dt_ns))
+
+    def unitary(self, qubits: tuple[int, ...], u) -> None:
+        self.ops.append(("unitary", tuple(qubits), u))
+
+    def measure(self, qubit: int, p1: float, outcome: int, t_ns: int,
+                basis_index: int | None) -> None:
+        if basis_index is None and self.ineligible is None:
+            self.ineligible = "post-measurement state is not a basis state"
+        self.ops.append(("measure", qubit, p1, outcome, t_ns, basis_index))
+        self.measure_count += 1
+
+    def trace_template(self, chip_qubit: int, duration_ns: int) -> None:
+        """One measurement's feedline-record shape (from the readout path)."""
+        self.trace_infos.append((chip_qubit, duration_ns))
+
+
 class TraceRecorder:
     """Collects trace records; disabled recorders are cheap no-ops."""
 

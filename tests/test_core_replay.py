@@ -1,0 +1,270 @@
+"""Tests for the round-replay fast path (repro.core.replay)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MachineConfig
+from repro.core.quma import QuMA
+from repro.core.replay import (
+    ReplayPlan,
+    _chain_outcomes,
+    replay_ineligibility,
+    run_with_replay,
+)
+from repro.compiler.codegen import CompilerOptions
+from repro.experiments.allxy import build_allxy_program
+from repro.service.cache import CompileCache
+
+
+def fast_config(**overrides):
+    defaults = dict(qubits=(2,), trace_enabled=False, calibration_shots=20)
+    defaults.update(overrides)
+    return MachineConfig(**defaults)
+
+
+def loop_asm(n_rounds, body="    Pulse {q2}, X90\n    Wait 4", rd=""):
+    return f"""
+        mov r15, 40000
+        mov r1, 0
+        mov r2, {n_rounds}
+    Outer_Loop:
+        QNopReg r15
+    {body}
+        MPG {{q2}}, 300
+        MD {{q2}}{rd}
+        addi r1, r1, 1
+        bne r1, r2, Outer_Loop
+        halt
+    """
+
+
+def run_pair(asm, n_rounds, config=None, plan=None):
+    """The same program with replay off and on, on identical machines."""
+    config = config if config is not None else fast_config(dcu_points=1)
+    m_off = QuMA(config)
+    m_off.load(asm)
+    r_off = m_off.run()
+    m_on = QuMA(config)
+    m_on.load(asm)
+    r_on, new_plan, report = run_with_replay(m_on, n_rounds, plan=plan)
+    return r_off, r_on, new_plan, report
+
+
+class TestReplayParity:
+    def test_cold_replay_bitwise_identical(self):
+        r_off, r_on, plan, report = run_pair(loop_asm(40), 40)
+        assert report.fallback_reason is None
+        assert report.replayed_rounds == 38
+        assert plan is not None
+        assert np.array_equal(r_off.averages, r_on.averages)
+        assert r_on.completed
+        assert r_on.measurements == r_off.measurements
+        assert r_on.duration_ns == r_off.duration_ns
+        assert r_on.instructions_executed == r_off.instructions_executed
+
+    def test_warm_replay_bitwise_identical(self):
+        asm = loop_asm(40)
+        r_off, _, plan, _ = run_pair(asm, 40)
+        r_off2, r_warm, _, report = run_pair(asm, 40, plan=plan)
+        assert report.plan_hit
+        assert report.replayed_rounds == 40
+        assert np.array_equal(r_off.averages, r_warm.averages)
+        assert r_warm.duration_ns == r_off2.duration_ns
+
+    def test_plan_reusable_across_seeds(self):
+        asm = loop_asm(24)
+        _, _, plan, _ = run_pair(asm, 24)
+        config = fast_config(dcu_points=1, seed=99)
+        r_off, r_warm, _, report = run_pair(asm, 24, config=config, plan=plan)
+        assert report.plan_hit
+        assert np.array_equal(r_off.averages, r_warm.averages)
+
+    def test_allxy_parity(self):
+        cache = CompileCache()
+        asm, k = cache.compiled_for(build_allxy_program(2),
+                                    CompilerOptions(n_rounds=8))
+        config = fast_config(dcu_points=k)
+        r_off, r_on, plan, report = run_pair(asm, 8, config=config)
+        assert report.fallback_reason is None
+        assert r_on.replayed_rounds == 6
+        assert np.array_equal(r_off.averages, r_on.averages)
+        assert plan.k_points == 42
+
+    def test_noise_free_readout_parity(self):
+        from repro.readout.resonator import ReadoutParams
+
+        config = fast_config(dcu_points=1,
+                             readout=ReadoutParams(noise_std=0.0))
+        r_off, r_on, _, report = run_pair(loop_asm(16), 16, config=config)
+        assert report.fallback_reason is None
+        assert np.array_equal(r_off.averages, r_on.averages)
+
+
+class TestIneligibility:
+    def test_feedback_program_takes_full_path(self):
+        """A register-file-feedback program must run the full simulation
+        and produce results identical to pre-replay behavior."""
+        asm = loop_asm(12, rd=", r3")
+        config = fast_config(dcu_points=1)
+        baseline = QuMA(config)
+        baseline.load(asm)
+        r_base = baseline.run()
+
+        machine = QuMA(config)
+        machine.load(asm)
+        r_replay, plan, report = run_with_replay(machine, 12)
+        assert plan is None
+        assert "feedback" in report.fallback_reason
+        assert r_replay.replayed_rounds == 0
+        assert np.array_equal(r_base.averages, r_replay.averages)
+        assert r_base.registers == r_replay.registers
+        assert r_base.duration_ns == r_replay.duration_ns
+        assert r_base.instructions_executed == r_replay.instructions_executed
+
+    def test_static_reasons(self):
+        config = fast_config(dcu_points=1)
+        machine = QuMA(config)
+        machine.load(loop_asm(8))
+        assert replay_ineligibility(machine, 8) is None
+        assert "rounds" in replay_ineligibility(machine, 2)
+        assert "rounds" in replay_ineligibility(machine, None)
+
+        machine.load(loop_asm(8, rd=", r4"))
+        assert "feedback" in replay_ineligibility(machine, 8)
+
+        traced = QuMA(fast_config(dcu_points=1, trace_enabled=True))
+        traced.load(loop_asm(8))
+        assert "tracing" in replay_ineligibility(traced, 8)
+
+        jittery = QuMA(fast_config(dcu_points=1, classical_jitter_ns=3))
+        jittery.load(loop_asm(8))
+        assert "jitter" in replay_ineligibility(jittery, 8) or \
+            "timing" in replay_ineligibility(jittery, 8)
+
+    def test_misdeclared_rounds_fall_back(self):
+        """A declared n_rounds that contradicts the program's own loop
+        bound must not silently replay the wrong number of rounds."""
+        asm = loop_asm(16)
+        config = fast_config(dcu_points=1)
+        machine = QuMA(config)
+        machine.load(asm)
+        assert "loop bound" in replay_ineligibility(machine, 8)
+
+        result, plan, report = run_with_replay(machine, 8)
+        assert plan is None and "loop bound" in report.fallback_reason
+        baseline = QuMA(config)
+        baseline.load(asm)
+        assert np.array_equal(baseline.run().averages, result.averages)
+        assert result.measurements == 16  # the program's true round count
+
+    def test_microprogram_call_falls_back(self):
+        config = fast_config(dcu_points=1)
+        machine = QuMA(config)
+        machine.define_microprogram("flip", 1, "Pulse {q0}, X180\nWait 4")
+        asm = loop_asm(8, body="    flip q2")
+        machine.load(asm)
+        assert "microprogram" in replay_ineligibility(machine, 8)
+
+    def test_multiplexed_readout_falls_back(self):
+        config = MachineConfig(qubits=(1, 2), trace_enabled=False,
+                               calibration_shots=20, dcu_points=1)
+        machine = QuMA(config)
+        machine.load("""
+            mov r1, 0
+            mov r2, 8
+        Outer_Loop:
+            Wait 4
+            MPG {q1, q2}, 300
+            MD {q1, q2}
+            addi r1, r1, 1
+            bne r1, r2, Outer_Loop
+            halt
+        """)
+        assert "multiplexed" in replay_ineligibility(machine, 8)
+
+    def test_fallback_and_full_run_agree_for_entangled_states(self):
+        """A CZ program collapses to non-basis states: the engine must
+        detect it mid-recording and continue to the correct full result."""
+        config = MachineConfig(qubits=(1, 2), flux_pairs=((1, 2),),
+                               trace_enabled=False, calibration_shots=20,
+                               dcu_points=1)
+        asm = """
+            mov r15, 40000
+            mov r1, 0
+            mov r2, 6
+        Outer_Loop:
+            QNopReg r15
+            Pulse {q1}, Y90
+            Pulse {q2}, Y90
+            Wait 4
+            Pulse {q1, q2}, CZ
+            Wait 8
+            MPG {q1}, 300
+            MD {q1}
+            addi r1, r1, 1
+            bne r1, r2, Outer_Loop
+            halt
+        """
+        baseline = QuMA(config)
+        baseline.load(asm)
+        r_base = baseline.run()
+
+        machine = QuMA(config)
+        machine.load(asm)
+        r_replay, plan, report = run_with_replay(machine, 6)
+        assert plan is None
+        assert report.fallback_reason is not None
+        assert np.array_equal(r_base.averages, r_replay.averages)
+
+
+class TestChainOutcomes:
+    def test_memoryless_positions(self):
+        t0 = np.array([True, False, True, False])
+        t1 = t0.copy()
+        assert np.array_equal(_chain_outcomes(t0, t1, prev=1), t0)
+
+    def test_dependent_positions_follow_previous_outcome(self):
+        # position 0 depends on prev; position 2 depends on position 1.
+        t0 = np.array([False, True, False, False])
+        t1 = np.array([True, True, True, False])
+        out = _chain_outcomes(t0, t1, prev=1)
+        assert out.tolist() == [True, True, True, False]
+        out = _chain_outcomes(t0, t1, prev=0)
+        assert out.tolist() == [False, True, True, False]
+
+    def test_matches_sequential_reference(self):
+        rng = np.random.default_rng(5)
+        p = rng.random((7, 2))
+        u = rng.random(7 * 30)
+        t0 = u < np.tile(p[:, 0], 30)
+        t1 = u < np.tile(p[:, 1], 30)
+        fast = _chain_outcomes(t0, t1, prev=0)
+        prev = 0
+        ref = []
+        for j in range(len(u)):
+            prev = int(u[j] < p[j % 7, 1 if prev else 0])
+            ref.append(bool(prev))
+        assert fast.tolist() == ref
+
+
+class TestRunReplayed:
+    def test_quma_hook(self):
+        config = fast_config(dcu_points=1)
+        machine = QuMA(config)
+        machine.load(loop_asm(20))
+        result = machine.run_replayed(20)
+        assert result.completed
+        assert result.replayed_rounds == 18
+
+        full = QuMA(config)
+        full.load(loop_asm(20))
+        assert np.array_equal(full.run().averages, result.averages)
+
+    def test_plan_contents(self):
+        _, _, plan, _ = run_pair(loop_asm(16), 16)
+        assert isinstance(plan, ReplayPlan)
+        assert plan.k_points == 1
+        assert plan.duration_ns == 1500
+        assert plan.p1.shape == (1, 2)
+        assert 0.0 <= plan.p1.min() and plan.p1.max() <= 1.0
+        assert plan.round_period_ns > 0

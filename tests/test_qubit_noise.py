@@ -103,3 +103,35 @@ def test_gamma_bounds_checked():
         amplitude_damping_kraus(1.5)
     with pytest.raises(ValueError):
         phase_damping_kraus(-0.1)
+
+
+def test_superop_matches_kraus_channel():
+    from repro.qubit.noise import decoherence_superop
+
+    dm_kraus = DensityMatrix.ground(1)
+    dm_kraus.apply_unitary(rx(0.9), (0,))
+    dm_super = dm_kraus.copy()
+    ops = decoherence_kraus(5000.0, 18000.0, 12000.0)
+    dm_kraus.apply_kraus(list(ops), 0)
+    dm_super.apply_superop(decoherence_superop(5000.0, 18000.0, 12000.0))
+    assert np.allclose(dm_kraus.data, dm_super.data, atol=1e-14)
+    assert dm_super.is_physical()
+
+
+def test_superop_is_cached():
+    from repro.qubit.noise import decoherence_superop
+
+    assert decoherence_superop(100.0, 1e4, 8e3) is decoherence_superop(
+        100.0, 1e4, 8e3)
+
+
+def test_superop_fixes_ground_state_exactly():
+    """|0><0| must be a bit-exact fixed point of idle decoherence — the
+    round-replay engine's warm start rests on it."""
+    from repro.qubit.noise import decoherence_superop
+
+    dm = DensityMatrix.ground(1)
+    dm.apply_superop(decoherence_superop(200000.0, 18000.0, 12000.0))
+    expected = np.zeros((2, 2), dtype=complex)
+    expected[0, 0] = 1.0
+    assert np.array_equal(dm.data, expected)

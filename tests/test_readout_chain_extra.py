@@ -76,3 +76,70 @@ def test_matched_filter_snr_scales_with_noise():
     # Quadrupling the noise roughly quarters the SNR.
     ratio = snr(quiet) / snr(loud)
     assert 2.5 < ratio < 6.5
+
+
+class TestBatchedReadoutKernels:
+    """The replay fast path's batched kernels must be bit-identical to the
+    scalar per-shot chain (serial/process backends mix the two)."""
+
+    def test_trace_batch_matches_sequential_draws(self):
+        from repro.readout.resonator import (
+            ReadoutParams,
+            transmitted_trace,
+            transmitted_trace_batch,
+        )
+
+        params = ReadoutParams()
+        outcomes = np.array([0, 1, 1, 0, 1, 0, 0, 1])
+        rng_seq = np.random.default_rng(42)
+        rng_bat = np.random.default_rng(42)
+        seq = np.stack([transmitted_trace(params, int(o), 300, 0, rng_seq)
+                        for o in outcomes])
+        bat = transmitted_trace_batch(params, outcomes, 300, 0, rng_bat)
+        assert np.array_equal(seq, bat)
+        # and the generators end in the same stream position
+        assert rng_seq.random() == rng_bat.random()
+
+    def test_trace_batch_noise_free(self):
+        from repro.readout.resonator import (
+            ReadoutParams,
+            transmitted_trace,
+            transmitted_trace_batch,
+        )
+
+        params = ReadoutParams(noise_std=0.0)
+        rng = np.random.default_rng(0)
+        bat = transmitted_trace_batch(params, [0, 1], 200, 0, rng)
+        assert np.array_equal(bat[1], transmitted_trace(params, 1, 200, 0, rng))
+        assert rng.random() == np.random.default_rng(0).random()  # no draws
+
+    def test_integrate_batch_matches_scalar(self):
+        from repro.readout.weights import integrate, integrate_batch
+
+        rng = np.random.default_rng(3)
+        traces = rng.normal(size=(17, 400))
+        weights = rng.normal(size=350)  # shorter than the traces
+        batch = integrate_batch(traces, weights)
+        scalar = np.array([integrate(t, weights) for t in traces])
+        assert np.array_equal(batch, scalar)
+
+    def test_adc_quantize_overwrite_matches(self):
+        from repro.readout.adc import adc_quantize
+
+        x = np.random.default_rng(9).normal(0, 0.5, (40, 100))
+        plain = adc_quantize(x)
+        inplace = adc_quantize(x.copy(), overwrite=True)
+        assert np.array_equal(plain, inplace)
+        assert np.array_equal(x, np.asarray(x))  # plain path left input alone
+
+    def test_dcu_record_batch_matches_record(self):
+        from repro.readout.data_collection import DataCollectionUnit
+
+        values = np.random.default_rng(1).normal(size=12)
+        one = DataCollectionUnit(3)
+        two = DataCollectionUnit(3)
+        for v in values:
+            one.record(v)
+        two.record_batch(values)
+        assert np.array_equal(one.averages(), two.averages())
+        assert np.array_equal(one.raw(), two.raw())
