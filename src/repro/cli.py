@@ -107,6 +107,20 @@ def _print_sweep_stats(sweep) -> None:
     print(f"machine reuse rate:      {sweep.machine_reuse_rate:.0%}")
 
 
+def _run_specs(svc, specs, stream: bool):
+    """Execute a batch; with ``stream``, print results as they finish."""
+    from repro.experiments.runner import run_spec_sweep
+
+    if not stream:
+        return svc.run_batch(specs)
+
+    def announce(job):
+        print(f"  done [{job.executor}] {job.label or job.seed}"
+              f"  ({job.execute_s:.3f} s)")
+
+    return run_spec_sweep(svc, specs, on_result=announce)
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     """Batched execution through the orchestration service."""
     import numpy as np
@@ -115,7 +129,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
     config = MachineConfig(qubits=_parse_qubits(args.qubits), seed=args.seed,
                            trace_enabled=False)
-    with ExperimentService(backend=args.backend, workers=args.workers) as svc:
+    with ExperimentService(backend=args.backend, workers=args.workers,
+                           cache_dir=args.cache_dir) as svc:
         if args.program:
             with open(args.program) as f:
                 asm = f.read()
@@ -125,7 +140,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
                              params={"job": i}, label=f"job{i}",
                              replay=args.replay)
                      for i in range(args.repeat)]
-            sweep = svc.run_batch(specs)
+            sweep = _run_specs(svc, specs, args.stream)
             for job in sweep:
                 values = " ".join(f"{v:8.3f}" for v in job.averages)
                 print(f"{job.label:>8}  seed={job.seed:<12} S = {values}")
@@ -136,9 +151,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
             amplitudes = np.linspace(0.0, min(2.2 * expected_pi, 0.999),
                                      args.points)
             qubit = config.qubits[0]
-            sweep = svc.run_batch([
-                rabi_job(config, qubit, amp, args.rounds, replay=args.replay)
-                for amp in amplitudes])
+            sweep = _run_specs(
+                svc,
+                [rabi_job(config, qubit, amp, args.rounds, replay=args.replay)
+                 for amp in amplitudes],
+                args.stream)
             print("amplitude   P(|1>)")
             for job in sweep:
                 print(f"{job.params['amplitude']:9.4f}   "
@@ -156,7 +173,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 spec.seed = derive_job_seed(args.seed, i)
                 spec.label = f"allxy#{i}"
                 specs.append(spec)
-            sweep = svc.run_batch(specs)
+            sweep = _run_specs(svc, specs, args.stream)
             from repro.experiments.allxy import allxy_ideal_staircase
 
             ideal = allxy_ideal_staircase()
@@ -166,6 +183,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 print(f"{job.label:>10}  seed={job.seed:<12} "
                       f"deviation={deviation:.4f}")
         _print_sweep_stats(sweep)
+        if args.save:
+            sweep.save(args.save)
+            print(f"sweep artifact -> {args.save}")
     return 0
 
 
@@ -216,10 +236,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-replay", dest="replay", action="store_false",
                    help="disable the round-replay fast path "
                         "(full event-driven simulation of every round)")
-    p.add_argument("--backend", choices=("serial", "process"),
+    p.add_argument("--backend", choices=("serial", "process", "async"),
                    default="serial")
     p.add_argument("--workers", type=int, default=None,
-                   help="worker processes for the process backend")
+                   help="worker processes for the process/async backends")
+    p.add_argument("--stream", action="store_true",
+                   help="print jobs as they complete (futures API) instead "
+                        "of waiting for the whole batch")
+    p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                   help="spill the compile cache to this directory so "
+                        "later runs (and worker processes) start warm")
+    p.add_argument("--save", default=None,
+                   help="write the sweep as a JSON artifact to this path")
     p.add_argument("--qubits", default="2")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_batch)

@@ -124,6 +124,10 @@ class QControlStore:
     def names(self) -> list[str]:
         return [p.name for p in self._programs.values()]
 
+    def clear(self) -> None:
+        """Drop every defined microprogram (back to construction state)."""
+        self._programs.clear()
+
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._programs
 

@@ -182,6 +182,10 @@ class QuMA:
         self.tcu.reset()
         self.qmb.reset()
         self.exec_ctrl.reset(seed)
+        # A fresh machine has an empty Q-control store; without this,
+        # microprograms defined for one job would leak into the next
+        # job's name resolution on a pooled machine.
+        self.store.clear()
         for ctpg in self.ctpgs.values():
             ctpg.triggers_received = 0
 

@@ -19,6 +19,7 @@ import numpy as np
 from scipy.optimize import curve_fit
 
 from repro.core.config import MachineConfig
+from repro.experiments.runner import run_spec_sweep
 from repro.pulse.envelopes import gaussian
 from repro.service import ExperimentService, JobSpec, LUTUpload, default_service
 
@@ -79,16 +80,23 @@ def rabi_job(config: MachineConfig, qubit: int, amplitude: float,
 def run_rabi(config: MachineConfig | None = None,
              amplitudes: np.ndarray | None = None,
              n_rounds: int = 64,
-             service: ExperimentService | None = None) -> RabiResult:
-    """Amplitude-Rabi through the machine, one uploaded pulse per point."""
+             service: ExperimentService | None = None,
+             on_result=None) -> RabiResult:
+    """Amplitude-Rabi through the machine, one uploaded pulse per point.
+
+    Points are submitted as futures and may complete out of order on
+    concurrent backends; ``on_result`` observes each point as it streams
+    in, while the fit always runs over amplitude-ordered results.
+    """
     config = config if config is not None else MachineConfig()
     service = service if service is not None else default_service()
     expected_pi = config.calibration.amplitude_for(np.pi)
     if amplitudes is None:
         amplitudes = np.linspace(0.0, min(2.2 * expected_pi, 0.999), 21)
     qubit = config.qubits[0]
-    sweep = service.run_batch([
-        rabi_job(config, qubit, amp, n_rounds) for amp in amplitudes])
+    sweep = run_spec_sweep(
+        service, [rabi_job(config, qubit, amp, n_rounds) for amp in amplitudes],
+        on_result=on_result)
     populations = np.asarray([job.normalized[0] for job in sweep])
 
     def model(a, a_pi, visibility, offset):

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.config import MachineConfig
 from repro.experiments.analysis import RBFit, fit_rb_decay
 from repro.experiments.cliffords import clifford_group
+from repro.experiments.runner import run_spec_sweep
 from repro.service import ExperimentService, JobSpec, default_service
 from repro.utils.rng import derive_rng
 
@@ -77,12 +78,14 @@ def run_rb(config: MachineConfig | None = None,
            seed: int = 0,
            fixed_offset: float | None = 0.5,
            service: ExperimentService | None = None,
-           replay: bool = True) -> RBResult:
+           replay: bool = True,
+           on_result=None) -> RBResult:
     """Randomized benchmarking through the full stack.
 
     ``fixed_offset`` pins the fit asymptote (0.5 = fully depolarized);
     pass None to fit it freely when many lengths are measured.  All
-    sequences execute as one service batch (worker-pool capable); the
+    sequences are submitted as one batch of futures (worker-pool
+    capable; ``on_result`` streams sequences in completion order); the
     random sequences themselves are drawn in the caller from ``seed``.
     """
     config = config if config is not None else MachineConfig()
@@ -106,7 +109,7 @@ def run_rb(config: MachineConfig | None = None,
                 pulses = ["I"]
             specs.append(rb_sequence_job(config, qubit, pulses, n_rounds, m,
                                          replay=replay))
-    sweep = service.run_batch(specs)
+    sweep = run_spec_sweep(service, specs, on_result=on_result)
 
     survival = []
     per_length = [sweep.jobs[i:i + sequences_per_length]

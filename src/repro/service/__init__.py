@@ -2,21 +2,45 @@
 
 The classical analogue of a lab-control stack driving a real processor:
 jobs (:class:`JobSpec`) describe one compiled-program execution; a
-compile cache reuses codegen and assembly across sweep points; a machine
-pool reuses :class:`~repro.core.quma.QuMA` control stacks across jobs
-with compatible configs; and a scheduler executes batches serially or on
-a ``multiprocessing`` worker pool with deterministic per-job seeding.
+compile cache reuses codegen and assembly across sweep points (and can
+spill to disk so cold processes start warm); a machine pool reuses
+:class:`~repro.core.quma.QuMA` control stacks across jobs with compatible
+configs; and an :class:`ExperimentService` routes specs through pluggable
+executor backends — serial, multiprocessing, or an asyncio job queue —
+with deterministic per-job seeding, plus a heterogeneous ``baseline``
+route running APS2 cost-model jobs next to QuMA sweeps.
 
 Quick use::
 
     from repro.service import ExperimentService, JobSpec, grid
 
-    service = ExperimentService(backend="process", workers=4)
+    service = ExperimentService(backend="async", workers=4)
+    for spec in (make_job(p) for p in grid(amplitude=amps)):
+        service.submit(spec)
+    for result in service.iter_completed():   # completion order
+        print(result.label, result.normalized[0])
+
     sweep = service.run_sweep(make_job, grid(amplitude=amps), seed_root=7)
 """
 
-from repro.service.cache import CompileCache, ReplayCache, program_fingerprint
+from repro.service.backends import (
+    AsyncBackend,
+    BaselineBackend,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    create_backend,
+    execute_job,
+)
+from repro.service.cache import (
+    CompileCache,
+    ReplayCache,
+    microprograms_fingerprint,
+    program_fingerprint,
+)
+from repro.service.dispatch import Dispatcher
 from repro.service.job import (
+    JobFuture,
     JobResult,
     JobSpec,
     LUTUpload,
@@ -27,23 +51,31 @@ from repro.service.pool import MachinePool, pool_key
 from repro.service.scheduler import (
     ExperimentService,
     default_service,
-    execute_job,
     grid,
 )
 
 __all__ = [
+    "AsyncBackend",
+    "BaselineBackend",
     "CompileCache",
+    "Dispatcher",
+    "ExecutorBackend",
     "ExperimentService",
-    "ReplayCache",
+    "JobFuture",
     "JobResult",
     "JobSpec",
     "LUTUpload",
     "MachinePool",
+    "ProcessBackend",
+    "ReplayCache",
+    "SerialBackend",
     "SweepResult",
+    "create_backend",
     "default_service",
     "derive_job_seed",
     "execute_job",
     "grid",
+    "microprograms_fingerprint",
     "pool_key",
     "program_fingerprint",
 ]

@@ -1,0 +1,57 @@
+"""Pluggable executor backends for the experiment service.
+
+The scheduler's old if/else backend dispatch, refactored into a package:
+every backend implements the :class:`ExecutorBackend` contract
+(``submit(spec) -> JobFuture``, ``drain()``, ``close()``, ``stats()``)
+and the service composes them through a
+:class:`~repro.service.dispatch.Dispatcher`.
+
+* :class:`SerialBackend` — in-process reference implementation;
+* :class:`ProcessBackend` — persistent multiprocessing worker pool;
+* :class:`AsyncBackend` — asyncio job queue over process workers,
+  resolving futures in completion order;
+* :class:`BaselineBackend` — the APS2 cost model as a heterogeneous
+  dispatch route.
+"""
+
+from __future__ import annotations
+
+from repro.service.backends.async_queue import AsyncBackend
+from repro.service.backends.base import ExecutorBackend, execute_job
+from repro.service.backends.baseline import BaselineBackend
+from repro.service.backends.process import ProcessBackend, default_workers
+from repro.service.backends.serial import SerialBackend
+from repro.utils.errors import ConfigurationError
+
+#: Selectable QuMA execution backends, by ``ExperimentService(backend=...)``
+#: name.  (The baseline route is not selectable here — the dispatcher adds
+#: it to every service.)
+QUMA_BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ProcessBackend.name: ProcessBackend,
+    AsyncBackend.name: AsyncBackend,
+}
+
+
+def create_backend(name: str, **kwargs) -> ExecutorBackend:
+    """Instantiate a QuMA executor backend by registry name."""
+    try:
+        backend_cls = QUMA_BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; choose from "
+            f"{tuple(QUMA_BACKENDS)}") from None
+    return backend_cls(**kwargs)
+
+
+__all__ = [
+    "AsyncBackend",
+    "BaselineBackend",
+    "ExecutorBackend",
+    "ProcessBackend",
+    "QUMA_BACKENDS",
+    "SerialBackend",
+    "create_backend",
+    "default_workers",
+    "execute_job",
+]

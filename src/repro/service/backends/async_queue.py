@@ -1,0 +1,132 @@
+"""Asyncio executor: a job queue of consumer coroutines over process workers.
+
+The ROADMAP's async backend: an event loop (on a daemon thread, so the
+synchronous service API keeps working) owns an ``asyncio.Queue``;
+``submit`` enqueues from any thread, and a fixed set of consumer
+coroutines pull specs off the queue and await their execution on a
+:class:`~concurrent.futures.ProcessPoolExecutor` whose workers hold the
+same warm per-process state as the multiprocessing backend
+(``_worker_init``/``_worker_execute``).  Futures resolve strictly in
+completion order, which is what makes ``iter_completed`` stream results
+as jobs finish rather than in submission order.
+
+The queue is the backpressure point: jobs wait there (cheap spec objects)
+instead of piling into the executor, and ``queue_size`` can bound it for
+producers that submit faster than the workers drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+
+from repro.service.backends.base import ExecutorBackend
+from repro.service.backends.process import (
+    _worker_execute,
+    _worker_init,
+    default_workers,
+)
+from repro.service.job import JobFuture, JobSpec
+
+#: Queue sentinel that shuts a consumer down.
+_STOP = object()
+
+
+class AsyncBackend(ExecutorBackend):
+    """Asyncio job queue feeding a warm process pool."""
+
+    name = "async"
+
+    def __init__(self, workers: int | None = None,
+                 cache_dir: str | None = None, queue_size: int = 0):
+        super().__init__()
+        self.workers = workers if workers is not None else default_workers()
+        self.cache_dir = cache_dir
+        self.queue_size = queue_size
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._queue: asyncio.Queue | None = None
+        self._consumers: list[asyncio.Task] = []
+        self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+        self._started = threading.Event()
+
+    # -- event-loop lifecycle ------------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_worker_init,
+                initargs=(self.cache_dir,))
+            self._thread = threading.Thread(
+                target=self._run_loop, name="repro-async-backend", daemon=True)
+            self._thread.start()
+            self._started.wait()
+        return self._loop
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._queue = asyncio.Queue(maxsize=self.queue_size)
+        self._consumers = [loop.create_task(self._consume())
+                           for _ in range(self.workers)]
+        self._loop = loop
+        self._started.set()
+        try:
+            loop.run_until_complete(
+                asyncio.gather(*self._consumers, return_exceptions=True))
+        finally:
+            loop.close()
+
+    async def _consume(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                return
+            spec, future = item
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, _worker_execute, spec)
+            except Exception as exc:  # resolve; surfaces on future.result()
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+
+    async def _enqueue(self, item) -> None:
+        await self._queue.put(item)
+
+    def _post(self, item) -> None:
+        asyncio.run_coroutine_threadsafe(self._enqueue(item), self._loop) \
+            .result()
+
+    # -- ExecutorBackend interface -------------------------------------------
+
+    def _submit(self, spec: JobSpec) -> JobFuture:
+        future = JobFuture(spec)
+        self._ensure_loop()
+        self._post((spec, future))
+        return future
+
+    def close(self) -> None:
+        if self._loop is None:
+            return
+        self.drain()
+        for _ in self._consumers:
+            self._post(_STOP)
+        self._thread.join()
+        self._executor.shutdown(wait=True)
+        self._loop = None
+        self._thread = None
+        self._queue = None
+        self._consumers = []
+        self._executor = None
+        self._started.clear()
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["workers"] = self.workers
+        stats["loop_live"] = self._loop is not None
+        if self._queue is not None:
+            stats["queued"] = self._queue.qsize()
+        return stats

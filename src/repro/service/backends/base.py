@@ -1,0 +1,158 @@
+"""Executor-backend contract and the shared QuMA job-execution function.
+
+An :class:`ExecutorBackend` turns :class:`~repro.service.job.JobSpec`\\ s
+into :class:`~repro.service.job.JobResult`\\ s asynchronously: ``submit``
+returns a :class:`~repro.service.job.JobFuture` immediately; ``drain``
+blocks until everything submitted so far has resolved; ``close`` releases
+worker resources; ``stats`` reports backend-side counters.
+
+Job execution is a pure function of the spec (per-job RNG streams are
+re-derived from the spec's run seed), so every backend produces
+bit-identical results for the same specs — the determinism contract the
+parity tests pin down (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time
+
+import numpy as np
+
+from repro.core.quma import check_run_result
+from repro.core.replay import run_with_replay
+from repro.pulse.waveform import Waveform
+from repro.service.cache import CompileCache, ReplayCache
+from repro.service.job import JobFuture, JobResult, JobSpec
+from repro.service.pool import MachinePool
+
+
+def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
+                replay_cache: ReplayCache | None = None) -> JobResult:
+    """Run one QuMA job against a pool and cache; deterministic given the spec.
+
+    With ``spec.replay`` (the default) eligible programs take the
+    round-replay fast path; a verified plan lands in ``replay_cache`` so
+    subsequent jobs of the same sweep (same config-minus-seed, program,
+    uploads, microprograms) replay every round without touching the event
+    kernel.  Replayed and fully-simulated jobs produce bit-identical
+    averages for the same run seed, so caching never changes results.
+    """
+    t0 = time.perf_counter()
+    resolved = cache.resolve(spec)
+    t1 = time.perf_counter()
+    machine, reused = pool.acquire(spec.config)
+    try:
+        machine.reset(seed=spec.run_seed, dcu_points=resolved.k_points)
+        for name, n_params, body_asm in spec.microprograms:
+            machine.define_microprogram(name, n_params, body_asm)
+        for upload in spec.uploads:
+            op_id = machine.op_table.define(upload.op_name)
+            waveform = Waveform(upload.op_name, np.asarray(upload.samples))
+            machine.ctpgs[f"ctpg{upload.qubit}"].lut.upload(op_id, waveform)
+        machine.exec_ctrl.load(resolved.program)
+        if spec.replay:
+            replay_key = (replay_cache.key_for(spec)
+                          if replay_cache is not None else None)
+            plan = (replay_cache.get(replay_key)
+                    if replay_key is not None else None)
+            result, new_plan, report = run_with_replay(
+                machine, resolved.n_rounds, plan=plan)
+            if (new_plan is not None and not report.plan_hit
+                    and replay_key is not None):
+                replay_cache.put(replay_key, new_plan)
+        else:
+            result = machine.run()
+            report = None
+        check_run_result(result)
+        cal = machine.readout_calibration
+        return JobResult(
+            averages=result.averages.copy(),
+            run=result,
+            s_ground=cal.s_ground,
+            s_excited=cal.s_excited,
+            seed=spec.run_seed,
+            params=dict(spec.params),
+            label=spec.label,
+            cache_hit=resolved.cache_hit,
+            machine_reused=reused,
+            compile_s=t1 - t0,
+            execute_s=time.perf_counter() - t1,
+            replayed_rounds=report.replayed_rounds if report else 0,
+            replay_plan_hit=report.plan_hit if report else False,
+        )
+    finally:
+        pool.release(machine)
+
+
+class ExecutorBackend(abc.ABC):
+    """Asynchronous spec-in, future-out execution engine.
+
+    Subclasses implement :meth:`_submit` (hand one spec to the engine and
+    return an unresolved-or-resolved future); the base class tracks
+    outstanding futures so :meth:`drain` and the counters work uniformly.
+    """
+
+    #: Registry/display name, overridden per subclass.
+    name = "?"
+
+    def __init__(self):
+        self._outstanding: set[JobFuture] = set()
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.failed = 0
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobFuture:
+        """Queue one job; returns a future resolved when it finishes."""
+        future = self._submit(spec)
+        with self._lock:
+            self.submitted += 1
+            self._outstanding.add(future)
+        # The callback prunes on completion, keeping submission O(1) even
+        # when a large batch fans out while every future is still pending.
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, future: JobFuture) -> None:
+        with self._lock:
+            self._outstanding.discard(future)
+            if future.exception() is not None:
+                self.failed += 1
+
+    @abc.abstractmethod
+    def _submit(self, spec: JobSpec) -> JobFuture:
+        """Backend-specific submission."""
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until every job submitted so far has resolved.
+
+        Does not raise on failed jobs — exceptions surface when the
+        caller takes ``future.result()``.
+        """
+        with self._lock:
+            pending = list(self._outstanding)
+        for future in pending:
+            future.wait()
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; default no-op)."""
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- inspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Backend counters; subclasses extend with engine-side detail."""
+        with self._lock:
+            pending = len(self._outstanding)
+        return {"backend": self.name, "submitted": self.submitted,
+                "failed": self.failed, "pending": pending}

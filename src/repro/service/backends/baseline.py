@@ -1,0 +1,31 @@
+"""Baseline executor: the APS2 cost model as a dispatch route.
+
+Evaluates ``executor="baseline"`` jobs in-process (the cost model is
+closed-form arithmetic — no machine pool, no compile cache).  Exists so
+the dispatcher can interleave heterogeneous work in one batch: QuMA
+event-kernel sweeps next to Section 6 comparison points, each route with
+its own executor and state.
+"""
+
+from __future__ import annotations
+
+from repro.service.backends.base import ExecutorBackend
+from repro.service.job import JobFuture, JobSpec
+
+
+class BaselineBackend(ExecutorBackend):
+    """Eager in-process evaluation of APS2 cost-model jobs."""
+
+    name = "baseline"
+
+    def _submit(self, spec: JobSpec) -> JobFuture:
+        # Imported here: repro.baseline pulls in the full baseline package,
+        # which services that never route a baseline spec need not load.
+        from repro.baseline.jobs import execute_baseline_job
+
+        future = JobFuture(spec)
+        try:
+            future.set_result(execute_baseline_job(spec))
+        except Exception as exc:  # surfaces on future.result()
+            future.set_exception(exc)
+        return future

@@ -1,0 +1,85 @@
+"""Multiprocessing executor: a persistent worker pool with warm state.
+
+Each worker process holds its own compile cache, replay cache, and
+machine pool, created once at worker start and kept warm across batches.
+Jobs are dispatched with ``apply_async``, so futures resolve in
+completion order (the pool's result-handler thread fires the callbacks)
+while per-job seed derivation keeps results bit-identical to serial
+execution regardless of which worker ran what.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.service.backends.base import ExecutorBackend, execute_job
+from repro.service.cache import CompileCache, ReplayCache
+from repro.service.job import JobFuture, JobResult, JobSpec
+from repro.service.pool import MachinePool
+
+# -- worker-process state ----------------------------------------------------
+# Module-level so the initializer/executor pair stays picklable by name.
+
+_WORKER: dict = {}
+
+
+def _worker_init(cache_dir: str | None = None) -> None:
+    _WORKER["pool"] = MachinePool(label=f"worker{os.getpid()}")
+    _WORKER["cache"] = CompileCache(persist_dir=cache_dir)
+    _WORKER["replay_cache"] = ReplayCache()
+
+
+def _worker_execute(spec: JobSpec) -> JobResult:
+    return execute_job(spec, _WORKER["pool"], _WORKER["cache"],
+                       _WORKER["replay_cache"])
+
+
+def default_workers() -> int:
+    """Leave one core for the submitting process."""
+    return max(1, (multiprocessing.cpu_count() or 2) - 1)
+
+
+class ProcessBackend(ExecutorBackend):
+    """A lazy, persistent ``multiprocessing.Pool`` of warm workers.
+
+    ``cache_dir`` (optional) points every worker's compile cache at one
+    shared disk-spill directory, so even freshly forked workers start
+    warm on previously resolved programs.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None,
+                 cache_dir: str | None = None):
+        super().__init__()
+        self.workers = workers if workers is not None else default_workers()
+        self.cache_dir = cache_dir
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                processes=self.workers, initializer=_worker_init,
+                initargs=(self.cache_dir,))
+        return self._pool
+
+    def _submit(self, spec: JobSpec) -> JobFuture:
+        future = JobFuture(spec)
+        self._ensure_pool().apply_async(
+            _worker_execute, (spec,),
+            callback=future.set_result,
+            error_callback=future.set_exception)
+        return future
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["workers"] = self.workers
+        stats["pool_live"] = self._pool is not None
+        return stats

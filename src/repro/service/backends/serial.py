@@ -1,0 +1,46 @@
+"""In-process serial executor: the reference backend.
+
+Executes each job eagerly on the submitting thread against one shared
+compile cache, replay cache, and machine pool.  ``submit`` therefore
+returns an already-resolved future — the simplest implementation of the
+futures contract, and the oracle the parity tests compare the concurrent
+backends against.
+"""
+
+from __future__ import annotations
+
+from repro.service.backends.base import ExecutorBackend, execute_job
+from repro.service.cache import CompileCache, ReplayCache
+from repro.service.job import JobFuture, JobSpec
+from repro.service.pool import MachinePool
+
+
+class SerialBackend(ExecutorBackend):
+    """Run jobs inline, one at a time, sharing cache + pool state."""
+
+    name = "serial"
+
+    def __init__(self, pool: MachinePool | None = None,
+                 cache: CompileCache | None = None,
+                 replay_cache: ReplayCache | None = None):
+        super().__init__()
+        self.pool = pool if pool is not None else MachinePool(label=self.name)
+        self.cache = cache if cache is not None else CompileCache()
+        self.replay_cache = (replay_cache if replay_cache is not None
+                             else ReplayCache())
+
+    def _submit(self, spec: JobSpec) -> JobFuture:
+        future = JobFuture(spec)
+        try:
+            future.set_result(
+                execute_job(spec, self.pool, self.cache, self.replay_cache))
+        except Exception as exc:  # surfaces on future.result()
+            future.set_exception(exc)
+        return future
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["pool"] = self.pool.stats()
+        stats["cache"] = self.cache.stats()
+        stats["replay_cache"] = self.replay_cache.stats()
+        return stats

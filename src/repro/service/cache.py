@@ -11,15 +11,24 @@ compile once, execute many):
    resolved per machine at issue time).
 
 Keys are stable content digests — program structure, compiler options,
-operation names, and (for raw-asm jobs) the source hash — so two
-processes compute identical keys for identical work.
+operation names, microprogram definitions, and (for raw-asm jobs) the
+source hash — so two processes compute identical keys for identical work.
+
+With ``persist_dir`` the cache additionally spills resolved work to disk
+under those same content keys: codegen results as JSON, assembled
+programs as their binary encoding.  Cold processes (new workers, new CLI
+invocations with ``--cache-dir``) then start warm — a disk hit counts as
+a cache hit on the :class:`JobResult`.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
+import os
 from collections import OrderedDict
 from dataclasses import astuple, dataclass, replace
+from pathlib import Path
 
 from repro.compiler.codegen import CompilerOptions, compile_program
 from repro.compiler.program import QuantumProgram
@@ -43,9 +52,16 @@ def options_fingerprint(options: CompilerOptions) -> str:
     return hashlib.sha256(repr(astuple(options)).encode()).hexdigest()
 
 
-def asm_fingerprint(asm: str, op_names: tuple[str, ...]) -> str:
-    blob = asm + "\x00" + "|".join(op_names)
+def asm_fingerprint(asm: str, op_names: tuple[str, ...],
+                    microprograms: tuple[tuple[str, int, str], ...] = ()) -> str:
+    blob = asm + "\x00" + "|".join(op_names) + "\x00" + repr(microprograms)
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def microprograms_fingerprint(
+        microprograms: tuple[tuple[str, int, str], ...]) -> str:
+    """Stable digest of a job's Q-control-store microprogram definitions."""
+    return hashlib.sha256(repr(tuple(microprograms)).encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -84,15 +100,44 @@ class CompileCache:
     Entries are immutable once stored (``Program`` is only ever read by
     the execution controller), so one cache instance can serve every job
     a scheduler backend executes in its process.
+
+    ``persist_dir`` enables the disk-spill level: resolved work is also
+    written under its content key, and misses in the in-memory LRU fall
+    through to disk before recomputing.  Several processes (worker pools,
+    successive CLI runs) can share one directory — writes go through a
+    same-directory temp file + ``os.replace``, so concurrent writers of
+    the same key are safe (last writer wins with identical content).
     """
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256,
+                 persist_dir: str | os.PathLike | None = None):
         self._codegen = _LRU(max_entries)
         self._assembly = _LRU(max_entries)
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
         self.codegen_hits = 0
         self.codegen_misses = 0
         self.assembly_hits = 0
         self.assembly_misses = 0
+        self.disk_hits = 0
+        self.disk_writes = 0
+
+    # -- disk spill ----------------------------------------------------------
+
+    def _spill(self, filename: str, payload: bytes) -> None:
+        tmp = self.persist_dir / f".{filename}.{os.getpid()}.tmp"
+        tmp.write_bytes(payload)
+        os.replace(tmp, self.persist_dir / filename)
+        self.disk_writes += 1
+
+    def _disk_load(self, filename: str) -> bytes | None:
+        try:
+            payload = (self.persist_dir / filename).read_bytes()
+        except OSError:
+            return None
+        self.disk_hits += 1
+        return payload
 
     # -- levels --------------------------------------------------------------
 
@@ -104,32 +149,67 @@ class CompileCache:
         if entry is not None:
             self.codegen_hits += 1
             return entry
+        filename = f"cg_{key[0][:32]}_{key[1][:32]}.json"
+        if self.persist_dir is not None:
+            payload = self._disk_load(filename)
+            if payload is not None:
+                data = json.loads(payload)
+                entry = (data["asm"], data["k_points"])
+                self.codegen_hits += 1
+                self._codegen.put(key, entry)
+                return entry
         self.codegen_misses += 1
         compiled = compile_program(program, options)
         entry = (compiled.asm, compiled.k_points)
         self._codegen.put(key, entry)
+        if self.persist_dir is not None:
+            self._spill(filename, json.dumps(
+                {"asm": entry[0], "k_points": entry[1]}).encode())
         return entry
 
-    def assembled_for(self, asm: str,
-                      extra_ops: tuple[str, ...] = ()) -> tuple[Program, bool]:
+    def assembled_for(self, asm: str, extra_ops: tuple[str, ...] = (),
+                      microprograms: tuple[tuple[str, int, str], ...] = ()
+                      ) -> tuple[Program, bool]:
         """Assembled ``Program`` for source text (level 2).
 
         ``extra_ops`` are scratch operation names (LUT uploads) defined on
         top of the default table, in order — part of the key because they
-        change name resolution.
+        change name resolution.  ``microprograms`` likewise: their names
+        become callable mnemonics (``QCall``), and a body change must not
+        be served a stale assembly keyed only on the name.
         """
         op_names = tuple(DEFAULT_OPERATIONS.names()) + tuple(extra_ops)
-        key = asm_fingerprint(asm, op_names)
+        uprog_names = [name for name, _, _ in microprograms]
+        key = asm_fingerprint(asm, op_names, tuple(microprograms))
         program = self._assembly.get_touch(key)
         if program is not None:
             self.assembly_hits += 1
             return program, True
-        self.assembly_misses += 1
         table = DEFAULT_OPERATIONS.copy()
         for name in extra_ops:
             table.define(name)
-        program = assemble(asm, op_table=table)
+        # The spill records the program's own uprog-name order next to the
+        # binary: QCall operands are encoded as indices into the *used*
+        # microprogram list, which a spec's declaration order cannot
+        # reconstruct.
+        filename = f"as_{key[:48]}.json"
+        if self.persist_dir is not None:
+            payload = self._disk_load(filename)
+            if payload is not None:
+                data = json.loads(payload)
+                program = Program.from_binary(
+                    bytes.fromhex(data["binary"]), op_table=table,
+                    uprog_names=list(data["uprogs"]))
+                self.assembly_hits += 1
+                self._assembly.put(key, program)
+                return program, True
+        self.assembly_misses += 1
+        program = assemble(asm, op_table=table, uprogs=uprog_names)
         self._assembly.put(key, program)
+        if self.persist_dir is not None:
+            self._spill(filename, json.dumps(
+                {"binary": program.to_binary().hex(),
+                 "uprogs": list(program.uprog_names)}).encode())
         return program, False
 
     # -- job resolution ------------------------------------------------------
@@ -144,7 +224,7 @@ class CompileCache:
                                               spec.compiler_options)
             n_rounds = spec.compiler_options.n_rounds
         extra_ops = tuple(up.op_name for up in spec.uploads)
-        program, hit = self.assembled_for(asm, extra_ops)
+        program, hit = self.assembled_for(asm, extra_ops, spec.microprograms)
         return ResolvedJob(program=program, k_points=k_points, cache_hit=hit,
                            n_rounds=n_rounds)
 
@@ -156,14 +236,18 @@ class CompileCache:
             "codegen_misses": self.codegen_misses,
             "assembly_hits": self.assembly_hits,
             "assembly_misses": self.assembly_misses,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
             "entries": len(self._codegen) + len(self._assembly),
         }
 
     def clear(self) -> None:
+        """Drop the in-memory levels (the disk spill is left in place)."""
         self._codegen.clear()
         self._assembly.clear()
         self.codegen_hits = self.codegen_misses = 0
         self.assembly_hits = self.assembly_misses = 0
+        self.disk_hits = self.disk_writes = 0
 
 
 class ReplayCache:
@@ -207,7 +291,8 @@ class ReplayCache:
         uploads_key = hashlib.sha256(repr(
             [(up.qubit, up.op_name, up.samples) for up in spec.uploads]
         ).encode()).hexdigest()
-        return (config_fp, program_key, uploads_key)
+        return (config_fp, program_key, uploads_key,
+                microprograms_fingerprint(spec.microprograms))
 
     def get(self, key: tuple):
         plan = self._plans.get_touch(key)

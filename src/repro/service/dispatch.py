@@ -1,0 +1,53 @@
+"""Routing layer: one batch, heterogeneous executors.
+
+A :class:`Dispatcher` owns a route table mapping
+:attr:`JobSpec.executor` keys to :class:`ExecutorBackend` instances —
+the paper's own QuMA-vs-APS2 comparison as an architecture: the same
+batch can carry event-kernel QuMA sweeps and closed-form APS2 cost-model
+jobs, each routed to its own executor with its own machine pool and
+caches.  Submission order is preserved by the caller (futures come back
+per spec), so merged :class:`SweepResult`\\ s stay deterministic however
+the routes interleave.
+"""
+
+from __future__ import annotations
+
+from repro.service.backends.base import ExecutorBackend
+from repro.service.job import JobFuture, JobSpec
+from repro.utils.errors import ConfigurationError
+
+
+class Dispatcher:
+    """Route specs to executors keyed off ``spec.executor``."""
+
+    def __init__(self, routes: dict[str, ExecutorBackend]):
+        if not routes:
+            raise ConfigurationError("dispatcher needs at least one route")
+        self.routes = dict(routes)
+
+    def backend_for(self, spec: JobSpec) -> ExecutorBackend:
+        """The executor that will run this spec."""
+        try:
+            return self.routes[spec.executor]
+        except KeyError:
+            raise ConfigurationError(
+                f"no executor routed for {spec.executor!r}; routes: "
+                f"{tuple(self.routes)}") from None
+
+    def submit(self, spec: JobSpec) -> JobFuture:
+        """Hand one spec to its route's executor."""
+        return self.backend_for(spec).submit(spec)
+
+    def drain(self) -> None:
+        """Block until every route's outstanding work has resolved."""
+        for backend in self.routes.values():
+            backend.drain()
+
+    def close(self) -> None:
+        for backend in self.routes.values():
+            backend.close()
+
+    def stats(self) -> dict:
+        """Per-route backend stats, keyed by route name."""
+        return {route: backend.stats()
+                for route, backend in self.routes.items()}

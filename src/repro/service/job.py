@@ -2,14 +2,24 @@
 
 A :class:`JobSpec` is a self-contained, picklable description of one run —
 program (high-level or raw assembly), machine configuration, scratch LUT
-uploads, and the per-job run seed.  The scheduler turns specs into
-:class:`JobResult`\\ s; a batch of results aggregates into a
+uploads, Q-control-store microprograms, and the per-job run seed.  An
+executor backend turns specs into :class:`JobResult`\\ s, handed back
+through :class:`JobFuture`\\ s; a batch of results aggregates into a
 :class:`SweepResult`.
+
+Specs also carry their *route*: ``executor="quma"`` (the default) runs
+through the full QuMA event-kernel stack, while ``executor="baseline"``
+evaluates the spec's :class:`~repro.baseline.spec.ExperimentSpec` against
+the APS2 cost model (see ``repro.baseline.jobs``).  The dispatcher keys
+off this field, so one batch can interleave both.
 """
 
 from __future__ import annotations
 
+import json
+import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -18,6 +28,12 @@ from repro.compiler.program import QuantumProgram
 from repro.core.config import MachineConfig
 from repro.core.quma import RunResult
 from repro.utils.errors import ConfigurationError
+
+if TYPE_CHECKING:  # avoid a runtime service <-> baseline import cycle
+    from repro.baseline.spec import ExperimentSpec
+
+#: Known values of :attr:`JobSpec.executor` (dispatch route keys).
+EXECUTORS = ("quma", "baseline")
 
 
 def derive_job_seed(root: int, index: int) -> int:
@@ -56,15 +72,18 @@ class LUTUpload:
 class JobSpec:
     """Everything needed to execute one program on one machine setup.
 
-    Exactly one of ``program`` (lowered through the compiler) or ``asm``
-    (raw QIS+QuMIS text) must be given.  ``seed`` is the *run* seed for
-    the stochastic streams (device projection, readout noise, classical
-    jitter); the machine's construction artifacts (readout calibration)
-    always derive from ``config.seed``, so jobs with different run seeds
-    still share pooled machines.
+    For QuMA jobs exactly one of ``program`` (lowered through the
+    compiler) or ``asm`` (raw QIS+QuMIS text) must be given.  ``seed`` is
+    the *run* seed for the stochastic streams (device projection, readout
+    noise, classical jitter); the machine's construction artifacts
+    (readout calibration) always derive from ``config.seed``, so jobs with
+    different run seeds still share pooled machines.
+
+    Baseline jobs (``executor="baseline"``) instead carry a ``baseline``
+    cost-model spec and no program — see :func:`repro.baseline.jobs.baseline_job`.
     """
 
-    config: MachineConfig
+    config: MachineConfig | None = None
     program: QuantumProgram | None = None
     asm: str | None = None
     compiler_options: CompilerOptions = field(default_factory=CompilerOptions)
@@ -76,23 +95,127 @@ class JobSpec:
     #: ``compiler_options``).  Declaring it enables the replay fast path.
     n_rounds: int | None = None
     uploads: tuple[LUTUpload, ...] = ()
+    #: Q-control-store microprograms installed before the run, as
+    #: ``(name, n_params, body_asm)`` tuples.  Their names become callable
+    #: mnemonics in raw ``asm`` (assembled to ``QCall``), and both names
+    #: and bodies are part of the compile-cache fingerprint.
+    microprograms: tuple[tuple[str, int, str], ...] = ()
     #: Sweep-point coordinates, carried through to the result.
     params: dict = field(default_factory=dict)
     label: str = ""
     #: Allow the round-replay fast path (ineligible programs fall back to
     #: full simulation automatically; results are bit-identical either way).
     replay: bool = True
+    #: Dispatch route: ``"quma"`` (event-kernel simulation) or
+    #: ``"baseline"`` (APS2 cost model).
+    executor: str = "quma"
+    #: Cost-model workload for ``executor="baseline"`` jobs.
+    baseline: "ExperimentSpec | None" = None
 
     def __post_init__(self):
-        if (self.program is None) == (self.asm is None):
+        if self.executor not in EXECUTORS:
             raise ConfigurationError(
-                "JobSpec needs exactly one of program= or asm=")
+                f"unknown executor {self.executor!r}; choose from {EXECUTORS}")
+        if self.executor == "baseline":
+            if self.baseline is None:
+                raise ConfigurationError(
+                    "baseline jobs need baseline= (an ExperimentSpec)")
+            if self.program is not None or self.asm is not None:
+                raise ConfigurationError(
+                    "baseline jobs carry a cost-model spec, not a program")
+        else:
+            if self.config is None:
+                raise ConfigurationError("QuMA jobs need config=")
+            if (self.program is None) == (self.asm is None):
+                raise ConfigurationError(
+                    "JobSpec needs exactly one of program= or asm=")
         if self.k_points < 1:
             raise ConfigurationError("k_points must be at least 1")
+        self.microprograms = tuple(
+            (str(name), int(n_params), str(body))
+            for name, n_params, body in self.microprograms)
 
     @property
     def run_seed(self) -> int:
-        return self.config.seed if self.seed is None else self.seed
+        if self.seed is not None:
+            return self.seed
+        return self.config.seed if self.config is not None else 0
+
+
+class JobFuture:
+    """Handle to one submitted job, resolved when its backend finishes.
+
+    A deliberately small, dependency-free future: thread-safe, resolvable
+    exactly once, with completion callbacks (used by the service's
+    ``iter_completed`` stream).  Callbacks run on whatever thread resolves
+    the future — the submitting thread for the serial backend, a pool
+    result-handler or event-loop thread otherwise — so they must be cheap
+    and non-blocking.
+    """
+
+    def __init__(self, spec: JobSpec, index: int | None = None):
+        self.spec = spec
+        #: Submission index within the owning service (None for direct
+        #: backend submissions).
+        self.index = index
+        self._done = threading.Event()
+        self._result: JobResult | None = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["JobFuture"], None]] = []
+        self._lock = threading.Lock()
+
+    # -- resolution (backend side) ------------------------------------------
+
+    def set_result(self, result: "JobResult") -> None:
+        self._resolve(result, None)
+
+    def set_exception(self, exception: BaseException) -> None:
+        self._resolve(None, exception)
+
+    def _resolve(self, result, exception) -> None:
+        with self._lock:
+            if self._done.is_set():
+                raise RuntimeError("JobFuture already resolved")
+            self._result = result
+            self._exception = exception
+            callbacks, self._callbacks = self._callbacks, []
+            self._done.set()
+        for callback in callbacks:
+            callback(self)
+
+    # -- consumption (caller side) ------------------------------------------
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until resolved; True if it resolved within ``timeout``."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> "JobResult":
+        """The job's result, blocking until available.
+
+        Re-raises the job's exception if it failed; raises
+        :class:`TimeoutError` if ``timeout`` elapses first.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError("job did not complete in time")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._done.wait(timeout):
+            raise TimeoutError("job did not complete in time")
+        return self._exception
+
+    def add_done_callback(self, fn: Callable[["JobFuture"], None]) -> None:
+        """Call ``fn(self)`` once resolved (immediately if already done)."""
+        with self._lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
 
 @dataclass
@@ -100,7 +223,7 @@ class JobResult:
     """One job's collected statistics plus execution metadata."""
 
     averages: np.ndarray   #: data collection unit output, length K
-    run: RunResult
+    run: RunResult | None  #: None for results loaded from a sweep artifact
     s_ground: float        #: readout calibration point for |0>
     s_excited: float       #: readout calibration point for |1>
     seed: int
@@ -112,11 +235,16 @@ class JobResult:
     execute_s: float
     replayed_rounds: int = 0   #: rounds served by the replay fast path
     replay_plan_hit: bool = False  #: replay plan came from the replay cache
+    executor: str = "quma"     #: which dispatch route produced this result
 
     @property
     def normalized(self) -> np.ndarray:
         """Averages rescaled by the readout calibration points."""
         return (self.averages - self.s_ground) / (self.s_excited - self.s_ground)
+
+
+#: Artifact format tag written by :meth:`SweepResult.save`.
+SWEEP_ARTIFACT_FORMAT = "repro.sweep/v1"
 
 
 @dataclass
@@ -128,6 +256,26 @@ class SweepResult:
     backend: str
     cache_stats: dict = field(default_factory=dict)
     pool_stats: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_jobs(cls, jobs: list[JobResult], elapsed_s: float,
+                  backend: str) -> "SweepResult":
+        """Assemble a sweep with batch aggregates derived from the jobs.
+
+        The single construction path `run_batch` and `run_spec_sweep`
+        share, so their results stay identical by construction: worker-
+        local pools and caches never report back, hence the aggregates
+        come from the job flags themselves.
+        """
+        reuses = sum(1 for job in jobs if job.machine_reused)
+        hits = sum(1 for job in jobs if job.cache_hit)
+        return cls(
+            jobs=jobs,
+            elapsed_s=elapsed_s,
+            backend=backend,
+            cache_stats={"hits": hits, "misses": len(jobs) - hits},
+            pool_stats={"builds": len(jobs) - reuses, "reuses": reuses},
+        )
 
     def __len__(self) -> int:
         return len(self.jobs)
@@ -165,3 +313,94 @@ class SweepResult:
         if not self.jobs:
             return 0.0
         return sum(1 for j in self.jobs if j.machine_reused) / len(self.jobs)
+
+    @property
+    def replay_rate(self) -> float:
+        """Fraction of jobs that took the round-replay fast path."""
+        if not self.jobs:
+            return 0.0
+        return sum(1 for j in self.jobs if j.replayed_rounds > 0) / len(self.jobs)
+
+    @property
+    def replay_plan_hit_rate(self) -> float:
+        """Fraction of jobs served by a cached (warm) replay plan."""
+        if not self.jobs:
+            return 0.0
+        return sum(1 for j in self.jobs if j.replay_plan_hit) / len(self.jobs)
+
+    # -- artifacts -----------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the sweep as a shareable JSON artifact.
+
+        Records per-job params, averages, calibration points, timings, and
+        the batch-level cache/pool/replay hit rates — the companion format
+        to ``repro.core.config_io``'s machine configurations.  Simulator
+        internals (the :class:`RunResult`) are deliberately not persisted;
+        a loaded sweep supports all the array/aggregate accessors.
+        """
+        data = {
+            "format": SWEEP_ARTIFACT_FORMAT,
+            "backend": self.backend,
+            "elapsed_s": self.elapsed_s,
+            "cache_stats": dict(self.cache_stats),
+            "pool_stats": dict(self.pool_stats),
+            "rates": {
+                "cache_hit": self.cache_hit_rate,
+                "machine_reuse": self.machine_reuse_rate,
+                "replay": self.replay_rate,
+                "replay_plan_hit": self.replay_plan_hit_rate,
+            },
+            "jobs": [{
+                "label": job.label,
+                "seed": job.seed,
+                "params": job.params,
+                "averages": np.asarray(job.averages).tolist(),
+                "s_ground": job.s_ground,
+                "s_excited": job.s_excited,
+                "cache_hit": job.cache_hit,
+                "machine_reused": job.machine_reused,
+                "compile_s": job.compile_s,
+                "execute_s": job.execute_s,
+                "replayed_rounds": job.replayed_rounds,
+                "replay_plan_hit": job.replay_plan_hit,
+                "executor": job.executor,
+            } for job in self.jobs],
+        }
+        with open(path, "w") as f:
+            json.dump(data, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SweepResult":
+        """Read an artifact written by :meth:`save`.
+
+        Loaded jobs carry ``run=None`` (simulator internals are not part
+        of the artifact); everything else — averages, normalization,
+        params, timings, hit flags — round-trips exactly.
+        """
+        with open(path) as f:
+            data = json.load(f)
+        if data.get("format") != SWEEP_ARTIFACT_FORMAT:
+            raise ConfigurationError(
+                f"{path!r} is not a {SWEEP_ARTIFACT_FORMAT} artifact")
+        jobs = [JobResult(
+            averages=np.asarray(entry["averages"], dtype=float),
+            run=None,
+            s_ground=entry["s_ground"],
+            s_excited=entry["s_excited"],
+            seed=entry["seed"],
+            params=entry["params"],
+            label=entry["label"],
+            cache_hit=entry["cache_hit"],
+            machine_reused=entry["machine_reused"],
+            compile_s=entry["compile_s"],
+            execute_s=entry["execute_s"],
+            replayed_rounds=entry.get("replayed_rounds", 0),
+            replay_plan_hit=entry.get("replay_plan_hit", False),
+            executor=entry.get("executor", "quma"),
+        ) for entry in data["jobs"]]
+        return cls(jobs=jobs, elapsed_s=data["elapsed_s"],
+                   backend=data["backend"],
+                   cache_stats=data.get("cache_stats", {}),
+                   pool_stats=data.get("pool_stats", {}))

@@ -40,7 +40,11 @@ class MachinePool:
     whatever key it belongs to.
     """
 
-    def __init__(self, max_idle_per_key: int = 4, max_idle_total: int = 16):
+    def __init__(self, max_idle_per_key: int = 4, max_idle_total: int = 16,
+                 label: str = ""):
+        #: owner tag shown in stats (e.g. which executor backend holds
+        #: this pool) — the dispatcher gives every route its own pool.
+        self.label = label
         self.max_idle_per_key = max_idle_per_key
         self.max_idle_total = max_idle_total
         self._idle: dict[str, list[QuMA]] = {}
@@ -85,8 +89,11 @@ class MachinePool:
         return sum(len(v) for v in self._idle.values())
 
     def stats(self) -> dict:
-        return {"builds": self.builds, "reuses": self.reuses,
-                "idle": self.idle_count(), "keys": len(self._idle)}
+        stats = {"builds": self.builds, "reuses": self.reuses,
+                 "idle": self.idle_count(), "keys": len(self._idle)}
+        if self.label:
+            stats["label"] = self.label
+        return stats
 
     def clear(self) -> None:
         self._idle.clear()

@@ -1,33 +1,43 @@
-"""The experiment scheduler: serial and worker-pool execution backends.
+"""The experiment service: futures, streaming, and batch orchestration.
 
-One :class:`ExperimentService` owns a compile cache and a machine pool
-and executes :class:`~repro.service.job.JobSpec` batches through a
-backend:
+One :class:`ExperimentService` owns a :class:`Dispatcher` over pluggable
+executor backends (see ``repro.service.backends``) and executes
+:class:`~repro.service.job.JobSpec`\\ s three ways:
 
-* ``"serial"`` — in-process loop sharing one cache and pool;
-* ``"process"`` — a persistent ``multiprocessing`` worker pool, each
-  worker holding its own cache and machine pool that stay warm across
-  batches.
+* :meth:`submit` — hand one spec to its route's executor, get a
+  :class:`~repro.service.job.JobFuture` back immediately;
+* :meth:`iter_completed` — stream :class:`JobResult`\\ s in *completion*
+  order as outstanding submissions finish;
+* :meth:`run_batch` / :meth:`run_sweep` — thin deterministic-order
+  wrappers: submit everything, gather in submission order.
 
-Job execution is a pure function of the spec (per-job RNG streams are
-re-derived from the spec's run seed), so both backends produce
-numerically identical results in submission order.
+``backend=`` selects the QuMA route's executor (``"serial"``,
+``"process"``, ``"async"``); every service additionally routes
+``executor="baseline"`` specs to the APS2 cost model, so one batch can
+interleave both.  Job execution is a pure function of the spec (per-job
+RNG streams are re-derived from the spec's run seed), so all backends
+produce bit-identical results in submission order.
 """
 
 from __future__ import annotations
 
 import itertools
-import multiprocessing
+import queue
+import threading
 import time
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
-import numpy as np
-
-from repro.core.quma import check_run_result
-from repro.core.replay import run_with_replay
-from repro.pulse.waveform import Waveform
+from repro.service.backends import (
+    BaselineBackend,
+    SerialBackend,
+    create_backend,
+    default_workers,
+    execute_job,
+)
 from repro.service.cache import CompileCache, ReplayCache
+from repro.service.dispatch import Dispatcher
 from repro.service.job import (
+    JobFuture,
     JobResult,
     JobSpec,
     SweepResult,
@@ -48,117 +58,51 @@ def grid(**axes: Iterable) -> list[dict]:
             for combo in itertools.product(*axes.values())]
 
 
-def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
-                replay_cache: ReplayCache | None = None) -> JobResult:
-    """Run one job against a pool and cache; deterministic given the spec.
-
-    With ``spec.replay`` (the default) eligible programs take the
-    round-replay fast path; a verified plan lands in ``replay_cache`` so
-    subsequent jobs of the same sweep (same config-minus-seed, program,
-    uploads) replay every round without touching the event kernel.
-    Replayed and fully-simulated jobs produce bit-identical averages for
-    the same run seed, so caching never changes results.
-    """
-    t0 = time.perf_counter()
-    resolved = cache.resolve(spec)
-    t1 = time.perf_counter()
-    machine, reused = pool.acquire(spec.config)
-    try:
-        machine.reset(seed=spec.run_seed, dcu_points=resolved.k_points)
-        for upload in spec.uploads:
-            op_id = machine.op_table.define(upload.op_name)
-            waveform = Waveform(upload.op_name, np.asarray(upload.samples))
-            machine.ctpgs[f"ctpg{upload.qubit}"].lut.upload(op_id, waveform)
-        machine.exec_ctrl.load(resolved.program)
-        if spec.replay:
-            replay_key = (replay_cache.key_for(spec)
-                          if replay_cache is not None else None)
-            plan = (replay_cache.get(replay_key)
-                    if replay_key is not None else None)
-            result, new_plan, report = run_with_replay(
-                machine, resolved.n_rounds, plan=plan)
-            if (new_plan is not None and not report.plan_hit
-                    and replay_key is not None):
-                replay_cache.put(replay_key, new_plan)
-        else:
-            result = machine.run()
-            report = None
-        check_run_result(result)
-        cal = machine.readout_calibration
-        return JobResult(
-            averages=result.averages.copy(),
-            run=result,
-            s_ground=cal.s_ground,
-            s_excited=cal.s_excited,
-            seed=spec.run_seed,
-            params=dict(spec.params),
-            label=spec.label,
-            cache_hit=resolved.cache_hit,
-            machine_reused=reused,
-            compile_s=t1 - t0,
-            execute_s=time.perf_counter() - t1,
-            replayed_rounds=report.replayed_rounds if report else 0,
-            replay_plan_hit=report.plan_hit if report else False,
-        )
-    finally:
-        pool.release(machine)
-
-
-# -- process-backend worker state ------------------------------------------
-# Each worker process holds its own pool and cache, created once at worker
-# start and kept warm for the lifetime of the service's executor.
-
-_WORKER: dict = {}
-
-
-def _worker_init() -> None:
-    _WORKER["pool"] = MachinePool()
-    _WORKER["cache"] = CompileCache()
-    _WORKER["replay_cache"] = ReplayCache()
-
-
-def _worker_execute(spec: JobSpec) -> JobResult:
-    return execute_job(spec, _WORKER["pool"], _WORKER["cache"],
-                       _WORKER["replay_cache"])
-
-
 class ExperimentService:
-    """Batched experiment orchestration over cache + pool + backend."""
+    """Batched experiment orchestration over cache + pool + dispatcher."""
 
-    BACKENDS = ("serial", "process")
+    BACKENDS = ("serial", "process", "async")
 
     def __init__(self, backend: str = "serial", workers: int | None = None,
                  cache: CompileCache | None = None,
                  pool: MachinePool | None = None,
-                 replay_cache: ReplayCache | None = None):
+                 replay_cache: ReplayCache | None = None,
+                 cache_dir: str | None = None):
         if backend not in self.BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; choose from {self.BACKENDS}")
         if workers is not None and workers < 1:
             raise ConfigurationError("need at least one worker")
         self.backend = backend
-        self.workers = workers if workers is not None else max(
-            1, (multiprocessing.cpu_count() or 2) - 1)
-        self.cache = cache if cache is not None else CompileCache()
-        self.pool = pool if pool is not None else MachinePool()
+        self.workers = workers if workers is not None else default_workers()
+        self.cache_dir = cache_dir
+        # Service-local state: the serial route shares it; run_job always
+        # uses it (inline execution even on concurrent backends).
+        self.cache = (cache if cache is not None
+                      else CompileCache(persist_dir=cache_dir))
+        self.pool = pool if pool is not None else MachinePool(label="service")
         self.replay_cache = (replay_cache if replay_cache is not None
                              else ReplayCache())
-        self._executor: multiprocessing.pool.Pool | None = None
+        if backend == "serial":
+            quma = SerialBackend(pool=self.pool, cache=self.cache,
+                                 replay_cache=self.replay_cache)
+        else:
+            quma = create_backend(backend, workers=self.workers,
+                                  cache_dir=cache_dir)
+        self.dispatcher = Dispatcher({"quma": quma,
+                                      "baseline": BaselineBackend()})
+        # Stream bookkeeping; guarded by the lock because submit may be
+        # called from several threads while iter_completed drains.
+        self._stream_lock = threading.Lock()
+        self._submitted = 0
+        self._uncollected = 0
+        self._completed: queue.SimpleQueue[JobFuture] = queue.SimpleQueue()
 
     # -- lifecycle -----------------------------------------------------------
 
-    def _ensure_executor(self) -> multiprocessing.pool.Pool:
-        if self._executor is None:
-            self._executor = multiprocessing.Pool(
-                processes=self.workers, initializer=_worker_init)
-        return self._executor
-
     def close(self) -> None:
-        """Shut down the worker pool (no-op for the serial backend)."""
-        if self._executor is not None:
-            self._executor.close()
-            self._executor.join()
-            self._executor = None
+        """Shut down every route's executor (no-op for in-process ones)."""
+        self.dispatcher.close()
 
     def __enter__(self) -> "ExperimentService":
         return self
@@ -166,35 +110,79 @@ class ExperimentService:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- futures API ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobFuture:
+        """Queue one job on its route's executor; returns its future.
+
+        Submissions made here feed :meth:`iter_completed` — take results
+        from the future or from the stream, either way exactly once per
+        job.
+        """
+        future = self.dispatcher.submit(spec)
+        with self._stream_lock:
+            future.index = self._submitted
+            self._submitted += 1
+            self._uncollected += 1
+        future.add_done_callback(self._completed.put)
+        return future
+
+    def iter_completed(self, timeout: float | None = None
+                       ) -> Iterator[JobResult]:
+        """Yield results of outstanding submissions in completion order.
+
+        Returns once every job submitted via :meth:`submit` (so far) has
+        been yielded; jobs that failed re-raise here.  ``timeout`` bounds
+        the wait for each *next* completion.
+        """
+        while True:
+            with self._stream_lock:
+                if not self._uncollected:
+                    return
+            try:
+                future = self._completed.get(timeout=timeout)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"no job completed within {timeout} s "
+                    f"({self._uncollected} outstanding)") from None
+            with self._stream_lock:
+                self._uncollected -= 1
+            yield future.result()
+
+    def drain(self) -> None:
+        """Block until every route's submitted work has resolved."""
+        self.dispatcher.drain()
+
     # -- execution -----------------------------------------------------------
 
     def run_job(self, spec: JobSpec) -> JobResult:
-        """Execute a single job (serially, even on the process backend)."""
-        return execute_job(spec, self.pool, self.cache, self.replay_cache)
+        """Execute a single job inline (serially, even on process/async).
+
+        QuMA specs run against the service-local cache and pool; other
+        routes go through their executor synchronously.
+        """
+        if spec.executor == "quma":
+            return execute_job(spec, self.pool, self.cache, self.replay_cache)
+        return self.dispatcher.submit(spec).result()
 
     def run_batch(self, specs: Sequence[JobSpec]) -> SweepResult:
-        """Execute jobs, returning results in submission order."""
+        """Execute jobs, returning results in submission order.
+
+        The deterministic-order wrapper over the futures API: all specs
+        are submitted (fanning out across routes and workers), then
+        gathered in submission order, so the merged :class:`SweepResult`
+        is bit-identical across backends for the same specs.
+        """
         specs = list(specs)
         t0 = time.perf_counter()
-        if self.backend == "process" and len(specs) > 1:
-            results = self._ensure_executor().map(_worker_execute, specs)
+        if len(specs) == 1 and specs[0].executor == "quma":
+            # A lone job never pays worker-pool spin-up.
+            results = [self.run_job(specs[0])]
         else:
-            results = [execute_job(spec, self.pool, self.cache,
-                                   self.replay_cache)
-                       for spec in specs]
-        # Per-batch aggregates derived from the jobs themselves, so they
-        # are correct on both backends (worker-local pools and caches
-        # never report back; the serial service's cumulative state stays
-        # inspectable via self.pool.stats() / self.cache.stats()).
-        reuses = sum(1 for job in results if job.machine_reused)
-        hits = sum(1 for job in results if job.cache_hit)
-        return SweepResult(
-            jobs=results,
-            elapsed_s=time.perf_counter() - t0,
-            backend=self.backend,
-            cache_stats={"hits": hits, "misses": len(results) - hits},
-            pool_stats={"builds": len(results) - reuses, "reuses": reuses},
-        )
+            futures = [self.dispatcher.submit(spec) for spec in specs]
+            results = [future.result() for future in futures]
+        return SweepResult.from_jobs(results, time.perf_counter() - t0,
+                                     self.backend)
 
     def run_sweep(self, factory: Callable[[dict], JobSpec],
                   points: Iterable[dict], *,
@@ -217,6 +205,19 @@ class ExperimentService:
                 spec.seed = derive_job_seed(seed_root, index)
             specs.append(spec)
         return self.run_batch(specs)
+
+    # -- inspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service-local cache/pool state plus per-route executor stats."""
+        return {
+            "backend": self.backend,
+            "submitted": self._submitted,
+            "routes": self.dispatcher.stats(),
+            "cache": self.cache.stats(),
+            "pool": self.pool.stats(),
+            "replay_cache": self.replay_cache.stats(),
+        }
 
 
 # -- shared default service -------------------------------------------------

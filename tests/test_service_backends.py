@@ -1,0 +1,279 @@
+"""Executor backends: parity, futures, streaming, and the disk-spill cache.
+
+The determinism contract under test: ``run_batch`` on every backend
+returns bit-identical ``SweepResult.averages()`` for the same specs, and
+``iter_completed`` yields every submitted job exactly once whatever order
+they finish in.
+
+Set ``REPRO_SERVICE_BACKEND=serial|process|async`` to pin the
+parametrized backend (the CI matrix runs one backend per job); unset, the
+tests cover all three.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, QuantumProgram
+from repro.core import MachineConfig
+from repro.experiments.rabi import rabi_job
+from repro.experiments.runner import run_spec_sweep
+from repro.service import (
+    CompileCache,
+    ExperimentService,
+    JobSpec,
+    SweepResult,
+    create_backend,
+)
+from repro.utils.errors import ConfigurationError, ReproError
+
+ALL_BACKENDS = ("serial", "process", "async")
+_PINNED = os.environ.get("REPRO_SERVICE_BACKEND")
+BACKENDS_UNDER_TEST = (_PINNED,) if _PINNED else ALL_BACKENDS
+
+
+@pytest.fixture(params=BACKENDS_UNDER_TEST)
+def backend(request):
+    return request.param
+
+
+def flip_program():
+    p = QuantumProgram("flip", qubits=(2,))
+    p.new_kernel("k").prepz(2).x(2).measure(2)
+    return p
+
+
+def flip_spec(seed=None, n_rounds=2, label=""):
+    return JobSpec(config=MachineConfig(qubits=(2,), trace_enabled=False),
+                   program=flip_program(),
+                   compiler_options=CompilerOptions(n_rounds=n_rounds),
+                   seed=seed, label=label)
+
+
+def mixed_specs():
+    """Seeds, an upload sweep point, and a replay-eligible job."""
+    config = MachineConfig(qubits=(2,), trace_enabled=False)
+    return [
+        flip_spec(seed=1, label="flip1"),
+        flip_spec(seed=2, label="flip2"),
+        rabi_job(config, 2, 0.3, n_rounds=4),
+        flip_spec(seed=3, n_rounds=8, label="flip3"),
+    ]
+
+
+class TestBackendRegistry:
+    def test_service_accepts_all_backends(self, backend):
+        with ExperimentService(backend=backend) as svc:
+            assert svc.backend == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentService(backend="threads")
+        with pytest.raises(ConfigurationError):
+            create_backend("threads")
+
+
+class TestParity:
+    # One oracle, computed once, compared against every backend.
+    _oracle = None
+
+    @classmethod
+    def oracle(cls):
+        if cls._oracle is None:
+            cls._oracle = ExperimentService().run_batch(mixed_specs())
+        return cls._oracle
+
+    def test_run_batch_bit_identical_across_backends(self, backend):
+        serial = self.oracle()
+        with ExperimentService(backend=backend, workers=2) as svc:
+            sweep = svc.run_batch(mixed_specs())
+        assert sweep.backend == backend
+        assert np.array_equal(serial.averages(), sweep.averages())
+        for s, p in zip(serial, sweep):
+            assert s.seed == p.seed
+            assert s.params == p.params
+            assert s.run.duration_ns == p.run.duration_ns
+
+    def test_submit_then_gather_matches_run_batch(self, backend):
+        serial = self.oracle()
+        with ExperimentService(backend=backend, workers=2) as svc:
+            futures = [svc.submit(spec) for spec in mixed_specs()]
+            svc.drain()
+            assert all(f.done() for f in futures)
+            results = [f.result() for f in futures]
+        assert np.array_equal(serial.averages(),
+                              np.stack([r.averages for r in results]))
+
+
+class TestFutures:
+    def test_submit_returns_future_with_index(self, backend):
+        with ExperimentService(backend=backend, workers=2) as svc:
+            f1 = svc.submit(flip_spec(seed=1))
+            f2 = svc.submit(flip_spec(seed=2))
+            assert (f1.index, f2.index) == (0, 1)
+            assert f1.result().seed == 1
+            assert f2.result().seed == 2
+            list(svc.iter_completed())  # drain the stream bookkeeping
+
+    def test_future_reraises_job_error(self, backend):
+        bad = QuantumProgram("tight", qubits=(2,))
+        k = bad.new_kernel("k")
+        k.x(2)
+        k.x(2)
+        k.measure(2)
+        spec = JobSpec(
+            config=MachineConfig(qubits=(2,), classical_issue_ns=500,
+                                 trace_enabled=False),
+            program=bad)
+        with ExperimentService(backend=backend, workers=2) as svc:
+            future = svc.submit(spec)
+            with pytest.raises(ReproError):
+                future.result()
+            assert future.exception() is not None
+            with pytest.raises(ReproError):
+                list(svc.iter_completed())
+
+    def test_future_resolves_exactly_once(self):
+        from repro.service import JobFuture
+
+        future = JobFuture(flip_spec())
+        future.set_result("x")
+        with pytest.raises(RuntimeError):
+            future.set_result("y")
+
+    def test_done_callback_fires_after_and_immediately(self):
+        from repro.service import JobFuture
+
+        seen = []
+        future = JobFuture(flip_spec())
+        future.add_done_callback(lambda f: seen.append("pre"))
+        future.set_result("x")
+        future.add_done_callback(lambda f: seen.append("post"))
+        assert seen == ["pre", "post"]
+
+
+class TestIterCompleted:
+    def test_streams_every_submission_exactly_once(self, backend):
+        specs = [flip_spec(seed=s, label=f"s{s}") for s in range(5)]
+        with ExperimentService(backend=backend, workers=2) as svc:
+            for spec in specs:
+                svc.submit(spec)
+            got = list(svc.iter_completed())
+        assert sorted(r.label for r in got) == sorted(s.label for s in specs)
+        # Stream is drained: a second iteration yields nothing.
+        assert list(svc.iter_completed()) == []
+
+    def test_results_can_finish_out_of_submission_order(self, backend):
+        if backend == "serial":
+            pytest.skip("serial submission resolves eagerly in order")
+        # One heavy job submitted first, then light ones: with two
+        # workers the light jobs overtake it in the completion stream.
+        heavy = flip_spec(seed=0, n_rounds=60, label="heavy")
+        heavy.replay = False
+        lights = [flip_spec(seed=s, label=f"light{s}") for s in (1, 2, 3, 4)]
+        with ExperimentService(backend=backend, workers=2) as svc:
+            svc.submit(heavy)
+            for spec in lights:
+                svc.submit(spec)
+            order = [r.label for r in svc.iter_completed()]
+        assert sorted(order) == sorted(["heavy"] + [s.label for s in lights])
+        assert order[0] != "heavy"
+
+    def test_iter_completed_timeout(self):
+        with ExperimentService() as svc:
+            svc.submit(flip_spec())
+            assert len(list(svc.iter_completed(timeout=10))) == 1
+
+
+class TestRunSpecSweep:
+    def test_matches_run_batch_and_streams_progress(self, backend):
+        specs = mixed_specs()
+        serial = ExperimentService().run_batch(specs)
+        seen = []
+        with ExperimentService(backend=backend, workers=2) as svc:
+            sweep = run_spec_sweep(svc, specs, on_result=seen.append)
+        assert np.array_equal(serial.averages(), sweep.averages())
+        assert sorted(r.seed for r in seen) == sorted(s.run_seed
+                                                      for s in specs)
+
+
+class TestDiskSpillCache:
+    def test_cold_cache_starts_warm_from_disk(self, tmp_path):
+        spec = flip_spec(seed=4)
+        warm = CompileCache(persist_dir=tmp_path)
+        first = warm.resolve(spec)
+        assert not first.cache_hit
+        assert warm.disk_writes >= 2  # codegen json + assembly binary
+
+        cold = CompileCache(persist_dir=tmp_path)  # a new process's cache
+        resolved = cold.resolve(spec)
+        assert resolved.cache_hit
+        assert cold.disk_hits >= 2
+        assert cold.assembly_misses == 0 and cold.codegen_misses == 0
+
+    def test_disk_loaded_program_executes_identically(self, tmp_path):
+        spec = flip_spec(seed=4)
+        fresh = ExperimentService().run_job(spec)
+        svc = ExperimentService(cache=CompileCache(persist_dir=tmp_path))
+        svc.run_job(spec)
+        cold = ExperimentService(cache=CompileCache(persist_dir=tmp_path))
+        from_disk = cold.run_job(spec)
+        assert from_disk.cache_hit
+        assert np.array_equal(fresh.averages, from_disk.averages)
+
+    def test_disk_cache_respects_microprogram_bodies(self, tmp_path):
+        asm = """
+            mov r15, 40000
+            QNopReg r15
+            FLIP q2
+            Wait 4
+            MPG {q2}, 300
+            MD {q2}
+            halt
+        """
+        config = MachineConfig(qubits=(2,), trace_enabled=False)
+        x_spec = JobSpec(config=config, asm=asm, microprograms=(
+            ("FLIP", 1, "Pulse {q0}, X180\nWait 4"),))
+        i_spec = JobSpec(config=config, asm=asm, microprograms=(
+            ("FLIP", 1, "Pulse {q0}, I\nWait 4"),))
+        warm = CompileCache(persist_dir=tmp_path)
+        warm.resolve(x_spec)
+        cold = CompileCache(persist_dir=tmp_path)
+        assert not cold.resolve(i_spec).cache_hit  # body is in the key
+        assert cold.resolve(x_spec).cache_hit
+
+    def test_worker_processes_share_cache_dir(self, tmp_path, backend):
+        if backend == "serial":
+            pytest.skip("serial shares the in-process cache directly")
+        specs = [flip_spec(seed=s) for s in (1, 2)]
+        with ExperimentService(backend=backend, workers=2,
+                               cache_dir=tmp_path) as svc:
+            svc.run_batch(specs)
+        # The workers spilled their resolutions; a cold local cache hits.
+        cold = CompileCache(persist_dir=tmp_path)
+        assert cold.resolve(specs[0]).cache_hit
+
+
+class TestSweepArtifacts:
+    def test_save_load_round_trip(self, tmp_path):
+        sweep = ExperimentService().run_batch(mixed_specs())
+        path = tmp_path / "sweep.json"
+        sweep.save(path)
+        loaded = SweepResult.load(path)
+        assert len(loaded) == len(sweep)
+        assert loaded.backend == sweep.backend
+        assert np.array_equal(loaded.averages(), sweep.averages())
+        assert np.allclose(loaded.normalized(), sweep.normalized())
+        assert [j.params for j in loaded] == [j.params for j in sweep]
+        assert [j.label for j in loaded] == [j.label for j in sweep]
+        assert loaded.cache_hit_rate == sweep.cache_hit_rate
+        assert loaded.machine_reuse_rate == sweep.machine_reuse_rate
+        assert loaded.replay_rate == sweep.replay_rate
+        assert loaded[0].run is None  # simulator internals not persisted
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not_a_sweep.json"
+        path.write_text('{"jobs": []}')
+        with pytest.raises(ConfigurationError):
+            SweepResult.load(path)

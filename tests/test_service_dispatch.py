@@ -1,0 +1,154 @@
+"""Dispatcher: heterogeneous QuMA/APS2 routing and merged sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    BASELINE_METRICS,
+    allxy_spec,
+    baseline_job,
+    compare_architectures,
+    synthetic_spec,
+)
+from repro.baseline.jobs import metric
+from repro.compiler import CompilerOptions, QuantumProgram
+from repro.core import MachineConfig
+from repro.service import (
+    BaselineBackend,
+    Dispatcher,
+    ExperimentService,
+    JobSpec,
+    SerialBackend,
+)
+from repro.utils.errors import ConfigurationError
+
+
+def flip_spec(seed=None):
+    p = QuantumProgram("flip", qubits=(2,))
+    p.new_kernel("k").prepz(2).x(2).measure(2)
+    return JobSpec(config=MachineConfig(qubits=(2,), trace_enabled=False),
+                   program=p, compiler_options=CompilerOptions(n_rounds=2),
+                   seed=seed)
+
+
+class TestJobSpecRoutes:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec(config=MachineConfig(qubits=(2,)), asm="halt",
+                    executor="remote")
+
+    def test_baseline_spec_requires_cost_model(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec(executor="baseline")
+
+    def test_baseline_spec_rejects_program(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec(executor="baseline", baseline=allxy_spec(), asm="halt")
+
+    def test_quma_spec_requires_config(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec(asm="halt")
+
+
+class TestDispatcher:
+    def test_routes_by_executor_field(self):
+        dispatcher = Dispatcher({"quma": SerialBackend(),
+                                 "baseline": BaselineBackend()})
+        quma = flip_spec()
+        baseline = baseline_job(allxy_spec())
+        assert dispatcher.backend_for(quma).name == "serial"
+        assert dispatcher.backend_for(baseline).name == "baseline"
+        result = dispatcher.submit(baseline).result()
+        assert result.executor == "baseline"
+        dispatcher.drain()
+        assert dispatcher.stats()["baseline"]["submitted"] == 1
+        dispatcher.close()
+
+    def test_unrouted_executor_raises(self):
+        dispatcher = Dispatcher({"quma": SerialBackend()})
+        with pytest.raises(ConfigurationError):
+            dispatcher.submit(baseline_job(allxy_spec()))
+
+    def test_empty_route_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dispatcher({})
+
+
+class TestBaselineJobs:
+    def test_metrics_match_direct_comparison(self):
+        spec = allxy_spec()
+        result = ExperimentService().run_job(baseline_job(spec))
+        comparison = compare_architectures(spec)
+        assert metric(result, "quma_memory_bytes") == \
+            comparison.quma_memory_bytes
+        assert metric(result, "aps2_memory_bytes") == \
+            comparison.aps2_memory_bytes
+        assert metric(result, "aps2_binaries") == comparison.aps2_binaries
+        assert result.params["memory_ratio"] == comparison.memory_ratio
+        assert result.averages.shape == (len(BASELINE_METRICS),)
+
+    def test_bandwidth_rides_in_params(self):
+        spec = allxy_spec()
+        slow = ExperimentService().run_job(
+            baseline_job(spec, bandwidth_bytes_per_s=1e6))
+        fast = ExperimentService().run_job(
+            baseline_job(spec, bandwidth_bytes_per_s=4e6))
+        assert metric(slow, "aps2_upload_s") == \
+            pytest.approx(4 * metric(fast, "aps2_upload_s"))
+
+
+class TestMergedBatches:
+    def test_mixed_batch_returns_merged_sweep_in_order(self):
+        specs = [
+            flip_spec(seed=1),
+            baseline_job(allxy_spec()),
+            flip_spec(seed=2),
+            baseline_job(synthetic_spec(8, 4), label="synthetic"),
+        ]
+        sweep = ExperimentService().run_batch(specs)
+        assert [job.executor for job in sweep] == \
+            ["quma", "baseline", "quma", "baseline"]
+        assert sweep[3].label == "synthetic"
+        # QuMA entries match a pure-QuMA run; baseline entries match the
+        # closed-form model — the merge changes neither.
+        pure = ExperimentService().run_batch([specs[0], specs[2]])
+        assert np.array_equal(sweep[0].averages, pure[0].averages)
+        assert np.array_equal(sweep[2].averages, pure[1].averages)
+        assert metric(sweep[1], "quma_binaries") == 1.0
+
+    def test_mixed_batch_on_concurrent_backend(self):
+        specs = [flip_spec(seed=1), baseline_job(allxy_spec()),
+                 flip_spec(seed=2)]
+        serial = ExperimentService().run_batch(specs)
+        with ExperimentService(backend="process", workers=2) as svc:
+            merged = svc.run_batch(specs)
+            routes = svc.stats()["routes"]
+        for s, p in zip(serial, merged):
+            assert np.array_equal(s.averages, p.averages)
+        assert routes["quma"]["submitted"] == 2
+        assert routes["baseline"]["submitted"] == 1
+
+    def test_mixed_stream_completes_everything(self):
+        specs = [flip_spec(seed=s) for s in (1, 2)] + \
+            [baseline_job(synthetic_spec(4, 2), label=f"b{i}")
+             for i in range(3)]
+        with ExperimentService() as svc:
+            for spec in specs:
+                svc.submit(spec)
+            got = list(svc.iter_completed())
+        assert len(got) == len(specs)
+        assert sum(1 for r in got if r.executor == "baseline") == 3
+
+    def test_baseline_sweep_artifact_round_trip(self, tmp_path):
+        sweep = ExperimentService().run_batch(
+            [baseline_job(synthetic_spec(n, 4), label=f"n{n}",
+                          params={"combinations": n})
+             for n in (4, 8, 16)])
+        path = tmp_path / "baseline_sweep.json"
+        sweep.save(path)
+        from repro.service import SweepResult
+
+        loaded = SweepResult.load(path)
+        assert loaded.param_values("combinations") == [4, 8, 16]
+        assert np.array_equal(loaded.averages(), sweep.averages())
+        assert [j.executor for j in loaded] == ["baseline"] * 3
