@@ -14,11 +14,14 @@ deviation).
 import numpy as np
 
 from repro.core import MachineConfig
-from repro.experiments import run_allxy
 from repro.pulse import PulseCalibration
 from repro.reporting import format_table, sparkline
 
-from conftest import emit
+from conftest import emit, run_experiment
+
+
+def run_allxy(config, **params):
+    return run_experiment("allxy", config, **params)
 
 
 def test_figure9_allxy_staircase(benchmark, allxy_rounds):

@@ -6,13 +6,24 @@ reproduction checks that the control stack faithfully recovers the
 """
 
 from repro.core import MachineConfig
-from repro.experiments import run_echo, run_ramsey, run_t1
 from repro.qubit import TransmonParams
 from repro.reporting import format_table, sparkline
 
-from conftest import emit
+from conftest import emit, run_experiment
 
 QUBIT = TransmonParams(t1_ns=6000.0, t2_ns=4000.0)
+
+
+def run_t1(config, **params):
+    return run_experiment("t1", config, **params)
+
+
+def run_ramsey(config, **params):
+    return run_experiment("ramsey", config, **params)
+
+
+def run_echo(config, **params):
+    return run_experiment("echo", config, **params)
 
 
 def config() -> MachineConfig:

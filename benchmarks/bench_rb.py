@@ -8,13 +8,16 @@ decoherence budget of the configured qubit.
 import numpy as np
 
 from repro.core import MachineConfig
-from repro.experiments import run_rb
 from repro.qubit import TransmonParams
 from repro.reporting import format_table, sparkline
 
-from conftest import emit
+from conftest import emit, run_experiment
 
 QUBIT = TransmonParams(t1_ns=6000.0, t2_ns=4000.0)
+
+
+def run_rb(config, **params):
+    return run_experiment("rb", config, **params)
 
 
 def test_section8_randomized_benchmarking(benchmark):

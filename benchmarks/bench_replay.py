@@ -28,10 +28,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import MachineConfig
-from repro.experiments import run_allxy
 from repro.service import ExperimentService
 
-from conftest import emit
+from conftest import emit, run_experiment
+
+
+def run_allxy(config, service=None, **params):
+    return run_experiment("allxy", config, service=service, **params)
+
 
 MAX_ROUNDS = int(os.environ.get("REPLAY_ROUNDS", "2560"))
 ARTIFACT = Path(__file__).resolve().parent / "BENCH_replay.json"

@@ -12,13 +12,17 @@ import numpy as np
 
 from repro.baseline import WaveformSequencer
 from repro.core import MachineConfig
-from repro.experiments import run_allxy
 from repro.experiments.allxy import ALLXY_PAIRS, allxy_ideal_staircase, \
     rescale_with_calibration_points
 from repro.pulse import PulseCalibration, build_single_qubit_lut
 from repro.reporting import format_table, sparkline
 
-from conftest import emit
+from conftest import emit, run_experiment
+
+
+def run_allxy(config, **params):
+    return run_experiment("allxy", config, **params)
+
 
 NAMES = {"i": "I", "x": "X180", "y": "Y180", "x90": "X90", "y90": "Y90"}
 SEQUENCES = [tuple(NAMES[g] for g in pair) for pair in ALLXY_PAIRS]

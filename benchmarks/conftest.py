@@ -19,6 +19,21 @@ def emit(text: str) -> None:
     print("\n" + text)
 
 
+def run_experiment(name: str, config, service=None, **params):
+    """Run a registered experiment through the Session facade.
+
+    The benches' shared shim over ``Session.run``: without ``service``
+    it uses the process-wide default service, keeping the warm
+    machine-pool/compile-cache reuse the bench numbers have always
+    measured across calls.
+    """
+    from repro import Session
+    from repro.service import default_service
+
+    return Session(config, service=service if service is not None
+                   else default_service()).run(name, **params)
+
+
 @pytest.fixture
 def allxy_rounds() -> int:
     """Averaging rounds for the AllXY benches.

@@ -10,8 +10,7 @@ Run:  python examples/allxy.py [n_rounds]
 
 import sys
 
-from repro import MachineConfig
-from repro.experiments import run_allxy
+from repro import MachineConfig, Session
 from repro.reporting import sparkline
 
 
@@ -19,8 +18,8 @@ def main() -> None:
     n_rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 128
     print(f"running AllXY with N = {n_rounds} rounds "
           f"(paper: N = 25600) ...")
-    result = run_allxy(MachineConfig(qubits=(2,), trace_enabled=False),
-                       n_rounds=n_rounds)
+    with Session(MachineConfig(qubits=(2,), trace_enabled=False)) as session:
+        result = session.run("allxy", n_rounds=n_rounds)
 
     print(f"\n{'pair':>6} {'ideal':>6} {'measured':>9}")
     shown = set()

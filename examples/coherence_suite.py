@@ -7,8 +7,7 @@ parameters.
 Run:  python examples/coherence_suite.py
 """
 
-from repro import MachineConfig, TransmonParams
-from repro.experiments import run_echo, run_ramsey, run_t1
+from repro import MachineConfig, Session, TransmonParams
 from repro.reporting import sparkline
 
 # A short-lived qubit keeps the sweeps fast.
@@ -22,25 +21,27 @@ def config() -> MachineConfig:
 def main() -> None:
     print(f"device: T1 = {QUBIT.t1_ns / 1000:.1f} us, "
           f"T2 = {QUBIT.t2_ns / 1000:.1f} us\n")
+    session = Session(config())
 
     print("T1 (excite, wait, measure) ...")
-    t1 = run_t1(config(), n_rounds=64)
+    t1 = session.run("t1", n_rounds=64)
     print("   P(|1>):", sparkline(t1.population, 0, 1))
     print(f"   fitted T1 = {t1.fitted_tau_ns / 1000:.2f} us "
           f"(configured {QUBIT.t1_ns / 1000:.2f} us)\n")
 
     print("T2 Ramsey (x90, wait, x90 with 0.4 MHz artificial detuning) ...")
-    ramsey = run_ramsey(config(), n_rounds=64)
+    ramsey = session.run("ramsey", n_rounds=64)
     print("   P(|1>):", sparkline(ramsey.population, 0, 1))
     print(f"   fitted T2* = {ramsey.fitted_tau_ns / 1000:.2f} us, "
           f"fringe {ramsey.fit.frequency * 1e9 / 1e6:.2f} MHz "
           f"(configured T2 {QUBIT.t2_ns / 1000:.2f} us, 0.40 MHz)\n")
 
     print("T2 Echo (x90, tau/2, X180, tau/2, x90) ...")
-    echo = run_echo(config(), n_rounds=64)
+    echo = session.run("echo", n_rounds=64)
     print("   P(|1>):", sparkline(echo.population, 0, 1))
     print(f"   fitted T2e = {echo.fitted_tau_ns / 1000:.2f} us "
           f"(Markovian substrate: expect ~T2 = {QUBIT.t2_ns / 1000:.2f} us)")
+    session.close()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,60 @@
+"""Multi-qubit Rabi batch through the Session facade (ROADMAP item).
+
+Wires TWO qubits into one machine configuration and sweeps both in a
+single experiment: ``session.run("rabi", qubits=(0, 1))`` fans one job
+per (qubit, amplitude) onto the service, every job shares the pooled
+two-qubit machine (one build for the whole batch), and each qubit's
+points normalize against that qubit's own readout calibration.  The
+result comes back as a ``{qubit: RabiResult}`` mapping.
+
+On the process backend the batch additionally exercises worker-local
+pools holding a >1-wired-qubit machine — the pool-behavior scenario the
+ROADMAP calls out.
+
+Run:  python examples/multi_qubit_sweep.py [points] [rounds] [backend]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import MachineConfig, PulseCalibration, Session
+from repro.reporting import sparkline
+
+
+def main() -> None:
+    points = int(sys.argv[1]) if len(sys.argv) > 1 else 9
+    rounds = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    backend = sys.argv[3] if len(sys.argv) > 3 else "process"
+
+    config = MachineConfig(qubits=(0, 1), trace_enabled=False,
+                           calibration=PulseCalibration(kappa=0.7))
+    expected_pi = config.calibration.amplitude_for(np.pi)
+    amplitudes = np.linspace(0.0, min(2.0 * expected_pi, 0.999), points)
+
+    print(f"2-qubit Rabi batch: {points} amplitudes x {rounds} rounds "
+          f"per qubit on the {backend} backend ...")
+    with Session(config, backend=backend, workers=2) as session:
+        future = session.submit_experiment("rabi", qubits=(0, 1),
+                                           amplitudes=amplitudes,
+                                           n_rounds=rounds)
+        for job, _ in future.stream():
+            print(f"  done {job.label}")
+        results = future.result()
+        sweep = future.sweep
+
+    for qubit, result in sorted(results.items()):
+        print(f"\nq{qubit}  P(|1>) vs amplitude: "
+              f"{sparkline(result.population, 0, 1)}")
+        print(f"q{qubit}  fitted pi amplitude {result.pi_amplitude:.4f} "
+              f"(expected {result.expected_pi_amplitude:.4f}, "
+              f"error {result.amplitude_error():.2e})")
+
+    print(f"\n{len(sweep)} jobs | backend={sweep.backend} | "
+          f"{sweep.elapsed_s:.2f} s ({sweep.jobs_per_second:.1f} jobs/s)")
+    print(f"machine reuse rate: {sweep.machine_reuse_rate:.0%}  "
+          f"(pool shares one 2-qubit machine across both qubits' jobs)")
+
+
+if __name__ == "__main__":
+    main()

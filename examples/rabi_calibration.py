@@ -8,8 +8,7 @@ amplitude against the analytic value.
 Run:  python examples/rabi_calibration.py
 """
 
-from repro import MachineConfig, PulseCalibration
-from repro.experiments import run_rabi
+from repro import MachineConfig, PulseCalibration, Session
 from repro.reporting import sparkline
 
 
@@ -19,7 +18,8 @@ def main() -> None:
     # scale, so the sweep covers a full Rabi period with headroom.
     config = MachineConfig(qubits=(2,), trace_enabled=False,
                            calibration=PulseCalibration(kappa=0.7))
-    result = run_rabi(config, n_rounds=32)
+    with Session(config) as session:
+        result = session.run("rabi", n_rounds=32)
 
     print(f"\n{'amplitude':>10} {'P(|1>)':>8}")
     for amp, pop in zip(result.amplitudes, result.population):

@@ -7,8 +7,7 @@ yielding the average error per Clifford (Section 8).
 Run:  python examples/randomized_benchmarking.py
 """
 
-from repro import MachineConfig, TransmonParams
-from repro.experiments import run_rb
+from repro import MachineConfig, Session, TransmonParams
 from repro.reporting import sparkline
 
 QUBIT = TransmonParams(t1_ns=6000.0, t2_ns=4000.0)
@@ -17,10 +16,11 @@ QUBIT = TransmonParams(t1_ns=6000.0, t2_ns=4000.0)
 def main() -> None:
     print("running randomized benchmarking "
           "(5 lengths x 3 sequences x 24 rounds) ...")
-    result = run_rb(
-        MachineConfig(qubits=(2,), transmons=(QUBIT,), trace_enabled=False),
-        lengths=[1, 6, 14, 30, 60], sequences_per_length=3, n_rounds=24,
-        seed=7)
+    config = MachineConfig(qubits=(2,), transmons=(QUBIT,),
+                           trace_enabled=False)
+    with Session(config) as session:
+        result = session.run("rb", lengths=[1, 6, 14, 30, 60],
+                             sequences_per_length=3, n_rounds=24, seed=7)
 
     print(f"\n{'m':>5} {'survival':>9}")
     for m, s in zip(result.lengths, result.survival):

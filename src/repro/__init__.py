@@ -7,6 +7,9 @@ Public API highlights
   quantum microarchitecture over a simulated transmon device.
 * :func:`repro.assemble` — the QIS + QuMIS assembler.
 * :mod:`repro.compiler` — the OpenQL-like high-level frontend.
+* :class:`repro.Session` — the declarative experiment facade
+  (``session.run("rabi", qubits=(0, 1))`` over the registered
+  experiment protocol).
 * :mod:`repro.experiments` — AllXY, Rabi, T1/Ramsey/Echo, randomized
   benchmarking, with fitting utilities.
 * :mod:`repro.baseline` — the APS2-style architecture model used for the
@@ -15,6 +18,7 @@ Public API highlights
 
 from repro.core import MachineConfig, QuMA
 from repro.core.quma import RunResult
+from repro.session import Session
 from repro.isa import Program, assemble, disassemble_program
 from repro.pulse import PulseCalibration
 from repro.qubit import TransmonParams
@@ -25,6 +29,7 @@ __version__ = "1.0.0"
 __all__ = [
     "QuMA",
     "MachineConfig",
+    "Session",
     "RunResult",
     "Program",
     "assemble",

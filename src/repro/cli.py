@@ -6,6 +6,8 @@ Usage::
     python -m repro disassemble prog.bin
     python -m repro run prog.qasm --qubits 2 --trace
     python -m repro allxy --rounds 256
+    python -m repro exp --list
+    python -m repro exp rabi --qubits 2 --param n_rounds=16 --stream
     python -m repro batch --experiment rabi --points 8 --backend process
 """
 
@@ -87,16 +89,81 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_allxy(args: argparse.Namespace) -> int:
-    from repro.experiments.allxy import run_allxy
     from repro.reporting.tables import sparkline
+    from repro.session import Session
 
-    result = run_allxy(MachineConfig(qubits=(2,), trace_enabled=False,
-                                     seed=args.seed),
-                       n_rounds=args.rounds)
+    with Session(MachineConfig(qubits=(2,), trace_enabled=False,
+                               seed=args.seed)) as session:
+        result = session.run("allxy", n_rounds=args.rounds)
     print("ideal   :", sparkline(result.ideal, 0, 1))
     print("measured:", sparkline(result.fidelity, 0, 1))
     print(f"deviation: {result.deviation:.4f} "
           f"(paper: 0.012 at N = 25600; this run N = {args.rounds})")
+    return 0
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    """Parse repeated ``--param key=value`` into experiment parameters.
+
+    Values go through ``ast.literal_eval`` (``16``, ``0.5``, ``None``,
+    ``[1, 4, 10]``); anything that doesn't parse stays a string.
+    """
+    import ast
+
+    params = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ReproError(f"--param needs key=value, got {pair!r}")
+        try:
+            params[key] = ast.literal_eval(value)
+        except (ValueError, SyntaxError):
+            params[key] = value
+    return params
+
+
+def _print_experiment_list() -> None:
+    from repro.experiments import REGISTRY
+
+    for name in REGISTRY.names():
+        cls = REGISTRY.get(name)
+        doc = (cls.__doc__ or "").strip().splitlines()[0] if cls.__doc__ else ""
+        print(f"{name:<8} {doc}")
+        defaults = ", ".join(f"{k}={v!r}" for k, v in cls.defaults.items())
+        print(f"         params: {defaults}")
+
+
+def cmd_exp(args: argparse.Namespace) -> int:
+    """Run any registered experiment through the Session facade."""
+    from repro.session import Session
+
+    if args.list or args.name is None:
+        _print_experiment_list()
+        return 0
+    params = _parse_params(args.param)
+    qubits = _parse_qubits(args.qubits) if args.qubits else None
+
+    def announce(job):
+        print(f"  done [{job.executor}] {job.label or job.seed}"
+              f"  ({job.execute_s:.3f} s)")
+
+    def announce_estimate(estimate):
+        fitted = {f"q{q}": v for q, v in estimate.per_qubit.items()
+                  if v is not None}
+        print(f"  fit {estimate.n_results}/{estimate.n_specs}: "
+              f"{fitted if fitted else '(unconstrained)'}")
+
+    with Session(backend=args.backend, workers=args.workers, seed=args.seed,
+                 cache_dir=args.cache_dir) as session:
+        future = session.submit_experiment(args.name, qubits=qubits, **params)
+        result = future.result(
+            on_result=announce if args.stream else None,
+            on_estimate=announce_estimate if args.stream else None)
+        print(future.experiment.summary(result))
+        _print_sweep_stats(future.sweep)
+        if args.save:
+            future.sweep.save(args.save)
+            print(f"sweep artifact -> {args.save}")
     return 0
 
 
@@ -217,6 +284,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=128)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_allxy)
+
+    p = sub.add_parser(
+        "exp",
+        help="run a registered experiment through the Session facade")
+    p.add_argument("name", nargs="?", default=None,
+                   help="experiment name (omit or use --list to enumerate)")
+    p.add_argument("--list", action="store_true",
+                   help="list registered experiments and their parameters")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="experiment parameter (repeatable), e.g. "
+                        "--param n_rounds=16 --param 'lengths=[1, 4, 10]'")
+    p.add_argument("--qubits", default=None,
+                   help="comma-separated chip labels to sweep (multi-qubit "
+                        "runs return one result per qubit)")
+    p.add_argument("--backend", choices=("serial", "process", "async"),
+                   default="serial")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for the process/async backends")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--stream", action="store_true",
+                   help="print each job and the refined incremental fit "
+                        "as results stream in completion order")
+    p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                   help="spill the compile cache to this directory")
+    p.add_argument("--save", default=None,
+                   help="write the sweep as a JSON artifact to this path")
+    p.set_defaults(func=cmd_exp)
 
     p = sub.add_parser(
         "batch",

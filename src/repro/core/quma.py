@@ -122,9 +122,13 @@ class QuMA:
         self.mdus = {}
         calibrations = {}
         for q in self.config.qubits:
+            # The first wired qubit keeps the historical shared stream
+            # (bit-identical single-qubit runs); the rest calibrate on
+            # independent per-qubit streams.
             cal = calibrate_readout(
                 self.config.readout_for(q), msmt_ns,
-                n_shots=self.config.calibration_shots, seed=self.config.seed)
+                n_shots=self.config.calibration_shots, seed=self.config.seed,
+                qubit=None if q == self.config.qubits[0] else q)
             calibrations[q] = cal
             self.mdus[q] = MeasurementDiscriminationUnit(qubit=q, calibration=cal)
         #: calibration of the first wired qubit (single-qubit experiments)

@@ -4,10 +4,25 @@ AllXY (Figure 9), Rabi amplitude calibration, T1 / T2 Ramsey / T2 Echo
 coherence measurements, and single-qubit randomized benchmarking — all
 executed through the full QuMA stack, from OpenQL-like programs down to
 simulated pulses.
+
+Experiments are declarative: each is an
+:class:`~repro.experiments.base.Experiment` subclass registered by name
+in :data:`~repro.experiments.base.REGISTRY` and run through
+:class:`repro.session.Session` (``session.run("rabi", qubits=(0, 1))``).
+The legacy ``run_*`` functions remain as deprecated wrappers.
 """
 
+from repro.experiments.base import (
+    REGISTRY,
+    Estimate,
+    Experiment,
+    ExperimentRegistry,
+    ExperimentState,
+    register_experiment,
+)
 from repro.experiments.allxy import (
     ALLXY_PAIRS,
+    AllXYExperiment,
     AllXYResult,
     allxy_ideal_staircase,
     allxy_job,
@@ -15,7 +30,7 @@ from repro.experiments.allxy import (
     build_allxy_program,
     run_allxy,
 )
-from repro.experiments.runner import run_compiled, ExperimentRun
+from repro.experiments.runner import run_compiled, run_spec_sweep, ExperimentRun
 from repro.experiments.analysis import (
     fit_exponential_decay,
     fit_damped_cosine,
@@ -23,17 +38,21 @@ from repro.experiments.analysis import (
 )
 from repro.experiments.coherence import (
     CoherenceResult,
+    EchoExperiment,
+    RamseyExperiment,
+    T1Experiment,
     coherence_job,
     run_echo,
     run_ramsey,
     run_t1,
 )
-from repro.experiments.rabi import rabi_job, run_rabi, RabiResult
+from repro.experiments.rabi import RabiExperiment, rabi_job, run_rabi, RabiResult
 from repro.experiments.cliffords import CliffordGroup
-from repro.experiments.rb import rb_sequence_job, run_rb, RBResult
+from repro.experiments.rb import RBExperiment, rb_sequence_job, run_rb, RBResult
 
 __all__ = [
     "ALLXY_PAIRS",
+    "AllXYExperiment",
     "AllXYResult",
     "allxy_ideal_staircase",
     "allxy_job",
@@ -41,7 +60,14 @@ __all__ = [
     "build_allxy_program",
     "run_allxy",
     "run_compiled",
+    "run_spec_sweep",
     "ExperimentRun",
+    "Estimate",
+    "Experiment",
+    "ExperimentRegistry",
+    "ExperimentState",
+    "REGISTRY",
+    "register_experiment",
     "fit_exponential_decay",
     "fit_damped_cosine",
     "fit_rb_decay",
@@ -49,11 +75,16 @@ __all__ = [
     "run_ramsey",
     "run_echo",
     "CoherenceResult",
+    "EchoExperiment",
+    "RamseyExperiment",
+    "T1Experiment",
     "coherence_job",
+    "RabiExperiment",
     "rabi_job",
     "run_rabi",
     "RabiResult",
     "CliffordGroup",
+    "RBExperiment",
     "rb_sequence_job",
     "run_rb",
     "RBResult",

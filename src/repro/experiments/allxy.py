@@ -10,6 +10,7 @@ fidelity, compared against the ideal staircase.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,8 +18,10 @@ import numpy as np
 from repro.compiler.codegen import CompilerOptions
 from repro.compiler.program import QuantumProgram
 from repro.core.config import MachineConfig
+from repro.experiments.base import (Experiment, register_experiment,
+                                    run_deprecated)
 from repro.experiments.runner import ExperimentRun
-from repro.service import ExperimentService, JobSpec, default_service
+from repro.service import ExperimentService, JobSpec
 
 #: Algorithm 1's gate table: 21 pairs over {I, X180, Y180, X90, Y90}.
 ALLXY_PAIRS: list[tuple[str, str]] = [
@@ -110,30 +113,57 @@ def allxy_job(config: MachineConfig, qubit: int, n_rounds: int,
     return JobSpec(config=config, program=build_allxy_program(qubit),
                    compiler_options=CompilerOptions(n_rounds=n_rounds),
                    params={"qubit": qubit, "n_rounds": n_rounds},
-                   label=f"allxy q{qubit} N={n_rounds}", replay=replay)
+                   label=f"allxy q{qubit} N={n_rounds}", replay=replay,
+                   cal_qubit=qubit)
+
+
+@register_experiment
+class AllXYExperiment(Experiment):
+    """Figure 9's AllXY staircase: per-point fidelity and deviation.
+
+    One job per qubit (all 42 points as K-points of a single program);
+    the round-replay fast path additionally needs
+    ``config.trace_enabled=False`` (the `MachineConfig` default is True)
+    — traced runs always take the full event-driven path.
+    """
+
+    name = "allxy"
+    defaults = {"n_rounds": 128, "replay": True}
+
+    def build_qubit_specs(self, qubit: int) -> list[JobSpec]:
+        return [allxy_job(self.config, qubit, self.params["n_rounds"],
+                          replay=self.params["replay"])]
+
+    def analyze_qubit(self, jobs, qubit: int) -> AllXYResult:
+        job = jobs[0]
+        run = ExperimentRun(machine=None, result=job.run,
+                            averages=job.averages,
+                            s_ground=job.s_ground, s_excited=job.s_excited)
+        fidelity = rescale_with_calibration_points(run.averages)
+        ideal = allxy_ideal_staircase()
+        deviation = float(np.mean(np.abs(fidelity - ideal)))
+        labels = [lbl for lbl in allxy_labels() for _ in range(2)]
+        return AllXYResult(labels=labels, averages=run.averages,
+                           fidelity=fidelity, ideal=ideal,
+                           deviation=deviation, run=run)
+
+    def estimate_qubit(self, indexed_jobs, qubit: int) -> dict | None:
+        _, job = indexed_jobs[0]
+        fidelity = rescale_with_calibration_points(job.averages)
+        ideal = allxy_ideal_staircase()
+        return {"deviation": float(np.mean(np.abs(fidelity - ideal)))}
+
+    def summarize_qubit(self, result: AllXYResult, qubit: int) -> str:
+        return (f"deviation {result.deviation:.4f} "
+                f"(max error {result.max_error():.4f})")
 
 
 def run_allxy(config: MachineConfig | None = None, n_rounds: int = 128,
               qubit: int | None = None,
               service: ExperimentService | None = None,
               replay: bool = True) -> AllXYResult:
-    """Run the full AllXY experiment through the QuMA stack.
-
-    ``replay`` enables the round-replay fast path (default); replayed and
-    fully simulated runs produce bit-identical averages for the same
-    seed.  Note the fast path additionally needs
-    ``config.trace_enabled=False`` (the `MachineConfig` default is True)
-    — traced runs always take the full event-driven path.
-    """
-    config = config if config is not None else MachineConfig()
-    service = service if service is not None else default_service()
-    qubit = qubit if qubit is not None else config.qubits[0]
-    job = service.run_job(allxy_job(config, qubit, n_rounds, replay=replay))
-    run = ExperimentRun(machine=None, result=job.run, averages=job.averages,
-                        s_ground=job.s_ground, s_excited=job.s_excited)
-    fidelity = rescale_with_calibration_points(run.averages)
-    ideal = allxy_ideal_staircase()
-    deviation = float(np.mean(np.abs(fidelity - ideal)))
-    labels = [lbl for lbl in allxy_labels() for _ in range(2)]
-    return AllXYResult(labels=labels, averages=run.averages, fidelity=fidelity,
-                       ideal=ideal, deviation=deviation, run=run)
+    """Deprecated wrapper over ``Session.run("allxy", ...)``."""
+    warnings.warn("run_allxy is deprecated; use Session.run('allxy', ...) "
+                  "instead", DeprecationWarning, stacklevel=2)
+    return run_deprecated("allxy", config, service, qubits=qubit,
+                          n_rounds=n_rounds, replay=replay)

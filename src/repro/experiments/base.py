@@ -1,0 +1,343 @@
+"""Declarative experiment protocol and registry.
+
+An :class:`Experiment` separates the three phases a lab stack keeps
+distinct — *definition* (:meth:`~Experiment.build_specs` turns parameters
+into :class:`~repro.service.job.JobSpec`\\ s), *execution* (owned by
+:class:`repro.session.Session` over the orchestration service), and
+*analysis* (:meth:`~Experiment.analyze` fits the finished sweep, while
+:meth:`~Experiment.update` refines an incremental :class:`Estimate` as
+results stream back in completion order).
+
+Concrete experiments subclass :class:`Experiment` per *qubit*:
+``build_qubit_specs`` / ``analyze_qubit`` / ``estimate_qubit`` each see
+one qubit's slice of the sweep, and the base class fans a ``qubits``
+tuple out into concatenated spec groups, so every experiment is
+multi-qubit for free (``session.run("rabi", qubits=(0, 1))`` returns a
+``{qubit: result}`` mapping).
+
+The module-level :data:`REGISTRY` maps names to classes; experiment
+modules self-register via :func:`register_experiment`, and the generic
+``repro exp <name>`` CLI subcommand and :meth:`Session.run` both resolve
+names through it.
+"""
+
+from __future__ import annotations
+
+import abc
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Iterable, Mapping
+
+from repro.core.config import MachineConfig
+from repro.service.job import JobResult, JobSpec, SweepResult
+from repro.utils.errors import CalibrationError, ConfigurationError
+
+#: Exceptions an incremental fit may raise on a not-yet-constrained
+#: partial sweep; :meth:`Experiment.update` maps them to a None estimate.
+FIT_ERRORS = (CalibrationError, RuntimeError, TypeError, ValueError)
+
+
+def normalize_qubits(qubits) -> tuple[int, ...] | None:
+    """Accept an int, an iterable of ints, or None."""
+    if qubits is None:
+        return None
+    if isinstance(qubits, int):
+        return (qubits,)
+    qubits = tuple(int(q) for q in qubits)
+    if not qubits:
+        raise ConfigurationError("qubits must name at least one qubit")
+    if len(set(qubits)) != len(qubits):
+        raise ConfigurationError(f"duplicate qubit labels in {qubits}")
+    return qubits
+
+
+@dataclass
+class Estimate:
+    """A live fit over the results streamed in so far.
+
+    ``per_qubit`` maps each qubit to its current fitted parameters (a
+    plain dict of scalars, experiment-specific) or None while the
+    partial sweep cannot constrain a fit yet.  Once ``complete`` is
+    True the values agree with the one-shot :meth:`Experiment.analyze`
+    fit on the same sweep — the convergence contract the tests pin.
+    """
+
+    n_results: int                       #: results observed so far
+    n_specs: int                         #: sweep size
+    per_qubit: dict[int, dict | None] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.n_results >= self.n_specs
+
+    @property
+    def values(self) -> dict | None:
+        """The single-qubit convenience view (first qubit's parameters)."""
+        if not self.per_qubit:
+            return None
+        return next(iter(self.per_qubit.values()))
+
+
+class ExperimentState:
+    """Accumulates streamed results for incremental fitting.
+
+    Results are keyed by their submission index within the experiment's
+    sweep, so completion-order arrival reconstructs submission order and
+    the final incremental fit sees exactly the arrays ``analyze`` sees.
+    """
+
+    def __init__(self, experiment: "Experiment"):
+        self.experiment = experiment
+        self.n_specs = len(experiment.build_specs())
+        self.results: dict[int, JobResult] = {}
+        #: Last computed fit per qubit (carried forward between updates).
+        self.estimates: dict[int, dict | None] = {
+            qubit: None for qubit in experiment.qubits}
+
+    def add(self, index: int, result: JobResult) -> int:
+        """Record one result; returns its resolved submission index."""
+        if index is None:
+            index = len(self.results)  # serial arrival fallback
+        if not 0 <= index < self.n_specs:
+            raise ConfigurationError(
+                f"result index {index} outside sweep of {self.n_specs}")
+        self.results[index] = result
+        return index
+
+    def qubit_results(self, qubit: int) -> list[tuple[int, JobResult]]:
+        """This qubit's arrived results as (local index, result), ordered."""
+        start, stop = self.experiment.qubit_slice(qubit)
+        return [(i - start, self.results[i])
+                for i in range(start, stop) if i in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class Experiment(abc.ABC):
+    """One declarative experiment: parameters in, specs out, fits back.
+
+    Subclasses set :attr:`name` (the registry key) and :attr:`defaults`
+    (every accepted parameter with its default — unknown keyword
+    parameters are rejected at construction), then implement the
+    per-qubit trio below.  ``config`` defaults to a fresh
+    :class:`MachineConfig`; ``qubits`` defaults to the config's first
+    wired qubit and every requested qubit must be wired in the config.
+    """
+
+    #: Registry key; subclasses override.
+    name: ClassVar[str] = "?"
+    #: Accepted parameters and their defaults; subclasses override.
+    defaults: ClassVar[Mapping[str, object]] = {}
+
+    def __init__(self, config: MachineConfig | None = None,
+                 qubits: Iterable[int] | int | None = None,
+                 params: Mapping | None = None):
+        self.config = config if config is not None else MachineConfig()
+        qubits = normalize_qubits(qubits)
+        self.qubits = (qubits if qubits is not None
+                       else (self.config.qubits[0],))
+        for qubit in self.qubits:
+            if qubit not in self.config.qubits:
+                raise ConfigurationError(
+                    f"qubit {qubit} is not wired in the config "
+                    f"(wired: {self.config.qubits})")
+        params = dict(params or {})
+        unknown = set(params) - set(self.defaults)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown parameter(s) {sorted(unknown)} for experiment "
+                f"{self.name!r}; accepted: {sorted(self.defaults)}")
+        self.params = {**self.defaults, **params}
+        self._specs: list[JobSpec] | None = None
+        self._slices: dict[int, tuple[int, int]] = {}
+        self.resolve()
+
+    # -- definition ----------------------------------------------------------
+
+    def resolve(self) -> None:
+        """Fill parameter defaults that depend on the config (hook)."""
+
+    @abc.abstractmethod
+    def build_qubit_specs(self, qubit: int) -> list[JobSpec]:
+        """The sweep's jobs for one qubit, in submission order."""
+
+    def build_specs(self) -> list[JobSpec]:
+        """All qubits' specs concatenated, cached on first call."""
+        if self._specs is None:
+            specs: list[JobSpec] = []
+            for qubit in self.qubits:
+                start = len(specs)
+                specs.extend(self.build_qubit_specs(qubit))
+                self._slices[qubit] = (start, len(specs))
+            self._specs = specs
+        return list(self._specs)
+
+    def qubit_slice(self, qubit: int) -> tuple[int, int]:
+        """This qubit's (start, stop) index range within the sweep."""
+        self.build_specs()
+        return self._slices[qubit]
+
+    def qubit_of(self, index: int) -> int:
+        """The qubit whose spec group contains this submission index."""
+        self.build_specs()
+        for qubit, (start, stop) in self._slices.items():
+            if start <= index < stop:
+                return qubit
+        raise ConfigurationError(
+            f"index {index} outside the sweep of {len(self._specs)}")
+
+    # -- analysis ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def analyze_qubit(self, jobs: list[JobResult], qubit: int):
+        """One qubit's full result from its submission-ordered jobs."""
+
+    def estimate_qubit(self, indexed_jobs: list[tuple[int, JobResult]],
+                       qubit: int) -> dict | None:
+        """Fit parameters from a *partial* sweep (``(index, result)``
+        pairs in submission order); None when unconstrained.  On a
+        complete slice this must agree with :meth:`analyze_qubit`'s fit.
+        """
+        return None
+
+    def analyze(self, sweep: SweepResult):
+        """The experiment's result from a finished sweep.
+
+        Returns the bare per-qubit result for a single-qubit run and a
+        ``{qubit: result}`` mapping when several qubits were swept.
+        """
+        jobs = list(sweep.jobs)
+        results = {}
+        for qubit in self.qubits:
+            start, stop = self.qubit_slice(qubit)
+            results[qubit] = self.analyze_qubit(jobs[start:stop], qubit)
+        if len(self.qubits) == 1:
+            return results[self.qubits[0]]
+        return results
+
+    # -- incremental fitting -------------------------------------------------
+
+    def new_state(self) -> ExperimentState:
+        return ExperimentState(self)
+
+    def update(self, state: ExperimentState, job_result: JobResult,
+               index: int | None = None) -> Estimate:
+        """Fold one streamed result into ``state``; return the live fit.
+
+        ``index`` is the result's submission index within the sweep (the
+        :class:`~repro.session.ExperimentFuture` supplies it); without it
+        results are assumed to arrive in submission order.  Only the
+        arriving result's own qubit is refitted — the other qubits'
+        estimates carry forward, so a wide machine doesn't pay one
+        curve fit per qubit per arrival.
+        """
+        index = state.add(index, job_result)
+        qubit = self.qubit_of(index)
+        state.estimates[qubit] = self._fit_qubit_state(state, qubit)
+        return Estimate(n_results=len(state), n_specs=state.n_specs,
+                        per_qubit=dict(state.estimates))
+
+    def estimate_state(self, state: ExperimentState) -> Estimate:
+        """The current :class:`Estimate`, refitting every qubit."""
+        for qubit in self.qubits:
+            state.estimates[qubit] = self._fit_qubit_state(state, qubit)
+        return Estimate(n_results=len(state), n_specs=state.n_specs,
+                        per_qubit=dict(state.estimates))
+
+    def _fit_qubit_state(self, state: ExperimentState,
+                         qubit: int) -> dict | None:
+        arrived = state.qubit_results(qubit)
+        if not arrived:
+            return None
+        try:
+            with warnings.catch_warnings():
+                # Partial sweeps routinely trip optimizer warnings
+                # (e.g. unconstrained covariance); the estimate is
+                # advisory, so keep the stream quiet.
+                warnings.simplefilter("ignore")
+                return self.estimate_qubit(arrived, qubit)
+        except FIT_ERRORS:
+            return None
+
+    # -- presentation --------------------------------------------------------
+
+    def summarize_qubit(self, result, qubit: int) -> str:
+        """One line describing one qubit's result (CLI output)."""
+        return repr(result)
+
+    def summary(self, result) -> str:
+        """Human-readable lines for :meth:`analyze`'s return value."""
+        if len(self.qubits) == 1:
+            return self.summarize_qubit(result, self.qubits[0])
+        return "\n".join(f"q{qubit}: {self.summarize_qubit(result[qubit], qubit)}"
+                         for qubit in self.qubits)
+
+
+class ExperimentRegistry:
+    """Name -> :class:`Experiment` class mapping with decorator support."""
+
+    def __init__(self):
+        self._classes: dict[str, type[Experiment]] = {}
+
+    def register(self, cls: type[Experiment]) -> type[Experiment]:
+        """Register a class under its :attr:`~Experiment.name` (decorator)."""
+        name = cls.name
+        if not name or name == "?":
+            raise ConfigurationError(
+                f"{cls.__name__} needs a class-level name to register")
+        existing = self._classes.get(name)
+        if existing is not None and existing is not cls:
+            raise ConfigurationError(
+                f"experiment {name!r} already registered to "
+                f"{existing.__name__}")
+        self._classes[name] = cls
+        return cls
+
+    def get(self, name: str) -> type[Experiment]:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown experiment {name!r}; registered: "
+                f"{self.names()}") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._classes))
+
+    def create(self, name: str, config: MachineConfig | None = None,
+               qubits=None, params: Mapping | None = None) -> Experiment:
+        """Instantiate a registered experiment."""
+        return self.get(name)(config=config, qubits=qubits, params=params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __iter__(self):
+        return iter(self.names())
+
+
+def run_deprecated(name: str, config, service, **params):
+    """Shared body of the deprecated ``run_*`` wrappers.
+
+    Reproduces the historical behavior exactly: the caller's config (or
+    a fresh default one) on the process-wide shared default service (or
+    the one passed in), through ``Session.run``.  The caller emits its
+    own :class:`DeprecationWarning` first, so the warning points at the
+    legacy call site.
+    """
+    from repro.service.scheduler import default_service
+    from repro.session import Session
+
+    session = Session(config if config is not None else MachineConfig(),
+                      service=service if service is not None
+                      else default_service())
+    return session.run(name, **params)
+
+
+#: The process-wide default registry (the CLI and Session resolve here).
+REGISTRY = ExperimentRegistry()
+
+#: Decorator registering an experiment class in :data:`REGISTRY`.
+register_experiment: Callable[[type[Experiment]], type[Experiment]]
+register_experiment = REGISTRY.register

@@ -5,10 +5,16 @@ the resulting decay.  With the Markovian decoherence model of the
 substrate, the fitted Ramsey and echo times both recover the configured
 T2 (the echo has no low-frequency noise to refocus) — recorded as an
 explicit model note in EXPERIMENTS.md.
+
+:class:`T1Experiment` / :class:`RamseyExperiment` / :class:`EchoExperiment`
+are the declarative forms (``session.run("t1", ...)`` etc.); the
+:func:`run_t1` / :func:`run_ramsey` / :func:`run_echo` functions remain
+as deprecated wrappers.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -22,8 +28,9 @@ from repro.experiments.analysis import (
     fit_damped_cosine,
     fit_exponential_decay,
 )
+from repro.experiments.base import Experiment, register_experiment, run_deprecated
 from repro.experiments.runner import ExperimentRun
-from repro.service import ExperimentService, JobSpec, default_service
+from repro.service import ExperimentService, JobSpec
 from repro.utils.units import CYCLE_NS
 
 
@@ -67,58 +74,89 @@ def _delay_kernels(program: QuantumProgram, qubit: int, delays_cycles: list[int]
 
 
 def coherence_job(kind: str, delays_cycles: list[int], config: MachineConfig,
-                  n_rounds: int, replay: bool = True) -> JobSpec:
+                  n_rounds: int, replay: bool = True,
+                  qubit: int | None = None) -> JobSpec:
     """One coherence sweep (all delays as kernels) as a service job.
 
     Every delay is one K-point of a replay-eligible program, so the
     round-replay engine records two rounds of the whole sweep and
-    vectorizes the remaining ``n_rounds - 2``.
+    vectorizes the remaining ``n_rounds - 2``.  ``qubit`` defaults to the
+    config's first wired qubit.
     """
-    qubit = config.qubits[0]
+    qubit = qubit if qubit is not None else config.qubits[0]
     program = QuantumProgram(kind, qubits=(qubit,))
     _delay_kernels(program, qubit, delays_cycles, kind)
     return JobSpec(config=config, program=program,
                    compiler_options=CompilerOptions(n_rounds=n_rounds),
                    params={"kind": kind, "points": len(delays_cycles)},
-                   label=f"{kind} x{len(delays_cycles)}", replay=replay)
+                   label=f"{kind} x{len(delays_cycles)}", replay=replay,
+                   cal_qubit=qubit)
 
 
-def _run_sweep(kind: str, delays_cycles: list[int], config: MachineConfig,
-               n_rounds: int,
-               service: ExperimentService | None = None,
-               replay: bool = True) -> tuple[ExperimentRun, np.ndarray]:
-    service = service if service is not None else default_service()
-    job = service.run_job(coherence_job(kind, delays_cycles, config, n_rounds,
-                                        replay=replay))
-    run = ExperimentRun(machine=None, result=job.run, averages=job.averages,
-                        s_ground=job.s_ground, s_excited=job.s_excited)
-    return run, run.normalized
+class CoherenceExperiment(Experiment):
+    """Shared delay-sweep shape of the T1 / Ramsey / Echo experiments.
+
+    Subclasses set :attr:`name` (the coherence kind), default delays (via
+    :meth:`default_delays`), and the decay model (:meth:`fit_decay`).
+    One job per qubit carries the whole delay sweep as K-points.
+    """
+
+    defaults = {"delays_cycles": None, "n_rounds": 64, "replay": True}
+
+    def resolve(self) -> None:
+        if self.params["delays_cycles"] is None:
+            self.params["delays_cycles"] = self.default_delays()
+        self.params["delays_cycles"] = [int(d)
+                                        for d in self.params["delays_cycles"]]
+
+    def default_delays(self) -> list[int]:
+        raise NotImplementedError
+
+    def fit_decay(self, delays_ns: np.ndarray, population: np.ndarray):
+        raise NotImplementedError
+
+    def build_qubit_specs(self, qubit: int) -> list[JobSpec]:
+        return [coherence_job(self.name, self.params["delays_cycles"],
+                              self.config, self.params["n_rounds"],
+                              replay=self.params["replay"], qubit=qubit)]
+
+    def analyze_qubit(self, jobs, qubit: int) -> CoherenceResult:
+        job = jobs[0]
+        run = ExperimentRun(machine=None, result=job.run,
+                            averages=job.averages,
+                            s_ground=job.s_ground, s_excited=job.s_excited)
+        pop = run.normalized
+        delays_ns = np.asarray(self.params["delays_cycles"]) * CYCLE_NS
+        fit = self.fit_decay(delays_ns, pop)
+        return CoherenceResult(self.name, delays_ns, pop, fit, run)
+
+    def estimate_qubit(self, indexed_jobs, qubit: int) -> dict | None:
+        _, job = indexed_jobs[0]
+        delays_ns = np.asarray(self.params["delays_cycles"]) * CYCLE_NS
+        fit = self.fit_decay(delays_ns, job.normalized)
+        return {"tau_ns": fit.tau}
+
+    def summarize_qubit(self, result: CoherenceResult, qubit: int) -> str:
+        return f"fitted tau = {result.fitted_tau_ns:.0f} ns"
 
 
-def run_t1(config: MachineConfig | None = None,
-           delays_cycles: list[int] | None = None,
-           n_rounds: int = 64,
-           service: ExperimentService | None = None,
-           replay: bool = True) -> CoherenceResult:
+@register_experiment
+class T1Experiment(CoherenceExperiment):
     """Excite, wait tau, measure; fit P1(tau) = A exp(-tau/T1) + B."""
-    config = config if config is not None else MachineConfig()
-    if delays_cycles is None:
-        t1_cycles = int(config.transmons[0].t1_ns / CYCLE_NS)
-        delays_cycles = [max(1, int(f * t1_cycles)) for f in
-                         (0.02, 0.15, 0.3, 0.5, 0.75, 1.0, 1.5, 2.2)]
-    run, pop = _run_sweep("t1", delays_cycles, config, n_rounds, service,
-                          replay=replay)
-    delays_ns = np.asarray(delays_cycles) * CYCLE_NS
-    fit = fit_exponential_decay(delays_ns, pop)
-    return CoherenceResult("t1", delays_ns, pop, fit, run)
+
+    name = "t1"
+
+    def default_delays(self) -> list[int]:
+        t1_cycles = int(self.config.transmons[0].t1_ns / CYCLE_NS)
+        return [max(1, int(f * t1_cycles)) for f in
+                (0.02, 0.15, 0.3, 0.5, 0.75, 1.0, 1.5, 2.2)]
+
+    def fit_decay(self, delays_ns, population):
+        return fit_exponential_decay(delays_ns, population)
 
 
-def run_ramsey(config: MachineConfig | None = None,
-               delays_cycles: list[int] | None = None,
-               artificial_detuning_hz: float = 0.4e6,
-               n_rounds: int = 64,
-               service: ExperimentService | None = None,
-               replay: bool = True) -> CoherenceResult:
+@register_experiment
+class RamseyExperiment(CoherenceExperiment):
     """x90 - wait - x90 with an artificial detuning; fit damped cosine.
 
     The detuning is applied as a drive-frequency offset (the experimental
@@ -127,22 +165,76 @@ def run_ramsey(config: MachineConfig | None = None,
     modulated waveforms, off-grid delays rotate the second pulse's axis
     (Section 4.2.3), which is a *different* experiment.
     """
-    base = config if config is not None else MachineConfig()
-    # A private copy: detuning the drive must not leak into the caller's
-    # config (which may seed other experiments' jobs and pool keys).
-    config = replace(base, drive_detuning_hz=artificial_detuning_hz)
-    if delays_cycles is None:
+
+    name = "ramsey"
+    defaults = {**CoherenceExperiment.defaults,
+                "artificial_detuning_hz": 0.4e6}
+
+    def resolve(self) -> None:
+        # A private copy: detuning the drive must not leak into the
+        # caller's config (which may seed other experiments' jobs and
+        # pool keys).
+        self.config = replace(
+            self.config,
+            drive_detuning_hz=self.params["artificial_detuning_hz"])
+        super().resolve()
+
+    def default_delays(self) -> list[int]:
         ssb_grid = 4  # cycles per SSB period (20 ns at -50 MHz)
-        t2_cycles = int(config.transmons[0].t2_ns / CYCLE_NS)
+        t2_cycles = int(self.config.transmons[0].t2_ns / CYCLE_NS)
         raw = np.linspace(0.02, 2.0, 24) * t2_cycles
-        delays_cycles = sorted({max(ssb_grid, int(round(d / ssb_grid)) * ssb_grid)
-                                for d in raw})
-    run, pop = _run_sweep("ramsey", delays_cycles, config, n_rounds,
-                          service, replay=replay)
-    delays_ns = np.asarray(delays_cycles) * CYCLE_NS
-    fit = fit_damped_cosine(delays_ns, pop,
-                            freq_guess=abs(artificial_detuning_hz) * 1e-9)
-    return CoherenceResult("ramsey", delays_ns, pop, fit, run)
+        return sorted({max(ssb_grid, int(round(d / ssb_grid)) * ssb_grid)
+                       for d in raw})
+
+    def fit_decay(self, delays_ns, population):
+        return fit_damped_cosine(
+            delays_ns, population,
+            freq_guess=abs(self.params["artificial_detuning_hz"]) * 1e-9)
+
+
+@register_experiment
+class EchoExperiment(CoherenceExperiment):
+    """x90 - tau/2 - X180 - tau/2 - x90; fit exponential decay toward 0.5."""
+
+    name = "echo"
+
+    def default_delays(self) -> list[int]:
+        # Sweep past T2 so the exponential curvature beats shot noise;
+        # the late-time T1 pull toward |0> biases tau a little low (model
+        # note in EXPERIMENTS.md).
+        t2_cycles = int(self.config.transmons[0].t2_ns / CYCLE_NS)
+        return [max(2, int(f * t2_cycles)) for f in
+                (0.05, 0.15, 0.3, 0.5, 0.75, 1.0, 1.3, 1.7, 2.2)]
+
+    def fit_decay(self, delays_ns, population):
+        return fit_exponential_decay(delays_ns, population)
+
+
+def run_t1(config: MachineConfig | None = None,
+           delays_cycles: list[int] | None = None,
+           n_rounds: int = 64,
+           service: ExperimentService | None = None,
+           replay: bool = True) -> CoherenceResult:
+    """Deprecated wrapper over ``Session.run("t1", ...)``."""
+    warnings.warn("run_t1 is deprecated; use Session.run('t1', ...) instead",
+                  DeprecationWarning, stacklevel=2)
+    return run_deprecated("t1", config, service, delays_cycles=delays_cycles,
+                          n_rounds=n_rounds, replay=replay)
+
+
+def run_ramsey(config: MachineConfig | None = None,
+               delays_cycles: list[int] | None = None,
+               artificial_detuning_hz: float = 0.4e6,
+               n_rounds: int = 64,
+               service: ExperimentService | None = None,
+               replay: bool = True) -> CoherenceResult:
+    """Deprecated wrapper over ``Session.run("ramsey", ...)``."""
+    warnings.warn("run_ramsey is deprecated; use Session.run('ramsey', ...) "
+                  "instead", DeprecationWarning, stacklevel=2)
+    return run_deprecated("ramsey", config, service,
+                          delays_cycles=delays_cycles,
+                          artificial_detuning_hz=artificial_detuning_hz,
+                          n_rounds=n_rounds, replay=replay)
 
 
 def run_echo(config: MachineConfig | None = None,
@@ -150,17 +242,9 @@ def run_echo(config: MachineConfig | None = None,
              n_rounds: int = 64,
              service: ExperimentService | None = None,
              replay: bool = True) -> CoherenceResult:
-    """x90 - tau/2 - X180 - tau/2 - x90; fit exponential decay toward 0.5."""
-    config = config if config is not None else MachineConfig()
-    if delays_cycles is None:
-        # Sweep past T2 so the exponential curvature beats shot noise;
-        # the late-time T1 pull toward |0> biases tau a little low (model
-        # note in EXPERIMENTS.md).
-        t2_cycles = int(config.transmons[0].t2_ns / CYCLE_NS)
-        delays_cycles = [max(2, int(f * t2_cycles)) for f in
-                         (0.05, 0.15, 0.3, 0.5, 0.75, 1.0, 1.3, 1.7, 2.2)]
-    run, pop = _run_sweep("echo", delays_cycles, config, n_rounds, service,
-                          replay=replay)
-    delays_ns = np.asarray(delays_cycles) * CYCLE_NS
-    fit = fit_exponential_decay(delays_ns, pop)
-    return CoherenceResult("echo", delays_ns, pop, fit, run)
+    """Deprecated wrapper over ``Session.run("echo", ...)``."""
+    warnings.warn("run_echo is deprecated; use Session.run('echo', ...) "
+                  "instead", DeprecationWarning, stacklevel=2)
+    return run_deprecated("echo", config, service,
+                          delays_cycles=delays_cycles,
+                          n_rounds=n_rounds, replay=replay)

@@ -8,20 +8,24 @@ mechanism the control box uses for calibration sweeps.
 
 Points execute through the orchestration service: one job per amplitude,
 sharing a pooled machine and the cached assembly of the (amplitude-
-independent) sequence program.
+independent) sequence program.  :class:`RabiExperiment` is the
+declarative form (``session.run("rabi", ...)``); :func:`run_rabi` remains
+as a deprecated wrapper.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
 from scipy.optimize import curve_fit
 
 from repro.core.config import MachineConfig
-from repro.experiments.runner import run_spec_sweep
+from repro.experiments.base import (Experiment, register_experiment,
+                                    run_deprecated)
 from repro.pulse.envelopes import gaussian
-from repro.service import ExperimentService, JobSpec, LUTUpload, default_service
+from repro.service import ExperimentService, JobSpec, LUTUpload
 
 #: Scratch operation name for the swept pulse.
 RABI_OP = "RABI"
@@ -74,7 +78,65 @@ def rabi_job(config: MachineConfig, qubit: int, amplitude: float,
         params={"amplitude": float(amplitude)},
         label=f"rabi a={amplitude:.4f}",
         replay=replay,
+        cal_qubit=qubit,
     )
+
+
+def _fit_oscillation(amplitudes: np.ndarray, populations: np.ndarray,
+                     expected_pi: float) -> dict:
+    """Fit P(|1>) = offset + visibility * (1 - cos(pi a / a_pi)) / 2."""
+
+    def model(a, a_pi, visibility, offset):
+        return offset + visibility * (1 - np.cos(np.pi * a / a_pi)) / 2.0
+
+    popt, _ = curve_fit(model, amplitudes, populations,
+                        p0=[expected_pi, 1.0, 0.0], maxfev=20000)
+    return {"pi_amplitude": float(abs(popt[0])),
+            "visibility": float(popt[1]),
+            "offset": float(popt[2]),
+            "expected_pi_amplitude": float(expected_pi)}
+
+
+@register_experiment
+class RabiExperiment(Experiment):
+    """Amplitude-Rabi calibration: fitted pi amplitude per qubit."""
+
+    name = "rabi"
+    defaults = {"amplitudes": None, "n_rounds": 64, "replay": True}
+
+    def resolve(self) -> None:
+        self.expected_pi = float(self.config.calibration.amplitude_for(np.pi))
+        if self.params["amplitudes"] is None:
+            self.params["amplitudes"] = np.linspace(
+                0.0, min(2.2 * self.expected_pi, 0.999), 21)
+
+    def build_qubit_specs(self, qubit: int) -> list[JobSpec]:
+        return [rabi_job(self.config, qubit, amp, self.params["n_rounds"],
+                         replay=self.params["replay"])
+                for amp in self.params["amplitudes"]]
+
+    def analyze_qubit(self, jobs, qubit: int) -> RabiResult:
+        amplitudes = self.params["amplitudes"]
+        populations = np.asarray([job.normalized[0] for job in jobs])
+        fit = _fit_oscillation(np.asarray(amplitudes, dtype=float),
+                               populations, self.expected_pi)
+        return RabiResult(amplitudes=np.asarray(amplitudes),
+                          population=populations,
+                          pi_amplitude=fit["pi_amplitude"],
+                          expected_pi_amplitude=self.expected_pi)
+
+    def estimate_qubit(self, indexed_jobs, qubit: int) -> dict | None:
+        if len(indexed_jobs) < 3:
+            return None  # the 3-parameter fit is underdetermined
+        amps = np.asarray([job.params["amplitude"]
+                           for _, job in indexed_jobs], dtype=float)
+        pops = np.asarray([job.normalized[0] for _, job in indexed_jobs])
+        return _fit_oscillation(amps, pops, self.expected_pi)
+
+    def summarize_qubit(self, result: RabiResult, qubit: int) -> str:
+        return (f"pi amplitude {result.pi_amplitude:.4f} "
+                f"(expected {result.expected_pi_amplitude:.4f}, "
+                f"error {result.amplitude_error():.2e})")
 
 
 def run_rabi(config: MachineConfig | None = None,
@@ -82,28 +144,14 @@ def run_rabi(config: MachineConfig | None = None,
              n_rounds: int = 64,
              service: ExperimentService | None = None,
              on_result=None) -> RabiResult:
-    """Amplitude-Rabi through the machine, one uploaded pulse per point.
+    """Deprecated wrapper over ``Session.run("rabi", ...)``.
 
-    Points are submitted as futures and may complete out of order on
-    concurrent backends; ``on_result`` observes each point as it streams
-    in, while the fit always runs over amplitude-ordered results.
+    Kept bit-identical to the historical behavior: points are submitted
+    as futures on the shared default service, ``on_result`` observes each
+    point in completion order, and the fit runs over amplitude-ordered
+    results.
     """
-    config = config if config is not None else MachineConfig()
-    service = service if service is not None else default_service()
-    expected_pi = config.calibration.amplitude_for(np.pi)
-    if amplitudes is None:
-        amplitudes = np.linspace(0.0, min(2.2 * expected_pi, 0.999), 21)
-    qubit = config.qubits[0]
-    sweep = run_spec_sweep(
-        service, [rabi_job(config, qubit, amp, n_rounds) for amp in amplitudes],
-        on_result=on_result)
-    populations = np.asarray([job.normalized[0] for job in sweep])
-
-    def model(a, a_pi, visibility, offset):
-        return offset + visibility * (1 - np.cos(np.pi * a / a_pi)) / 2.0
-
-    popt, _ = curve_fit(model, np.asarray(amplitudes, dtype=float), populations,
-                        p0=[expected_pi, 1.0, 0.0], maxfev=20000)
-    return RabiResult(amplitudes=np.asarray(amplitudes), population=populations,
-                      pi_amplitude=float(abs(popt[0])),
-                      expected_pi_amplitude=float(expected_pi))
+    warnings.warn("run_rabi is deprecated; use Session.run('rabi', ...) "
+                  "instead", DeprecationWarning, stacklevel=2)
+    return run_deprecated("rabi", config, service, amplitudes=amplitudes,
+                          n_rounds=n_rounds, on_result=on_result)

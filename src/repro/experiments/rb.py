@@ -4,19 +4,26 @@ For each sequence length m, random Cliffords are applied followed by the
 recovery Clifford; surviving ground-state population decays as
 A * p^m + B, giving the error per Clifford r = (1 - p)/2.  Sequences are
 compiled to QuMIS and executed through the complete QuMA stack.
+
+:class:`RBExperiment` is the declarative form (``session.run("rb", ...)``,
+multi-qubit capable: the same random sequence set is applied to every
+requested qubit so decay curves are directly comparable); :func:`run_rb`
+remains as a deprecated wrapper.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.config import MachineConfig
 from repro.experiments.analysis import RBFit, fit_rb_decay
+from repro.experiments.base import (Experiment, register_experiment,
+                                    run_deprecated)
 from repro.experiments.cliffords import clifford_group
-from repro.experiments.runner import run_spec_sweep
-from repro.service import ExperimentService, JobSpec, default_service
+from repro.service import ExperimentService, JobSpec
 from repro.utils.rng import derive_rng
 
 
@@ -68,7 +75,100 @@ def rb_sequence_job(config: MachineConfig, qubit: int,
         params={"length": length, "pulses": len(pulse_names)},
         label=f"rb m={length}",
         replay=replay,
+        cal_qubit=qubit,
     )
+
+
+def draw_sequences(seed: int, lengths: list[int], sequences_per_length: int
+                   ) -> list[tuple[int, list[str]]]:
+    """The sweep's random Clifford sequences as (length, pulses) pairs.
+
+    Drawn once per experiment from ``derive_rng(seed, "rb_sequences")``
+    (the historical stream), so results are reproducible and the same
+    circuits can be applied to every qubit of a multi-qubit run.
+    """
+    group = clifford_group()
+    rng = derive_rng(seed, "rb_sequences")
+    sequences = []
+    for m in lengths:
+        for _ in range(sequences_per_length):
+            indices = [int(rng.integers(len(group))) for _ in range(m)]
+            recovery = group.recovery(indices)
+            pulses: list[str] = []
+            for idx in indices:
+                pulses.extend(group[idx].pulses)
+            pulses.extend(group[recovery].pulses)
+            if not pulses:
+                pulses = ["I"]
+            sequences.append((m, pulses))
+    return sequences
+
+
+@register_experiment
+class RBExperiment(Experiment):
+    """Randomized benchmarking: fitted error per Clifford per qubit."""
+
+    name = "rb"
+    defaults = {"lengths": None, "sequences_per_length": 3, "n_rounds": 32,
+                "seed": 0, "fixed_offset": 0.5, "replay": True}
+
+    def resolve(self) -> None:
+        if self.params["lengths"] is None:
+            self.params["lengths"] = [1, 4, 10, 20, 40, 70]
+        self.params["lengths"] = [int(m) for m in self.params["lengths"]]
+        self._sequences = draw_sequences(self.params["seed"],
+                                         self.params["lengths"],
+                                         self.params["sequences_per_length"])
+
+    def build_qubit_specs(self, qubit: int) -> list[JobSpec]:
+        return [rb_sequence_job(self.config, qubit, pulses,
+                                self.params["n_rounds"], m,
+                                replay=self.params["replay"])
+                for m, pulses in self._sequences]
+
+    def _fit(self, lengths: list[int], survival: list[float]) -> tuple:
+        lengths_arr = np.asarray(lengths, dtype=float)
+        survival_arr = np.asarray(survival)
+        fit = fit_rb_decay(lengths_arr, survival_arr,
+                           fixed_offset=self.params["fixed_offset"])
+        return lengths_arr, survival_arr, fit
+
+    def analyze_qubit(self, jobs, qubit: int) -> RBResult:
+        spl = self.params["sequences_per_length"]
+        survival = []
+        per_length = [jobs[i:i + spl] for i in range(0, len(jobs), spl)]
+        for group_jobs in per_length:
+            # survival of |0> = 1 - P(|1>)
+            survival.append(float(np.mean([1.0 - job.normalized[0]
+                                           for job in group_jobs])))
+        lengths_arr, survival_arr, fit = self._fit(self.params["lengths"],
+                                                   survival)
+        return RBResult(lengths=lengths_arr, survival=survival_arr, fit=fit,
+                        pulses_per_clifford=(
+                            clifford_group().average_pulses_per_clifford()))
+
+    def estimate_qubit(self, indexed_jobs, qubit: int) -> dict | None:
+        # Group arrived sequences by their length-group position in the
+        # sweep (index // sequences_per_length), so a complete slice
+        # reproduces analyze_qubit's per-length means exactly.
+        spl = self.params["sequences_per_length"]
+        groups: dict[int, list] = {}
+        for index, job in indexed_jobs:
+            groups.setdefault(index // spl, []).append(job)
+        lengths = [self.params["lengths"][g] for g in sorted(groups)]
+        survival = [float(np.mean([1.0 - job.normalized[0]
+                                   for job in groups[g]]))
+                    for g in sorted(groups)]
+        if len(lengths) < 3:
+            return None  # fit_rb_decay needs three sequence lengths
+        _, _, fit = self._fit(lengths, survival)
+        return {"error_per_clifford": fit.error_per_clifford,
+                "p": fit.p, "amplitude": fit.amplitude, "offset": fit.offset}
+
+    def summarize_qubit(self, result: RBResult, qubit: int) -> str:
+        return (f"error per Clifford {result.error_per_clifford:.2e} "
+                f"(p = {result.fit.p:.5f}, "
+                f"{result.pulses_per_clifford:.2f} pulses/Clifford)")
 
 
 def run_rb(config: MachineConfig | None = None,
@@ -80,47 +180,17 @@ def run_rb(config: MachineConfig | None = None,
            service: ExperimentService | None = None,
            replay: bool = True,
            on_result=None) -> RBResult:
-    """Randomized benchmarking through the full stack.
+    """Deprecated wrapper over ``Session.run("rb", ...)``.
 
     ``fixed_offset`` pins the fit asymptote (0.5 = fully depolarized);
-    pass None to fit it freely when many lengths are measured.  All
-    sequences are submitted as one batch of futures (worker-pool
-    capable; ``on_result`` streams sequences in completion order); the
-    random sequences themselves are drawn in the caller from ``seed``.
+    pass None to fit it freely when many lengths are measured.  Kept
+    bit-identical to the historical behavior (sequences drawn from the
+    same seed-derived stream, fits over submission-ordered results).
     """
-    config = config if config is not None else MachineConfig()
-    service = service if service is not None else default_service()
-    if lengths is None:
-        lengths = [1, 4, 10, 20, 40, 70]
-    qubit = config.qubits[0]
-    group = clifford_group()
-    rng = derive_rng(seed, "rb_sequences")
-
-    specs = []
-    for m in lengths:
-        for _ in range(sequences_per_length):
-            indices = [int(rng.integers(len(group))) for _ in range(m)]
-            recovery = group.recovery(indices)
-            pulses: list[str] = []
-            for idx in indices:
-                pulses.extend(group[idx].pulses)
-            pulses.extend(group[recovery].pulses)
-            if not pulses:
-                pulses = ["I"]
-            specs.append(rb_sequence_job(config, qubit, pulses, n_rounds, m,
-                                         replay=replay))
-    sweep = run_spec_sweep(service, specs, on_result=on_result)
-
-    survival = []
-    per_length = [sweep.jobs[i:i + sequences_per_length]
-                  for i in range(0, len(sweep.jobs), sequences_per_length)]
-    for jobs in per_length:
-        # survival of |0> = 1 - P(|1>)
-        survival.append(float(np.mean([1.0 - job.normalized[0]
-                                       for job in jobs])))
-
-    lengths_arr = np.asarray(lengths, dtype=float)
-    survival_arr = np.asarray(survival)
-    fit = fit_rb_decay(lengths_arr, survival_arr, fixed_offset=fixed_offset)
-    return RBResult(lengths=lengths_arr, survival=survival_arr, fit=fit,
-                    pulses_per_clifford=group.average_pulses_per_clifford())
+    warnings.warn("run_rb is deprecated; use Session.run('rb', ...) instead",
+                  DeprecationWarning, stacklevel=2)
+    return run_deprecated("rb", config, service, lengths=lengths,
+                          sequences_per_length=sequences_per_length,
+                          n_rounds=n_rounds, seed=seed,
+                          fixed_offset=fixed_offset, replay=replay,
+                          on_result=on_result)

@@ -61,12 +61,13 @@ def run_spec_sweep(service: ExperimentService, specs: Sequence[JobSpec], *,
     lists jobs in submission order — bit-identical to ``run_batch`` on any
     backend.
 
-    Note the stream is service-wide: this drains every submission
-    outstanding on ``service``, not only this sweep's.
+    The stream is scoped to this sweep's own submission group
+    (``service.iter_completed(futures)``), so concurrent sweeps on one
+    service never steal each other's results.
     """
     t0 = time.perf_counter()
-    futures = [service.submit(spec) for spec in specs]
-    for result in service.iter_completed():
+    futures = [service.submit(spec, stream=False) for spec in specs]
+    for result in service.iter_completed(futures):
         if on_result is not None:
             on_result(result)
     results = [future.result() for future in futures]

@@ -37,16 +37,24 @@ class ReadoutCalibration:
 
 def calibrate_readout(params: ReadoutParams, duration_ns: int,
                       n_shots: int = 200, adc_bits: int = 8,
-                      seed: int | None = 0) -> ReadoutCalibration:
+                      seed: int | None = 0,
+                      qubit: int | None = None) -> ReadoutCalibration:
     """Calibrate weights and threshold for the given readout chain.
 
     The weight function comes from noise-free mean traces (in hardware:
     heavily averaged references); the threshold and fidelity estimate from
-    ``n_shots`` noisy shots per state.
+    ``n_shots`` noisy shots per state.  ``qubit`` namespaces the noise
+    stream so each wired qubit of a multi-qubit machine calibrates
+    independently; None keeps the historical shared stream (the machine
+    uses it for its first wired qubit, so single-qubit runs stay
+    bit-identical across versions).
     """
     if n_shots < 2:
         raise CalibrationError("need at least 2 shots per state")
-    rng = derive_rng(seed, "readout_calibration")
+    if qubit is None:
+        rng = derive_rng(seed, "readout_calibration")
+    else:
+        rng = derive_rng(seed, "readout_calibration", f"q{qubit}")
     w = matched_filter_weights(
         mean_trace(params, 0, duration_ns, t0_ns=0),
         mean_trace(params, 1, duration_ns, t0_ns=0),

@@ -66,7 +66,8 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
             result = machine.run()
             report = None
         check_run_result(result)
-        cal = machine.readout_calibration
+        cal = (machine.readout_calibrations[spec.cal_qubit]
+               if spec.cal_qubit is not None else machine.readout_calibration)
         return JobResult(
             averages=result.averages.copy(),
             run=result,

@@ -106,6 +106,11 @@ class JobSpec:
     #: Allow the round-replay fast path (ineligible programs fall back to
     #: full simulation automatically; results are bit-identical either way).
     replay: bool = True
+    #: Qubit whose readout calibration points (``s_ground``/``s_excited``)
+    #: accompany this job's averages; None keeps the config's first wired
+    #: qubit (the single-qubit legacy behavior).  Multi-qubit experiments
+    #: set it per spec so each qubit normalizes against its own readout.
+    cal_qubit: int | None = None
     #: Dispatch route: ``"quma"`` (event-kernel simulation) or
     #: ``"baseline"`` (APS2 cost model).
     executor: str = "quma"
@@ -131,6 +136,11 @@ class JobSpec:
                     "JobSpec needs exactly one of program= or asm=")
         if self.k_points < 1:
             raise ConfigurationError("k_points must be at least 1")
+        if (self.cal_qubit is not None and self.config is not None
+                and self.cal_qubit not in self.config.qubits):
+            raise ConfigurationError(
+                f"cal_qubit {self.cal_qubit} is not wired "
+                f"(wired: {self.config.qubits})")
         self.microprograms = tuple(
             (str(name), int(n_params), str(body))
             for name, n_params, body in self.microprograms)
@@ -158,6 +168,10 @@ class JobFuture:
         #: Submission index within the owning service (None for direct
         #: backend submissions).
         self.index = index
+        #: Internal exactly-once bookkeeping: set by the owning service's
+        #: result streams when this future has been yielded by one, so no
+        #: other stream (scoped or service-wide) yields it again.
+        self.stream_collected = False
         self._done = threading.Event()
         self._result: JobResult | None = None
         self._exception: BaseException | None = None

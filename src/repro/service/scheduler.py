@@ -93,9 +93,12 @@ class ExperimentService:
                                       "baseline": BaselineBackend()})
         # Stream bookkeeping; guarded by the lock because submit may be
         # called from several threads while iter_completed drains.
+        # ``_pending`` holds futures submitted but not yet yielded by any
+        # stream (scoped or service-wide), so the two draining modes
+        # together yield every job exactly once.
         self._stream_lock = threading.Lock()
         self._submitted = 0
-        self._uncollected = 0
+        self._pending: set[JobFuture] = set()
         self._completed: queue.SimpleQueue[JobFuture] = queue.SimpleQueue()
 
     # -- lifecycle -----------------------------------------------------------
@@ -112,41 +115,96 @@ class ExperimentService:
 
     # -- futures API ---------------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> JobFuture:
+    def submit(self, spec: JobSpec, *, stream: bool = True) -> JobFuture:
         """Queue one job on its route's executor; returns its future.
 
-        Submissions made here feed :meth:`iter_completed` — take results
-        from the future or from the stream, either way exactly once per
-        job.
+        With ``stream=True`` (the default) the submission feeds the
+        service-wide :meth:`iter_completed` — take results from the
+        future or from the stream, either way exactly once per job.
+        ``stream=False`` keeps the job out of the service-wide stream
+        entirely: the caller owns its future and drains it directly or
+        via a scoped ``iter_completed(futures)``/:meth:`iter_futures`,
+        with no race against a concurrent service-wide consumer (the
+        experiment layer submits this way).
         """
         future = self.dispatcher.submit(spec)
         with self._stream_lock:
             future.index = self._submitted
             self._submitted += 1
-            self._uncollected += 1
-        future.add_done_callback(self._completed.put)
+            if stream:
+                self._pending.add(future)
+        if stream:
+            # Non-streamed futures never touch the service-wide queue, so
+            # the queue retains no reference to them (or their results).
+            future.add_done_callback(self._completed.put)
         return future
 
-    def iter_completed(self, timeout: float | None = None
+    def iter_futures(self, futures: Sequence[JobFuture],
+                     timeout: float | None = None) -> Iterator[JobFuture]:
+        """Yield exactly the given futures, in completion order.
+
+        The scoped drain: only this submission group is waited on, so
+        concurrent sweeps on one service never steal each other's
+        results.  The whole group is claimed from the service-wide
+        stream up front, so an :meth:`iter_completed` consumer running
+        concurrently skips it from this point on (submit with
+        ``stream=False`` to keep a group out of the service-wide stream
+        altogether).  A future some other stream already yielded is
+        skipped, keeping every job exactly-once across all streams
+        however the modes interleave.  ``timeout`` bounds the wait for
+        each *next* completion.
+        """
+        futures = list(futures)
+        with self._stream_lock:
+            for future in futures:
+                self._pending.discard(future)
+        scoped: queue.SimpleQueue[JobFuture] = queue.SimpleQueue()
+        for future in futures:
+            future.add_done_callback(scoped.put)
+        for n_left in range(len(futures), 0, -1):
+            try:
+                future = scoped.get(timeout=timeout)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"no job completed within {timeout} s "
+                    f"({n_left} outstanding in group)") from None
+            with self._stream_lock:
+                if future.stream_collected:
+                    continue  # another stream already yielded this job
+                future.stream_collected = True
+            yield future
+
+    def iter_completed(self, futures: Sequence[JobFuture] | None = None,
+                       timeout: float | None = None
                        ) -> Iterator[JobResult]:
         """Yield results of outstanding submissions in completion order.
 
-        Returns once every job submitted via :meth:`submit` (so far) has
-        been yielded; jobs that failed re-raise here.  ``timeout`` bounds
-        the wait for each *next* completion.
+        With ``futures`` (a submission group from :meth:`submit`), only
+        that group is drained; otherwise every submission not yet
+        collected by any stream is.  Either way each job is yielded
+        exactly once across all streams; jobs that failed re-raise here.
+        ``timeout`` bounds the wait for each *next* completion.
         """
+        if futures is not None:
+            for future in self.iter_futures(futures, timeout=timeout):
+                yield future.result()
+            return
         while True:
             with self._stream_lock:
-                if not self._uncollected:
+                if not self._pending:
                     return
+                n_pending = len(self._pending)
             try:
                 future = self._completed.get(timeout=timeout)
             except queue.Empty:
                 raise TimeoutError(
                     f"no job completed within {timeout} s "
-                    f"({self._uncollected} outstanding)") from None
+                    f"({n_pending} outstanding)") from None
             with self._stream_lock:
-                self._uncollected -= 1
+                if future not in self._pending or future.stream_collected:
+                    continue  # already collected by a scoped drain
+                self._pending.discard(future)
+                future.stream_collected = True
             yield future.result()
 
     def drain(self) -> None:

@@ -1,0 +1,233 @@
+"""The Session facade: one object that runs declarative experiments.
+
+A :class:`Session` owns (or wraps) an
+:class:`~repro.service.scheduler.ExperimentService` and resolves
+experiment names through the :data:`~repro.experiments.base.REGISTRY`,
+handling config, seed, and backend plumbing in one place::
+
+    from repro.session import Session
+
+    with Session(backend="process", workers=4) as session:
+        result = session.run("rabi", qubits=(0, 1), n_rounds=32)
+
+    # Non-blocking: submit now, stream incremental fits as points land.
+    future = session.submit_experiment("rabi", amplitudes=amps)
+    for job, estimate in future.stream(fit=True):
+        print(job.label, estimate.values)
+    result = future.result()
+
+``run`` executes synchronously; ``submit_experiment`` returns an
+:class:`ExperimentFuture` whose ``stream`` drives the experiment's
+incremental :meth:`~repro.experiments.base.Experiment.update` in
+*completion* order — long sweeps refine their fit live instead of
+fitting once at the end — while ``result`` always analyzes the
+submission-ordered sweep, so outputs stay bit-identical across backends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator
+
+import repro.experiments  # noqa: F401 — populates the experiment registry
+from repro.core.config import MachineConfig
+from repro.experiments.base import (
+    REGISTRY,
+    Estimate,
+    Experiment,
+    ExperimentRegistry,
+    normalize_qubits,
+)
+from repro.service.job import JobFuture, JobResult, SweepResult
+from repro.service.scheduler import ExperimentService
+
+
+class ExperimentFuture:
+    """Handle to one submitted experiment: stream, estimate, result.
+
+    Wraps the sweep's :class:`~repro.service.job.JobFuture`\\ s plus the
+    experiment's incremental-fit state.  Designed for a single consumer:
+    ``stream`` (or ``result``, which drains the stream) should be driven
+    from one thread.
+    """
+
+    def __init__(self, experiment: Experiment, futures: list[JobFuture],
+                 service: ExperimentService, t0: float | None = None):
+        self.experiment = experiment
+        self.futures = list(futures)
+        self.service = service
+        self._t0 = t0 if t0 is not None else time.perf_counter()
+        self._index = {id(f): i for i, f in enumerate(self.futures)}
+        self._consumed: set[int] = set()
+        self.state = experiment.new_state()
+        self.sweep: SweepResult | None = None
+        self._result = None
+        self._analyzed = False
+
+    def done(self) -> bool:
+        return all(future.done() for future in self.futures)
+
+    def stream(self, on_result: Callable[[JobResult], None] | None = None,
+               on_estimate: Callable[[Estimate], None] | None = None,
+               fit: bool | None = None,
+               timeout: float | None = None
+               ) -> Iterator[tuple[JobResult, Estimate | None]]:
+        """Yield ``(job_result, estimate)`` in completion order.
+
+        Drains only this experiment's submissions (scoped, so concurrent
+        experiments on one service don't steal each other's results).
+        ``fit`` controls whether each arrival refines the incremental
+        fit; it defaults to True exactly when ``on_estimate`` is given,
+        since per-point fits cost real time on long sweeps.  Each job is
+        yielded at most once across all ``stream``/``result`` calls, so
+        resuming after a partially consumed stream drains only the
+        remainder.  Failed jobs re-raise here.
+        """
+        fit = fit if fit is not None else on_estimate is not None
+        remaining = [f for f in self.futures if id(f) not in self._consumed]
+        for future in self.service.iter_futures(remaining, timeout=timeout):
+            self._consumed.add(id(future))
+            result = future.result()
+            index = self._index[id(future)]
+            if fit:
+                estimate = self.experiment.update(self.state, result,
+                                                  index=index)
+            else:
+                self.state.add(index, result)
+                estimate = None
+            if on_result is not None:
+                on_result(result)
+            if on_estimate is not None and estimate is not None:
+                on_estimate(estimate)
+            yield result, estimate
+
+    def estimate(self) -> Estimate:
+        """The current incremental fit over everything streamed so far."""
+        return self.experiment.estimate_state(self.state)
+
+    def result(self, on_result: Callable[[JobResult], None] | None = None,
+               on_estimate: Callable[[Estimate], None] | None = None,
+               timeout: float | None = None):
+        """Block for the sweep and return the experiment's analysis.
+
+        Streams any not-yet-consumed completions first (firing the hooks),
+        then fits the submission-ordered sweep exactly once.
+        """
+        if not self._analyzed:
+            for _ in self.stream(on_result=on_result,
+                                 on_estimate=on_estimate, timeout=timeout):
+                pass
+            jobs = [future.result() for future in self.futures]
+            self.sweep = SweepResult.from_jobs(
+                jobs, time.perf_counter() - self._t0, self.service.backend)
+            self._result = self.experiment.analyze(self.sweep)
+            self._analyzed = True
+        return self._result
+
+    def summary(self) -> str:
+        """Human-readable lines for the (blocking) result."""
+        return self.experiment.summary(self.result())
+
+
+class Session:
+    """Config/seed/backend plumbing in one place, experiments by name.
+
+    ``service`` wraps an existing
+    :class:`~repro.service.scheduler.ExperimentService` (it stays the
+    caller's to close); otherwise the session builds and owns one from
+    ``backend``/``workers``/``cache_dir``.  ``config`` pins one machine
+    configuration for every run; without it each run builds a fresh
+    :class:`MachineConfig` wiring the requested ``qubits`` (traces off,
+    ``seed`` applied).
+    """
+
+    def __init__(self, config: MachineConfig | None = None, *,
+                 backend: str = "serial", workers: int | None = None,
+                 cache_dir: str | None = None, seed: int | None = None,
+                 service: ExperimentService | None = None,
+                 registry: ExperimentRegistry | None = None):
+        self.registry = registry if registry is not None else REGISTRY
+        self._own_service = service is None
+        self.service = (service if service is not None
+                        else ExperimentService(backend=backend,
+                                               workers=workers,
+                                               cache_dir=cache_dir))
+        self.config = config
+        self.seed = seed
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the session's own service (wrapped ones stay up)."""
+        if self._own_service:
+            self.service.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- experiment plumbing -------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return self.service.backend
+
+    def experiments(self) -> tuple[str, ...]:
+        """Registered experiment names."""
+        return self.registry.names()
+
+    def config_for(self, qubits=None) -> MachineConfig:
+        """The machine config a run will use (session-pinned or fresh)."""
+        if self.config is not None:
+            return self.config
+        kwargs: dict = {"trace_enabled": False}
+        qubits = normalize_qubits(qubits)
+        if qubits is not None:
+            kwargs["qubits"] = qubits
+        if self.seed is not None:
+            kwargs["seed"] = int(self.seed)
+        return MachineConfig(**kwargs)
+
+    def create(self, name: str, *, qubits=None, **params) -> Experiment:
+        """Instantiate a registered experiment bound to this session's config."""
+        return self.registry.create(name, config=self.config_for(qubits),
+                                    qubits=qubits, params=params)
+
+    # -- execution -----------------------------------------------------------
+
+    def submit_experiment(self, name: str, *, qubits=None,
+                          **params) -> ExperimentFuture:
+        """Build the experiment's specs and fan them out; non-blocking."""
+        return self.submit(self.create(name, qubits=qubits, **params))
+
+    def submit(self, experiment: Experiment) -> ExperimentFuture:
+        """Submit an already-built experiment instance.
+
+        Specs are submitted outside the service-wide stream
+        (``stream=False``): the returned future owns its jobs, so a
+        concurrent ``service.iter_completed()`` consumer never sees them.
+        """
+        specs = experiment.build_specs()
+        t0 = time.perf_counter()
+        futures = [self.service.submit(spec, stream=False) for spec in specs]
+        return ExperimentFuture(experiment, futures, self.service, t0)
+
+    def run(self, name: str, *, qubits=None,
+            on_result: Callable[[JobResult], None] | None = None,
+            on_estimate: Callable[[Estimate], None] | None = None,
+            **params):
+        """Run one experiment to completion and return its analysis.
+
+        ``on_result`` observes each job in completion order;
+        ``on_estimate`` additionally turns on per-point incremental
+        fitting and observes each refined :class:`Estimate`.
+        """
+        future = self.submit_experiment(name, qubits=qubits, **params)
+        return future.result(on_result=on_result, on_estimate=on_estimate)
+
+    # -- inspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        return self.service.stats()

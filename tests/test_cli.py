@@ -95,6 +95,68 @@ def test_allxy_command(capsys):
     assert "deviation:" in out
 
 
+def test_exp_list(capsys):
+    rc = main(["exp", "--list"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for name in ("rabi", "rb", "allxy", "t1", "ramsey", "echo"):
+        assert name in out
+    assert "params:" in out
+
+
+def test_exp_without_name_lists(capsys):
+    rc = main(["exp"])
+    assert rc == 0
+    assert "rabi" in capsys.readouterr().out
+
+
+def test_exp_runs_registered_experiment(capsys):
+    rc = main(["exp", "rabi", "--param", "n_rounds=4",
+               "--param", "amplitudes=[0.0, 0.25, 0.5, 0.75, 0.999]"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pi amplitude" in out
+    assert "5 jobs | backend=serial" in out
+
+
+def test_exp_stream_prints_jobs_and_fits(capsys):
+    rc = main(["exp", "rabi", "--stream", "--param", "n_rounds=4",
+               "--param", "amplitudes=[0.0, 0.25, 0.5, 0.75, 0.999]"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "done [quma]" in out
+    assert "fit 5/5" in out
+
+
+def test_exp_multi_qubit(capsys):
+    rc = main(["exp", "allxy", "--qubits", "0,1", "--param", "n_rounds=2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "q0:" in out and "q1:" in out
+
+
+def test_exp_unknown_name_errors(capsys):
+    rc = main(["exp", "nope"])
+    assert rc == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_exp_bad_param_errors(capsys):
+    rc = main(["exp", "rabi", "--param", "norounds"])
+    assert rc == 2
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_exp_save_artifact(tmp_path, capsys):
+    out_path = tmp_path / "sweep.json"
+    rc = main(["exp", "t1", "--param", "n_rounds=2",
+               "--param", "delays_cycles=[4, 8, 16, 24]",
+               "--save", str(out_path)])
+    assert rc == 0
+    assert out_path.exists()
+    assert "sweep artifact" in capsys.readouterr().out
+
+
 def test_batch_rabi_sweep(capsys):
     rc = main(["batch", "--experiment", "rabi", "--points", "3",
                "--rounds", "4"])

@@ -59,6 +59,23 @@ def test_parameter_sweep(capsys):
     assert "machines built: 3" in out
 
 
+def test_multi_qubit_sweep_serial(capsys):
+    out = run_example("multi_qubit_sweep.py", argv=["5", "4", "serial"],
+                      capsys=capsys)
+    assert "q0  fitted pi amplitude" in out
+    assert "q1  fitted pi amplitude" in out
+    assert "machine reuse rate: 90%" in out
+
+
+@pytest.mark.slow
+def test_multi_qubit_sweep_process(capsys):
+    out = run_example("multi_qubit_sweep.py", argv=["5", "8", "process"],
+                      capsys=capsys)
+    assert "q0  fitted pi amplitude" in out
+    assert "q1  fitted pi amplitude" in out
+    assert "backend=process" in out
+
+
 @pytest.mark.slow
 def test_bell_state(capsys):
     out = run_example("bell_state.py", capsys=capsys)

@@ -3,17 +3,23 @@
 import numpy as np
 import pytest
 
+from repro import Session
 from repro.core import MachineConfig
 from repro.experiments import (
     ALLXY_PAIRS,
     allxy_ideal_staircase,
     allxy_labels,
     build_allxy_program,
-    run_allxy,
 )
 from repro.experiments.allxy import rescale_with_calibration_points
 from repro.pulse import PulseCalibration
 from repro.qubit import TransmonParams
+
+
+def run_allxy(config, **params):
+    """The experiment through the Session facade (legacy-call shape)."""
+    with Session(config) as session:
+        return session.run("allxy", **params)
 
 
 def test_21_pairs():

@@ -2,12 +2,29 @@
 
 import pytest
 
+from repro import Session
 from repro.core import MachineConfig
-from repro.experiments import run_echo, run_ramsey, run_t1
 from repro.qubit import TransmonParams
 
 # Short coherence times keep sweep delays (and wall clock) small.
 FAST_QUBIT = TransmonParams(t1_ns=6000.0, t2_ns=4000.0)
+
+
+def _run(kind, config, **params):
+    with Session(config) as session:
+        return session.run(kind, **params)
+
+
+def run_t1(config, **params):
+    return _run("t1", config, **params)
+
+
+def run_ramsey(config, **params):
+    return _run("ramsey", config, **params)
+
+
+def run_echo(config, **params):
+    return _run("echo", config, **params)
 
 
 def fast_config(**kwargs):

@@ -3,10 +3,22 @@
 import numpy as np
 import pytest
 
+from repro import Session
 from repro.core import MachineConfig
-from repro.experiments import run_rabi, run_rb
 from repro.pulse import PulseCalibration
 from repro.qubit import TransmonParams
+
+
+def run_rabi(config, **params):
+    """The experiment through the Session facade (legacy-call shape)."""
+    with Session(config) as session:
+        return session.run("rabi", **params)
+
+
+def run_rb(config, **params):
+    """The experiment through the Session facade (legacy-call shape)."""
+    with Session(config) as session:
+        return session.run("rb", **params)
 
 
 def fast_config():

@@ -186,6 +186,70 @@ class TestIterCompleted:
             assert len(list(svc.iter_completed(timeout=10))) == 1
 
 
+class TestScopedDraining:
+    """iter_completed(futures): one sweep's stream on a shared service."""
+
+    def test_group_stream_yields_only_its_own_jobs(self, backend):
+        with ExperimentService(backend=backend, workers=2) as svc:
+            group_a = [svc.submit(flip_spec(seed=s, label=f"a{s}"))
+                       for s in range(3)]
+            group_b = [svc.submit(flip_spec(seed=s, label=f"b{s}"))
+                       for s in range(3, 6)]
+            got_a = [r.label for r in svc.iter_completed(group_a)]
+            got_b = [r.label for r in svc.iter_completed(group_b)]
+        assert sorted(got_a) == ["a0", "a1", "a2"]
+        assert sorted(got_b) == ["b3", "b4", "b5"]
+
+    def test_scoped_then_global_yields_each_job_once(self, backend):
+        with ExperimentService(backend=backend, workers=2) as svc:
+            scoped = [svc.submit(flip_spec(seed=s, label=f"s{s}"))
+                      for s in range(2)]
+            svc.submit(flip_spec(seed=7, label="loose"))
+            got_scoped = [r.label for r in svc.iter_completed(scoped)]
+            got_global = [r.label for r in svc.iter_completed()]
+        assert sorted(got_scoped) == ["s0", "s1"]
+        # The service-wide stream skips scoped-collected jobs.
+        assert got_global == ["loose"]
+        assert list(svc.iter_completed()) == []
+
+    def test_iter_futures_returns_futures_in_completion_order(self, backend):
+        with ExperimentService(backend=backend, workers=2) as svc:
+            futures = [svc.submit(flip_spec(seed=s)) for s in range(4)]
+            seen = list(svc.iter_futures(futures))
+        assert sorted(f.result().seed for f in seen) == [0, 1, 2, 3]
+        assert all(f.done() for f in seen)
+
+    def test_concurrent_sweeps_do_not_steal_results(self, backend):
+        """The documented run_spec_sweep footgun, fixed: two interleaved
+        sweeps on one service each see exactly their own stream."""
+        specs_a = [flip_spec(seed=s, label=f"a{s}") for s in range(3)]
+        specs_b = [flip_spec(seed=s, label=f"b{s}") for s in range(3)]
+        seen_a, seen_b = [], []
+        with ExperimentService(backend=backend, workers=2) as svc:
+            futures_a = [svc.submit(spec) for spec in specs_a]
+            sweep_b = run_spec_sweep(svc, specs_b, on_result=seen_b.append)
+            for result in svc.iter_completed(futures_a):
+                seen_a.append(result)
+        assert sorted(r.label for r in seen_a) == ["a0", "a1", "a2"]
+        assert sorted(r.label for r in seen_b) == ["b0", "b1", "b2"]
+        assert [r.label for r in sweep_b] == ["b0", "b1", "b2"]
+
+    def test_global_then_scoped_yields_each_job_once(self, backend):
+        """A job the service-wide stream already yielded is skipped by a
+        later scoped drain (exactly-once across all streams)."""
+        with ExperimentService(backend=backend, workers=2) as svc:
+            future = svc.submit(flip_spec(seed=1, label="x"))
+            got_global = [r.label for r in svc.iter_completed()]
+            got_scoped = [r.label for r in svc.iter_completed([future])]
+        assert got_global == ["x"]
+        assert got_scoped == []
+
+    def test_scoped_timeout(self):
+        with ExperimentService() as svc:
+            futures = [svc.submit(flip_spec())]
+            assert len(list(svc.iter_completed(futures, timeout=10))) == 1
+
+
 class TestRunSpecSweep:
     def test_matches_run_batch_and_streams_progress(self, backend):
         specs = mixed_specs()
