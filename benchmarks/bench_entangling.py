@@ -1,0 +1,109 @@
+"""Entangling-workload throughput: the flux/CZ path through the service.
+
+Register jobs are the service's worst case: multi-qubit readout is
+round-replay-ineligible (every round runs the full event kernel), each
+round carries one multiplexed measurement per register qubit, and the
+analysis reduces joint-outcome histograms instead of scalar averages.
+This bench pins the throughput of that path — a Bell parity batch and
+GHZ ladders of growing width — checks serial/process bit-parity on the
+correlated results, and writes the data points to
+``BENCH_entangling.json``.
+
+Override the round budget with the ENTANGLING_ROUNDS environment
+variable (default 32).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Session
+from repro.reporting import format_table
+
+from conftest import emit
+
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_entangling.json"
+
+N_ROUNDS = int(os.environ.get("ENTANGLING_ROUNDS", "32"))
+
+
+def _bell_jobs(session: Session, n_rounds: int):
+    future = session.submit_experiment("bell", targets=((0, 1),),
+                                       n_rounds=n_rounds, repeats=2)
+    result = future.result()
+    return future.sweep, result
+
+
+def test_entangling_throughput(benchmark):
+    """Bell batch + GHZ width scaling, with process-backend bit-parity."""
+    with Session(seed=0) as session:
+        _bell_jobs(session, N_ROUNDS)  # warm the pool and the compile cache
+        benchmark.pedantic(lambda: _bell_jobs(session, N_ROUNDS),
+                           rounds=3, iterations=1, warmup_rounds=0)
+        # Timed independently of pedantic: with --benchmark-disable the
+        # callable runs once, so elapsed/rounds would overstate the rate.
+        t0 = time.perf_counter()
+        sweep, bell = _bell_jobs(session, N_ROUNDS)
+        bell_s = time.perf_counter() - t0
+
+    ghz_points = []
+    with Session(seed=0) as session:
+        for width in (2, 3, 4):
+            target = tuple(range(width))
+            session.run("ghz", targets=(target,), n_rounds=N_ROUNDS,
+                        repeats=1)  # warm this width's machine
+            t0 = time.perf_counter()
+            ghz = session.run("ghz", targets=(target,), n_rounds=N_ROUNDS,
+                              repeats=1)
+            ghz_points.append({
+                "width": width,
+                "time_s": round(time.perf_counter() - t0, 4),
+                "rounds_per_s": round(N_ROUNDS / (time.perf_counter() - t0),
+                                      1),
+                "population": round(ghz.population, 4),
+            })
+
+    # Bit-parity of the correlated path on the process backend.
+    with Session(backend="process", workers=2, seed=0) as session:
+        process_sweep, process_bell = _bell_jobs(session, N_ROUNDS)
+    for s, p in zip(sweep.jobs, process_sweep.jobs):
+        assert np.array_equal(s.joint_counts, p.joint_counts)
+        assert np.array_equal(s.averages, p.averages)
+    assert bell.correlations == process_bell.correlations
+
+    emit(format_table(
+        ["workload", "time (s)", "jobs/s"],
+        [[f"bell ZZ/XX/YY x2 (N = {N_ROUNDS})", f"{bell_s:.3f}",
+          f"{len(sweep) / bell_s:.1f}"]]
+        + [[f"ghz width {p['width']} (N = {N_ROUNDS})", f"{p['time_s']:.3f}",
+            f"{1 / p['time_s']:.1f}"] for p in ghz_points],
+        title="Entangling register throughput (full event-driven rounds)"))
+    emit(f"bell fidelity >= {bell.fidelity:.3f} "
+         f"(<ZZ> = {bell.correlations['ZZ']:+.2f}, "
+         f"<XX> = {bell.correlations['XX']:+.2f}, "
+         f"<YY> = {bell.correlations['YY']:+.2f})")
+
+    # Physics floors at this round budget (loose: shot noise scales as
+    # 1/sqrt(N); the committed artifact records the exact numbers).
+    assert bell.fidelity is not None and bell.fidelity > 0.7
+    assert all(p["population"] > 0.7 for p in ghz_points)
+
+    ARTIFACT.write_text(json.dumps({
+        "n_rounds": N_ROUNDS,
+        "bell": {
+            "jobs": len(sweep),
+            "time_s": round(bell_s, 4),
+            "jobs_per_s": round(len(sweep) / bell_s, 1),
+            "fidelity": round(bell.fidelity, 4),
+            "correlations": {k: round(v, 4)
+                             for k, v in bell.correlations.items()},
+        },
+        "ghz": ghz_points,
+        "process_parity": True,
+    }, indent=2) + "\n")
+    emit(f"artifact -> {ARTIFACT}")
+    benchmark.extra_info["bell_jobs_per_s"] = round(len(sweep) / bell_s, 1)
+    benchmark.extra_info["bell_fidelity"] = round(bell.fidelity, 4)

@@ -8,6 +8,7 @@ Usage::
     python -m repro allxy --rounds 256
     python -m repro exp --list
     python -m repro exp rabi --qubits 2 --param n_rounds=16 --stream
+    python -m repro exp bell --qubits 0-1 --param n_rounds=64
     python -m repro batch --experiment rabi --points 8 --backend process
 """
 
@@ -26,6 +27,30 @@ from repro.utils.errors import ReproError
 
 def _parse_qubits(text: str) -> tuple[int, ...]:
     return tuple(int(q.strip()) for q in text.split(",") if q.strip())
+
+
+def _parse_targets(text: str) -> tuple[tuple[int, ...], ...]:
+    """Register syntax for ``repro exp --qubits``.
+
+    Comma-separated targets; each target is a single qubit or a
+    ``-``-joined register: ``"0,1"`` = two single-qubit targets,
+    ``"0-1,1-2"`` = two pair targets, ``"0-1-2"`` = one GHZ chain.
+    """
+    targets = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        targets.append(tuple(int(q.strip()) for q in chunk.split("-")))
+    return tuple(targets)
+
+
+def _arity_label(cls) -> str:
+    """One word describing an experiment class's target width."""
+    arity = getattr(cls, "target_arity", 1)
+    if arity is None:
+        return "register (2+ qubits)"
+    return f"{arity} qubit" + ("s (pair)" if arity == 2 else "")
 
 
 def cmd_assemble(args: argparse.Namespace) -> int:
@@ -125,37 +150,42 @@ def _parse_params(pairs: list[str]) -> dict:
 def _print_experiment_list() -> None:
     from repro.experiments import REGISTRY
 
+    width = max(len(name) for name in REGISTRY.names())
     for name in REGISTRY.names():
         cls = REGISTRY.get(name)
         doc = (cls.__doc__ or "").strip().splitlines()[0] if cls.__doc__ else ""
-        print(f"{name:<8} {doc}")
+        pad = " " * (width + 1)
+        print(f"{name:<{width}} {doc}")
+        print(f"{pad}target: {_arity_label(cls)}")
         defaults = ", ".join(f"{k}={v!r}" for k, v in cls.defaults.items())
-        print(f"         params: {defaults}")
+        print(f"{pad}params: {defaults}")
 
 
 def cmd_exp(args: argparse.Namespace) -> int:
     """Run any registered experiment through the Session facade."""
     from repro.session import Session
 
+    from repro.experiments.base import target_label
+
     if args.list or args.name is None:
         _print_experiment_list()
         return 0
     params = _parse_params(args.param)
-    qubits = _parse_qubits(args.qubits) if args.qubits else None
+    targets = _parse_targets(args.qubits) if args.qubits else None
 
     def announce(job):
         print(f"  done [{job.executor}] {job.label or job.seed}"
               f"  ({job.execute_s:.3f} s)")
 
     def announce_estimate(estimate):
-        fitted = {f"q{q}": v for q, v in estimate.per_qubit.items()
+        fitted = {target_label(t): v for t, v in estimate.per_target.items()
                   if v is not None}
         print(f"  fit {estimate.n_results}/{estimate.n_specs}: "
               f"{fitted if fitted else '(unconstrained)'}")
 
     with Session(backend=args.backend, workers=args.workers, seed=args.seed,
                  cache_dir=args.cache_dir) as session:
-        future = session.submit_experiment(args.name, qubits=qubits, **params)
+        future = session.submit_experiment(args.name, targets=targets, **params)
         result = future.result(
             on_result=announce if args.stream else None,
             on_estimate=announce_estimate if args.stream else None)
@@ -297,8 +327,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="experiment parameter (repeatable), e.g. "
                         "--param n_rounds=16 --param 'lengths=[1, 4, 10]'")
     p.add_argument("--qubits", default=None,
-                   help="comma-separated chip labels to sweep (multi-qubit "
-                        "runs return one result per qubit)")
+                   help="comma-separated targets: single qubits sweep one "
+                        "result per qubit ('0,1'); '-'-joined registers "
+                        "address entangling experiments ('0-1,1-2' sweeps "
+                        "two pairs, '0-1-2' one GHZ chain)")
     p.add_argument("--backend", choices=("serial", "process", "async"),
                    default="serial")
     p.add_argument("--workers", type=int, default=None,

@@ -3,13 +3,18 @@
 AllXY (Figure 9), Rabi amplitude calibration, T1 / T2 Ramsey / T2 Echo
 coherence measurements, and single-qubit randomized benchmarking — all
 executed through the full QuMA stack, from OpenQL-like programs down to
-simulated pulses.
+simulated pulses — plus the entangling register family (CZ
+conditional-oscillation calibration, Bell parity/correlation, GHZ
+ladders) riding the flux/CZ path with correlated multiplexed readout.
 
 Experiments are declarative: each is an
 :class:`~repro.experiments.base.Experiment` subclass registered by name
 in :data:`~repro.experiments.base.REGISTRY` and run through
-:class:`repro.session.Session` (``session.run("rabi", qubits=(0, 1))``).
-The legacy ``run_*`` functions remain as deprecated wrappers.
+:class:`repro.session.Session`.  Experiments address *target registers*
+(tuples of qubits): ``session.run("rabi", qubits=(0, 1))`` fans out two
+single-qubit targets, ``session.run("bell", targets=((0, 1),))`` runs
+one two-qubit register.  The legacy ``run_*`` functions remain as
+deprecated wrappers.
 """
 
 from repro.experiments.base import (
@@ -49,6 +54,15 @@ from repro.experiments.coherence import (
 from repro.experiments.rabi import RabiExperiment, rabi_job, run_rabi, RabiResult
 from repro.experiments.cliffords import CliffordGroup
 from repro.experiments.rb import RBExperiment, rb_sequence_job, run_rb, RBResult
+from repro.experiments.entangling import (
+    BellExperiment,
+    BellResult,
+    CZCalibrationExperiment,
+    CZCalibrationResult,
+    GHZExperiment,
+    GHZResult,
+    ghz_width_config,
+)
 
 __all__ = [
     "ALLXY_PAIRS",
@@ -88,4 +102,11 @@ __all__ = [
     "rb_sequence_job",
     "run_rb",
     "RBResult",
+    "BellExperiment",
+    "BellResult",
+    "CZCalibrationExperiment",
+    "CZCalibrationResult",
+    "GHZExperiment",
+    "GHZResult",
+    "ghz_width_config",
 ]

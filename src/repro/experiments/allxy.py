@@ -128,6 +128,7 @@ class AllXYExperiment(Experiment):
     """
 
     name = "allxy"
+    target_arity = 1
     defaults = {"n_rounds": 128, "replay": True}
 
     def build_qubit_specs(self, qubit: int) -> list[JobSpec]:

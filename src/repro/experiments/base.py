@@ -8,12 +8,23 @@ into :class:`~repro.service.job.JobSpec`\\ s), *execution* (owned by
 :meth:`~Experiment.update` refines an incremental :class:`Estimate` as
 results stream back in completion order).
 
-Concrete experiments subclass :class:`Experiment` per *qubit*:
-``build_qubit_specs`` / ``analyze_qubit`` / ``estimate_qubit`` each see
-one qubit's slice of the sweep, and the base class fans a ``qubits``
-tuple out into concatenated spec groups, so every experiment is
-multi-qubit for free (``session.run("rabi", qubits=(0, 1))`` returns a
-``{qubit: result}`` mapping).
+Experiments address *target registers*: a target is a tuple of chip
+qubits operated on together — ``(2,)`` for a single-qubit calibration,
+``(0, 1)`` for a CZ/Bell pair, ``(0, 1, 2)`` for a GHZ chain.  Concrete
+experiments implement the per-target trio ``build_target_specs`` /
+``analyze_target`` / ``estimate_target``: each sees one target's slice
+of the sweep, and the base class fans a ``targets`` tuple out into
+concatenated spec groups, so every experiment batches over registers for
+free (``session.run("bell", targets=((0, 1), (1, 2)))`` returns a
+``{target: result}`` mapping).
+
+Single-qubit experiments remain the 1-tuple special case: the base
+class's default per-target trio delegates to the legacy per-qubit trio
+``build_qubit_specs`` / ``analyze_qubit`` / ``estimate_qubit``, so an
+experiment written against the per-qubit protocol runs unchanged (and
+bit-identically) through the target-register machinery, and
+``session.run("rabi", qubits=(0, 1))`` still means two single-qubit
+targets.
 
 The module-level :data:`REGISTRY` maps names to classes; experiment
 modules self-register via :func:`register_experiment`, and the generic
@@ -31,6 +42,10 @@ from typing import Callable, ClassVar, Iterable, Mapping
 from repro.core.config import MachineConfig
 from repro.service.job import JobResult, JobSpec, SweepResult
 from repro.utils.errors import CalibrationError, ConfigurationError
+
+#: A target register: the tuple of chip qubits one experiment instance
+#: operates on together (length 1 = the single-qubit special case).
+Target = tuple[int, ...]
 
 #: Exceptions an incremental fit may raise on a not-yet-constrained
 #: partial sweep; :meth:`Experiment.update` maps them to a None estimate.
@@ -51,31 +66,112 @@ def normalize_qubits(qubits) -> tuple[int, ...] | None:
     return qubits
 
 
+def normalize_targets(targets=None, qubits=None) -> tuple[Target, ...] | None:
+    """Canonical target tuple from either addressing style.
+
+    ``qubits`` is the legacy spelling: an int or a flat iterable of ints,
+    each becoming its own single-qubit target.  ``targets`` is the
+    register spelling: an iterable whose elements are ints (1-tuple
+    targets) or qubit tuples.  Exactly one may be given; both None means
+    "experiment default".  A qubit may appear in several targets (pair
+    sweeps share chain qubits), but not twice within one target, and no
+    target may repeat verbatim.
+    """
+    if targets is not None and qubits is not None:
+        raise ConfigurationError("pass either targets= or qubits=, not both")
+    if targets is None:
+        flat = normalize_qubits(qubits)
+        if flat is None:
+            return None
+        return tuple((q,) for q in flat)
+    if isinstance(targets, int):
+        return ((int(targets),),)
+    normalized: list[Target] = []
+    for entry in targets:
+        if isinstance(entry, int):
+            target = (int(entry),)
+        else:
+            target = tuple(int(q) for q in entry)
+        if not target:
+            raise ConfigurationError("a target must name at least one qubit")
+        if len(set(target)) != len(target):
+            raise ConfigurationError(
+                f"duplicate qubit labels within target {target}")
+        normalized.append(target)
+    if not normalized:
+        raise ConfigurationError("targets must name at least one register")
+    if len(set(normalized)) != len(normalized):
+        raise ConfigurationError(f"duplicate targets in {tuple(normalized)}")
+    return tuple(normalized)
+
+
+def target_key(target: Target):
+    """Mapping key for one target's result.
+
+    Single-qubit targets collapse to their bare int label — the historic
+    ``{qubit: result}`` shape of multi-qubit runs — while wider registers
+    key by the full tuple.
+    """
+    return target[0] if len(target) == 1 else target
+
+
+def target_label(target: Target) -> str:
+    """Human-readable register label: ``q2`` or ``q0-1``."""
+    return "q" + "-".join(str(q) for q in target)
+
+
 @dataclass
 class Estimate:
     """A live fit over the results streamed in so far.
 
-    ``per_qubit`` maps each qubit to its current fitted parameters (a
-    plain dict of scalars, experiment-specific) or None while the
-    partial sweep cannot constrain a fit yet.  Once ``complete`` is
-    True the values agree with the one-shot :meth:`Experiment.analyze`
-    fit on the same sweep — the convergence contract the tests pin.
+    ``per_target`` maps each target register to its current fitted
+    parameters (a plain dict of scalars, experiment-specific) or None
+    while the partial sweep cannot constrain a fit yet.  Once
+    ``complete`` is True the values agree with the one-shot
+    :meth:`Experiment.analyze` fit on the same sweep — the convergence
+    contract the tests pin.
     """
 
     n_results: int                       #: results observed so far
     n_specs: int                         #: sweep size
-    per_qubit: dict[int, dict | None] = field(default_factory=dict)
+    per_target: dict[Target, dict | None] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
         return self.n_results >= self.n_specs
 
     @property
+    def per_qubit(self) -> dict[int, dict | None]:
+        """Legacy single-qubit view, keyed by bare qubit label.
+
+        Only defined when every target is a single qubit; an estimate
+        holding wider registers raises, since collapsing ``(0, 1)`` to a
+        qubit key would misattribute a joint fit.
+        """
+        if any(len(target) > 1 for target in self.per_target):
+            raise ConfigurationError(
+                "per_qubit is the single-qubit view; this estimate holds "
+                f"multi-qubit targets {tuple(self.per_target)} — use "
+                "per_target")
+        return {target[0]: fit for target, fit in self.per_target.items()}
+
+    @property
     def values(self) -> dict | None:
-        """The single-qubit convenience view (first qubit's parameters)."""
-        if not self.per_qubit:
+        """The *single-target* convenience view.
+
+        Returns the lone target's fitted parameters (or None while
+        unconstrained).  A multi-target estimate raises instead of
+        silently returning an arbitrary entry — index ``per_target``
+        explicitly when several registers are in flight.
+        """
+        if not self.per_target:
             return None
-        return next(iter(self.per_qubit.values()))
+        if len(self.per_target) > 1:
+            raise ConfigurationError(
+                "Estimate.values is only defined for single-target runs; "
+                f"this estimate holds {tuple(self.per_target)} — use "
+                "per_target[target]")
+        return next(iter(self.per_target.values()))
 
 
 class ExperimentState:
@@ -90,9 +186,9 @@ class ExperimentState:
         self.experiment = experiment
         self.n_specs = len(experiment.build_specs())
         self.results: dict[int, JobResult] = {}
-        #: Last computed fit per qubit (carried forward between updates).
-        self.estimates: dict[int, dict | None] = {
-            qubit: None for qubit in experiment.qubits}
+        #: Last computed fit per target (carried forward between updates).
+        self.estimates: dict[Target, dict | None] = {
+            target: None for target in experiment.targets}
 
     def add(self, index: int, result: JobResult) -> int:
         """Record one result; returns its resolved submission index."""
@@ -104,11 +200,15 @@ class ExperimentState:
         self.results[index] = result
         return index
 
-    def qubit_results(self, qubit: int) -> list[tuple[int, JobResult]]:
-        """This qubit's arrived results as (local index, result), ordered."""
-        start, stop = self.experiment.qubit_slice(qubit)
+    def target_results(self, target: Target) -> list[tuple[int, JobResult]]:
+        """This target's arrived results as (local index, result), ordered."""
+        start, stop = self.experiment.target_slice(target)
         return [(i - start, self.results[i])
                 for i in range(start, stop) if i in self.results]
+
+    def qubit_results(self, qubit: int) -> list[tuple[int, JobResult]]:
+        """Legacy spelling of :meth:`target_results` for 1-tuple targets."""
+        return self.target_results((qubit,))
 
     def __len__(self) -> int:
         return len(self.results)
@@ -117,31 +217,38 @@ class ExperimentState:
 class Experiment(abc.ABC):
     """One declarative experiment: parameters in, specs out, fits back.
 
-    Subclasses set :attr:`name` (the registry key) and :attr:`defaults`
+    Subclasses set :attr:`name` (the registry key), :attr:`defaults`
     (every accepted parameter with its default — unknown keyword
-    parameters are rejected at construction), then implement the
-    per-qubit trio below.  ``config`` defaults to a fresh
-    :class:`MachineConfig`; ``qubits`` defaults to the config's first
-    wired qubit and every requested qubit must be wired in the config.
+    parameters are rejected at construction), and :attr:`target_arity`
+    (qubits per target register: 1 for the single-qubit calibrations, 2
+    for pair experiments, None for variable-width registers), then
+    implement the per-target trio ``build_target_specs`` /
+    ``analyze_target`` / ``estimate_target`` — or, for single-qubit
+    experiments, the legacy per-qubit trio the base class's defaults
+    delegate to.  ``config`` defaults to a fresh :class:`MachineConfig`;
+    ``targets`` defaults to the config's first wired qubit, and every
+    requested qubit must be wired (with every required flux pair wired
+    for multi-qubit targets).
     """
 
     #: Registry key; subclasses override.
     name: ClassVar[str] = "?"
     #: Accepted parameters and their defaults; subclasses override.
     defaults: ClassVar[Mapping[str, object]] = {}
+    #: Qubits per target register (None = variable width, validated by
+    #: :meth:`validate_target`).
+    target_arity: ClassVar[int | None] = 1
 
     def __init__(self, config: MachineConfig | None = None,
                  qubits: Iterable[int] | int | None = None,
-                 params: Mapping | None = None):
+                 params: Mapping | None = None,
+                 targets: Iterable | None = None):
         self.config = config if config is not None else MachineConfig()
-        qubits = normalize_qubits(qubits)
-        self.qubits = (qubits if qubits is not None
-                       else (self.config.qubits[0],))
-        for qubit in self.qubits:
-            if qubit not in self.config.qubits:
-                raise ConfigurationError(
-                    f"qubit {qubit} is not wired in the config "
-                    f"(wired: {self.config.qubits})")
+        targets = normalize_targets(targets, qubits)
+        self.targets = (targets if targets is not None
+                        else self.default_targets())
+        for target in self.targets:
+            self.validate_target(target)
         params = dict(params or {})
         unknown = set(params) - set(self.defaults)
         if unknown:
@@ -150,70 +257,178 @@ class Experiment(abc.ABC):
                 f"{self.name!r}; accepted: {sorted(self.defaults)}")
         self.params = {**self.defaults, **params}
         self._specs: list[JobSpec] | None = None
-        self._slices: dict[int, tuple[int, int]] = {}
+        self._slices: dict[Target, tuple[int, int]] = {}
         self.resolve()
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        """Every addressed qubit, in first-appearance order across targets."""
+        seen: dict[int, None] = {}
+        for target in self.targets:
+            for q in target:
+                seen.setdefault(q)
+        return tuple(seen)
+
+    # -- target validation ---------------------------------------------------
+
+    def default_targets(self) -> tuple[Target, ...]:
+        """Targets used when the caller names none (config in hand).
+
+        The single-qubit default is the config's first wired qubit;
+        entangling experiments override (e.g. the first wired flux pair).
+        """
+        return ((self.config.qubits[0],),)
+
+    @classmethod
+    def default_session_targets(cls) -> tuple[Target, ...] | None:
+        """Targets a session assumes when auto-building a config.
+
+        Called *before* any config exists, so it cannot inspect wiring:
+        None (the single-qubit default) lets the fresh config keep its
+        historic first-wired-qubit shape; entangling experiments return
+        a canonical register (e.g. ``((0, 1),)``) so the session wires
+        the flux topology and multiplexed readout it needs.
+        """
+        return None
+
+    @classmethod
+    def flux_pairs_for(cls, target: Target) -> tuple[tuple[int, int], ...]:
+        """Flux (CZ) lines one target register needs: the linear chain.
+
+        Entangling experiments act along the register order, so the
+        default requirement is every consecutive pair.  Single-qubit
+        targets need none.  Subclasses with other topologies override.
+        """
+        return tuple(zip(target, target[1:]))
+
+    def validate_target(self, target: Target) -> None:
+        """Reject targets the experiment or the machine cannot serve."""
+        arity = self.target_arity
+        if arity is not None and len(target) != arity:
+            raise ConfigurationError(
+                f"experiment {self.name!r} takes {arity}-qubit targets, "
+                f"got {target}")
+        for qubit in target:
+            if qubit not in self.config.qubits:
+                raise ConfigurationError(
+                    f"qubit {qubit} is not wired in the config "
+                    f"(wired: {self.config.qubits})")
+        wired = {frozenset(pair) for pair in self.config.flux_pairs}
+        for pair in self.flux_pairs_for(target):
+            if frozenset(pair) not in wired:
+                raise ConfigurationError(
+                    f"target {target} needs a flux (CZ) line for qubit pair "
+                    f"{tuple(pair)}, but the config wires "
+                    f"{self.config.flux_pairs or 'none'}")
 
     # -- definition ----------------------------------------------------------
 
     def resolve(self) -> None:
         """Fill parameter defaults that depend on the config (hook)."""
 
-    @abc.abstractmethod
+    def build_target_specs(self, target: Target) -> list[JobSpec]:
+        """The sweep's jobs for one target register, in submission order.
+
+        The default is the single-qubit compatibility shim: 1-tuple
+        targets delegate to :meth:`build_qubit_specs`.
+        """
+        if len(target) == 1:
+            return self.build_qubit_specs(target[0])
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement build_target_specs "
+            f"for {len(target)}-qubit targets")
+
     def build_qubit_specs(self, qubit: int) -> list[JobSpec]:
-        """The sweep's jobs for one qubit, in submission order."""
+        """Legacy single-qubit hook behind :meth:`build_target_specs`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither build_target_specs "
+            "nor build_qubit_specs")
 
     def build_specs(self) -> list[JobSpec]:
-        """All qubits' specs concatenated, cached on first call."""
+        """All targets' specs concatenated, cached on first call."""
         if self._specs is None:
             specs: list[JobSpec] = []
-            for qubit in self.qubits:
+            for target in self.targets:
                 start = len(specs)
-                specs.extend(self.build_qubit_specs(qubit))
-                self._slices[qubit] = (start, len(specs))
+                specs.extend(self.build_target_specs(target))
+                self._slices[target] = (start, len(specs))
             self._specs = specs
         return list(self._specs)
 
-    def qubit_slice(self, qubit: int) -> tuple[int, int]:
-        """This qubit's (start, stop) index range within the sweep."""
+    def target_slice(self, target: Target) -> tuple[int, int]:
+        """This target's (start, stop) index range within the sweep."""
         self.build_specs()
-        return self._slices[qubit]
+        return self._slices[target]
 
-    def qubit_of(self, index: int) -> int:
-        """The qubit whose spec group contains this submission index."""
+    def qubit_slice(self, qubit: int) -> tuple[int, int]:
+        """Legacy spelling of :meth:`target_slice` for 1-tuple targets."""
+        return self.target_slice((qubit,))
+
+    def target_of(self, index: int) -> Target:
+        """The target whose spec group contains this submission index."""
         self.build_specs()
-        for qubit, (start, stop) in self._slices.items():
+        for target, (start, stop) in self._slices.items():
             if start <= index < stop:
-                return qubit
+                return target
         raise ConfigurationError(
             f"index {index} outside the sweep of {len(self._specs)}")
 
+    def qubit_of(self, index: int) -> int:
+        """Legacy spelling of :meth:`target_of` for 1-tuple targets."""
+        return self.target_of(index)[0]
+
     # -- analysis ------------------------------------------------------------
 
-    @abc.abstractmethod
+    def analyze_target(self, jobs: list[JobResult], target: Target):
+        """One target's full result from its submission-ordered jobs.
+
+        The default is the single-qubit compatibility shim: 1-tuple
+        targets delegate to :meth:`analyze_qubit`.
+        """
+        if len(target) == 1:
+            return self.analyze_qubit(jobs, target[0])
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement analyze_target "
+            f"for {len(target)}-qubit targets")
+
     def analyze_qubit(self, jobs: list[JobResult], qubit: int):
-        """One qubit's full result from its submission-ordered jobs."""
+        """Legacy single-qubit hook behind :meth:`analyze_target`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither analyze_target "
+            "nor analyze_qubit")
+
+    def estimate_target(self, indexed_jobs: list[tuple[int, JobResult]],
+                        target: Target) -> dict | None:
+        """Fit parameters from a *partial* target slice (``(index,
+        result)`` pairs in submission order); None when unconstrained.
+        On a complete slice this must agree with :meth:`analyze_target`'s
+        fit.  1-tuple targets delegate to :meth:`estimate_qubit`.
+        """
+        if len(target) == 1:
+            return self.estimate_qubit(indexed_jobs, target[0])
+        return None
 
     def estimate_qubit(self, indexed_jobs: list[tuple[int, JobResult]],
                        qubit: int) -> dict | None:
-        """Fit parameters from a *partial* sweep (``(index, result)``
-        pairs in submission order); None when unconstrained.  On a
-        complete slice this must agree with :meth:`analyze_qubit`'s fit.
-        """
+        """Legacy single-qubit hook behind :meth:`estimate_target`."""
         return None
 
     def analyze(self, sweep: SweepResult):
         """The experiment's result from a finished sweep.
 
-        Returns the bare per-qubit result for a single-qubit run and a
-        ``{qubit: result}`` mapping when several qubits were swept.
+        Returns the bare per-target result for a single-target run and a
+        mapping when several registers were swept — keyed by the bare
+        qubit label for 1-tuple targets (the historic shape) and by the
+        register tuple otherwise (see :func:`target_key`).
         """
         jobs = list(sweep.jobs)
         results = {}
-        for qubit in self.qubits:
-            start, stop = self.qubit_slice(qubit)
-            results[qubit] = self.analyze_qubit(jobs[start:stop], qubit)
-        if len(self.qubits) == 1:
-            return results[self.qubits[0]]
+        for target in self.targets:
+            start, stop = self.target_slice(target)
+            results[target_key(target)] = self.analyze_target(
+                jobs[start:stop], target)
+        if len(self.targets) == 1:
+            return results[target_key(self.targets[0])]
         return results
 
     # -- incremental fitting -------------------------------------------------
@@ -228,26 +443,26 @@ class Experiment(abc.ABC):
         ``index`` is the result's submission index within the sweep (the
         :class:`~repro.session.ExperimentFuture` supplies it); without it
         results are assumed to arrive in submission order.  Only the
-        arriving result's own qubit is refitted — the other qubits'
+        arriving result's own target is refitted — the other targets'
         estimates carry forward, so a wide machine doesn't pay one
-        curve fit per qubit per arrival.
+        curve fit per register per arrival.
         """
         index = state.add(index, job_result)
-        qubit = self.qubit_of(index)
-        state.estimates[qubit] = self._fit_qubit_state(state, qubit)
+        target = self.target_of(index)
+        state.estimates[target] = self._fit_target_state(state, target)
         return Estimate(n_results=len(state), n_specs=state.n_specs,
-                        per_qubit=dict(state.estimates))
+                        per_target=dict(state.estimates))
 
     def estimate_state(self, state: ExperimentState) -> Estimate:
-        """The current :class:`Estimate`, refitting every qubit."""
-        for qubit in self.qubits:
-            state.estimates[qubit] = self._fit_qubit_state(state, qubit)
+        """The current :class:`Estimate`, refitting every target."""
+        for target in self.targets:
+            state.estimates[target] = self._fit_target_state(state, target)
         return Estimate(n_results=len(state), n_specs=state.n_specs,
-                        per_qubit=dict(state.estimates))
+                        per_target=dict(state.estimates))
 
-    def _fit_qubit_state(self, state: ExperimentState,
-                         qubit: int) -> dict | None:
-        arrived = state.qubit_results(qubit)
+    def _fit_target_state(self, state: ExperimentState,
+                          target: Target) -> dict | None:
+        arrived = state.target_results(target)
         if not arrived:
             return None
         try:
@@ -256,22 +471,33 @@ class Experiment(abc.ABC):
                 # (e.g. unconstrained covariance); the estimate is
                 # advisory, so keep the stream quiet.
                 warnings.simplefilter("ignore")
-                return self.estimate_qubit(arrived, qubit)
+                return self.estimate_target(arrived, target)
         except FIT_ERRORS:
             return None
 
     # -- presentation --------------------------------------------------------
 
+    def summarize_target(self, result, target: Target) -> str:
+        """One line describing one target's result (CLI output).
+
+        1-tuple targets delegate to :meth:`summarize_qubit`.
+        """
+        if len(target) == 1:
+            return self.summarize_qubit(result, target[0])
+        return repr(result)
+
     def summarize_qubit(self, result, qubit: int) -> str:
-        """One line describing one qubit's result (CLI output)."""
+        """Legacy single-qubit hook behind :meth:`summarize_target`."""
         return repr(result)
 
     def summary(self, result) -> str:
         """Human-readable lines for :meth:`analyze`'s return value."""
-        if len(self.qubits) == 1:
-            return self.summarize_qubit(result, self.qubits[0])
-        return "\n".join(f"q{qubit}: {self.summarize_qubit(result[qubit], qubit)}"
-                         for qubit in self.qubits)
+        if len(self.targets) == 1:
+            return self.summarize_target(result, self.targets[0])
+        return "\n".join(
+            f"{target_label(target)}: "
+            f"{self.summarize_target(result[target_key(target)], target)}"
+            for target in self.targets)
 
 
 class ExperimentRegistry:
@@ -306,9 +532,11 @@ class ExperimentRegistry:
         return tuple(sorted(self._classes))
 
     def create(self, name: str, config: MachineConfig | None = None,
-               qubits=None, params: Mapping | None = None) -> Experiment:
+               qubits=None, params: Mapping | None = None,
+               targets=None) -> Experiment:
         """Instantiate a registered experiment."""
-        return self.get(name)(config=config, qubits=qubits, params=params)
+        return self.get(name)(config=config, qubits=qubits, params=params,
+                              targets=targets)
 
     def __contains__(self, name: str) -> bool:
         return name in self._classes

@@ -101,6 +101,7 @@ class CoherenceExperiment(Experiment):
     One job per qubit carries the whole delay sweep as K-points.
     """
 
+    target_arity = 1
     defaults = {"delays_cycles": None, "n_rounds": 64, "replay": True}
 
     def resolve(self) -> None:

@@ -102,6 +102,7 @@ class RabiExperiment(Experiment):
     """Amplitude-Rabi calibration: fitted pi amplitude per qubit."""
 
     name = "rabi"
+    target_arity = 1
     defaults = {"amplitudes": None, "n_rounds": 64, "replay": True}
 
     def resolve(self) -> None:

@@ -109,6 +109,7 @@ class RBExperiment(Experiment):
     """Randomized benchmarking: fitted error per Clifford per qubit."""
 
     name = "rb"
+    target_arity = 1
     defaults = {"lengths": None, "sequences_per_length": 3, "n_rounds": 32,
                 "seed": 0, "fixed_offset": 0.5, "replay": True}
 

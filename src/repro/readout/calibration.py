@@ -74,3 +74,31 @@ def calibrate_readout(params: ReadoutParams, duration_ns: int,
     fidelity = correct / (2.0 * n_shots)
     return ReadoutCalibration(weights=w, threshold=threshold, s_ground=s0,
                               s_excited=s1, assignment_fidelity=fidelity)
+
+
+def joint_outcome_counts(statistics: np.ndarray,
+                         thresholds: np.ndarray) -> np.ndarray:
+    """Joint-outcome histogram of a correlated measurement stream.
+
+    ``statistics`` holds one integration statistic per register qubit per
+    round, shape ``(n_rounds, m)`` with columns in register order;
+    ``thresholds`` are the matching per-qubit calibration thresholds.
+    Each statistic discriminates exactly as the MDU does (``s >
+    threshold``), and each round's bits pack into an outcome index with
+    the first register qubit as the least significant bit.  Returns the
+    length-``2**m`` count vector — the primitive the entangling
+    experiments' parity and fidelity estimators reduce.
+    """
+    stats = np.asarray(statistics, dtype=float)
+    if stats.ndim != 2:
+        raise CalibrationError(
+            f"statistics must be (n_rounds, m), got shape {stats.shape}")
+    m = stats.shape[1]
+    thresholds = np.asarray(thresholds, dtype=float)
+    if thresholds.shape != (m,):
+        raise CalibrationError(
+            f"need one threshold per register qubit ({m}), "
+            f"got shape {thresholds.shape}")
+    bits = (stats > thresholds).astype(np.int64)
+    indices = (bits << np.arange(m, dtype=np.int64)).sum(axis=1)
+    return np.bincount(indices, minlength=1 << m).astype(np.int64)

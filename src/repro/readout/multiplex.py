@@ -10,10 +10,37 @@ window (the filters become orthogonal).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.readout.resonator import ReadoutParams, transmitted_trace
 from repro.utils.errors import ConfigurationError
+
+#: Default IF spacing between neighboring qubits on one feedline (Hz):
+#: wide enough that matched filters stay near-orthogonal over the
+#: standard 1500 ns integration window.  Auto-built session configs and
+#: the GHZ chain helper stagger per-qubit readouts by this step.
+DEFAULT_IF_STEP_HZ = 12e6
+
+
+def staggered_readouts(n: int, step_hz: float | None = None,
+                       base: ReadoutParams | None = None
+                       ) -> tuple[ReadoutParams, ...]:
+    """Per-qubit readout parameters with frequency-staggered IFs.
+
+    The wiring one multiplexed feedline needs: qubit ``i`` reads out at
+    ``base.f_if_hz + i * step_hz`` so each MDU's matched filter can pick
+    its own signal out of the shared record.  Used by the session's
+    auto-built register configs and :func:`~repro.experiments.entangling.
+    ghz_width_config`, so both stagger identically.
+    """
+    if base is None:
+        base = ReadoutParams()
+    if step_hz is None:
+        step_hz = DEFAULT_IF_STEP_HZ
+    return tuple(replace(base, f_if_hz=base.f_if_hz + i * step_hz)
+                 for i in range(int(n)))
 
 
 def multiplexed_trace(params_by_qubit: dict[int, ReadoutParams],

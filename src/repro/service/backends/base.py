@@ -23,9 +23,11 @@ import numpy as np
 from repro.core.quma import check_run_result
 from repro.core.replay import run_with_replay
 from repro.pulse.waveform import Waveform
+from repro.readout.calibration import joint_outcome_counts
 from repro.service.cache import CompileCache, ReplayCache
 from repro.service.job import JobFuture, JobResult, JobSpec
 from repro.service.pool import MachinePool
+from repro.utils.errors import ConfigurationError
 
 
 def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
@@ -66,8 +68,35 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
             result = machine.run()
             report = None
         check_run_result(result)
-        cal = (machine.readout_calibrations[spec.cal_qubit]
-               if spec.cal_qubit is not None else machine.readout_calibration)
+        scalar_qubit = spec.cal_qubit
+        if scalar_qubit is None and spec.cal_targets is not None:
+            scalar_qubit = spec.cal_targets[0]
+        cal = (machine.readout_calibrations[scalar_qubit]
+               if scalar_qubit is not None else machine.readout_calibration)
+        cal_targets = s_grounds = s_exciteds = joint_counts = None
+        if spec.cal_targets is not None:
+            cal_targets = spec.cal_targets
+            register = [machine.readout_calibrations[q] for q in cal_targets]
+            m = len(cal_targets)
+            if resolved.k_points != m:
+                raise ConfigurationError(
+                    f"correlated job collects K={resolved.k_points} "
+                    f"statistics per round, but cal_targets names {m} "
+                    f"register qubits")
+            s_grounds = tuple(c.s_ground for c in register)
+            s_exciteds = tuple(c.s_excited for c in register)
+            raw = machine.dcu.raw()
+            if len(raw) % m:
+                # A desynced stream (extra or missing MD against the
+                # declared register) would silently shift statistics to
+                # the wrong qubit columns — fail loudly instead.
+                raise ConfigurationError(
+                    f"correlated job recorded {len(raw)} statistics, not "
+                    f"a whole number of {m}-qubit register rounds")
+            rounds = len(raw) // m
+            joint_counts = joint_outcome_counts(
+                raw.reshape(rounds, m),
+                np.asarray([c.threshold for c in register]))
         return JobResult(
             averages=result.averages.copy(),
             run=result,
@@ -82,6 +111,10 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
             execute_s=time.perf_counter() - t1,
             replayed_rounds=report.replayed_rounds if report else 0,
             replay_plan_hit=report.plan_hit if report else False,
+            cal_targets=cal_targets,
+            s_grounds=s_grounds,
+            s_exciteds=s_exciteds,
+            joint_counts=joint_counts,
         )
     finally:
         pool.release(machine)

@@ -111,6 +111,13 @@ class JobSpec:
     #: qubit (the single-qubit legacy behavior).  Multi-qubit experiments
     #: set it per spec so each qubit normalizes against its own readout.
     cal_qubit: int | None = None
+    #: Target register for correlated readout: the qubits measured each
+    #: round, in DCU stream order (so ``k_points`` must equal the register
+    #: width).  When set, the result carries every listed qubit's
+    #: calibration points plus the joint-outcome histogram over rounds
+    #: (``JobResult.joint_counts``); ``cal_qubit`` defaults to the first
+    #: entry.  None keeps the scalar single-qubit calibration behavior.
+    cal_targets: tuple[int, ...] | None = None
     #: Dispatch route: ``"quma"`` (event-kernel simulation) or
     #: ``"baseline"`` (APS2 cost model).
     executor: str = "quma"
@@ -141,6 +148,27 @@ class JobSpec:
             raise ConfigurationError(
                 f"cal_qubit {self.cal_qubit} is not wired "
                 f"(wired: {self.config.qubits})")
+        if self.cal_targets is not None:
+            self.cal_targets = tuple(int(q) for q in self.cal_targets)
+            if not self.cal_targets:
+                raise ConfigurationError(
+                    "cal_targets must name at least one qubit")
+            if len(set(self.cal_targets)) != len(self.cal_targets):
+                raise ConfigurationError(
+                    f"duplicate qubits in cal_targets {self.cal_targets}")
+            if self.config is not None:
+                for q in self.cal_targets:
+                    if q not in self.config.qubits:
+                        raise ConfigurationError(
+                            f"cal_targets qubit {q} is not wired "
+                            f"(wired: {self.config.qubits})")
+            if self.asm is not None and self.k_points != len(self.cal_targets):
+                # Program jobs derive K at compile time; the executor
+                # re-checks the resolved K against the register width.
+                raise ConfigurationError(
+                    f"correlated jobs collect one statistic per register "
+                    f"qubit per round: k_points={self.k_points} does not "
+                    f"match {len(self.cal_targets)}-qubit cal_targets")
         self.microprograms = tuple(
             (str(name), int(n_params), str(body))
             for name, n_params, body in self.microprograms)
@@ -250,11 +278,47 @@ class JobResult:
     replayed_rounds: int = 0   #: rounds served by the replay fast path
     replay_plan_hit: bool = False  #: replay plan came from the replay cache
     executor: str = "quma"     #: which dispatch route produced this result
+    #: Correlated-readout register (mirrors ``JobSpec.cal_targets``).
+    cal_targets: tuple[int, ...] | None = None
+    #: Per-register-qubit calibration points, parallel to ``cal_targets``.
+    s_grounds: tuple[float, ...] | None = None
+    s_exciteds: tuple[float, ...] | None = None
+    #: Joint-outcome histogram over full rounds: ``joint_counts[i]`` is
+    #: the number of rounds whose discriminated bits encode ``i`` with
+    #: ``cal_targets[j]`` as bit ``j`` (first register qubit = LSB).
+    joint_counts: np.ndarray | None = None
 
     @property
     def normalized(self) -> np.ndarray:
         """Averages rescaled by the readout calibration points."""
         return (self.averages - self.s_ground) / (self.s_excited - self.s_ground)
+
+    @property
+    def register_normalized(self) -> np.ndarray:
+        """Averages rescaled per register qubit (correlated jobs only).
+
+        Position ``j`` normalizes against ``cal_targets[j]``'s own
+        calibration points, so a multi-qubit round's statistics become
+        per-qubit P(|1>) estimates.
+        """
+        if self.cal_targets is None:
+            raise ConfigurationError(
+                "register_normalized needs a correlated job (cal_targets)")
+        grounds = np.asarray(self.s_grounds, dtype=float)
+        exciteds = np.asarray(self.s_exciteds, dtype=float)
+        return (self.averages - grounds) / (exciteds - grounds)
+
+    @property
+    def joint_probabilities(self) -> np.ndarray:
+        """``joint_counts`` normalized to a probability vector."""
+        if self.joint_counts is None:
+            raise ConfigurationError(
+                "joint_probabilities needs a correlated job (cal_targets)")
+        counts = np.asarray(self.joint_counts, dtype=float)
+        total = counts.sum()
+        if total == 0:
+            raise ConfigurationError("no complete round in joint_counts")
+        return counts / total
 
 
 #: Artifact format tag written by :meth:`SweepResult.save`.
@@ -379,6 +443,14 @@ class SweepResult:
                 "replayed_rounds": job.replayed_rounds,
                 "replay_plan_hit": job.replay_plan_hit,
                 "executor": job.executor,
+                "cal_targets": (list(job.cal_targets)
+                                if job.cal_targets is not None else None),
+                "s_grounds": (list(job.s_grounds)
+                              if job.s_grounds is not None else None),
+                "s_exciteds": (list(job.s_exciteds)
+                               if job.s_exciteds is not None else None),
+                "joint_counts": (np.asarray(job.joint_counts).tolist()
+                                 if job.joint_counts is not None else None),
             } for job in self.jobs],
         }
         with open(path, "w") as f:
@@ -413,6 +485,14 @@ class SweepResult:
             replayed_rounds=entry.get("replayed_rounds", 0),
             replay_plan_hit=entry.get("replay_plan_hit", False),
             executor=entry.get("executor", "quma"),
+            cal_targets=(tuple(entry["cal_targets"])
+                         if entry.get("cal_targets") is not None else None),
+            s_grounds=(tuple(entry["s_grounds"])
+                       if entry.get("s_grounds") is not None else None),
+            s_exciteds=(tuple(entry["s_exciteds"])
+                        if entry.get("s_exciteds") is not None else None),
+            joint_counts=(np.asarray(entry["joint_counts"], dtype=np.int64)
+                          if entry.get("joint_counts") is not None else None),
         ) for entry in data["jobs"]]
         return cls(jobs=jobs, elapsed_s=data["elapsed_s"],
                    backend=data["backend"],

@@ -10,6 +10,11 @@ handling config, seed, and backend plumbing in one place::
     with Session(backend="process", workers=4) as session:
         result = session.run("rabi", qubits=(0, 1), n_rounds=32)
 
+    # Register targets: entangling experiments address qubit tuples, and
+    # the session auto-wires the flux (CZ) topology they need.
+    with Session() as session:
+        bell = session.run("bell", targets=((0, 1),), n_rounds=64)
+
     # Non-blocking: submit now, stream incremental fits as points land.
     future = session.submit_experiment("rabi", amplitudes=amps)
     for job, estimate in future.stream(fit=True):
@@ -36,10 +41,28 @@ from repro.experiments.base import (
     Estimate,
     Experiment,
     ExperimentRegistry,
-    normalize_qubits,
+    normalize_targets,
 )
+from repro.readout.multiplex import DEFAULT_IF_STEP_HZ, staggered_readouts
 from repro.service.job import JobFuture, JobResult, SweepResult
 from repro.service.scheduler import ExperimentService
+
+
+def merge_flux_pairs(targets, pairs_for=None) -> tuple[tuple[int, int], ...]:
+    """Union of the flux (CZ) lines a set of targets needs.
+
+    ``pairs_for`` maps one target to its required pairs and defaults to
+    :meth:`Experiment.flux_pairs_for` (the register's linear chain);
+    pairs are deduplicated orientation-insensitively, matching the
+    machine's frozenset-keyed flux-channel routing.
+    """
+    if pairs_for is None:
+        pairs_for = Experiment.flux_pairs_for
+    pairs: dict[frozenset, tuple[int, int]] = {}
+    for target in targets:
+        for pair in pairs_for(target):
+            pairs.setdefault(frozenset(pair), tuple(pair))
+    return tuple(pairs.values())
 
 
 class ExperimentFuture:
@@ -178,29 +201,71 @@ class Session:
         """Registered experiment names."""
         return self.registry.names()
 
-    def config_for(self, qubits=None) -> MachineConfig:
-        """The machine config a run will use (session-pinned or fresh)."""
+    #: IF spacing between neighboring wired qubits on an auto-built
+    #: multiplexed config (Hz).
+    MUX_IF_STEP_HZ = DEFAULT_IF_STEP_HZ
+
+    def config_for(self, qubits=None, *, targets=None,
+                   flux_pairs=None) -> MachineConfig:
+        """The machine config a run will use (session-pinned or fresh).
+
+        Without a pinned config the session builds one wiring every
+        requested qubit (traces off, ``seed`` applied), and is
+        flux-topology-aware for register targets: each multi-qubit
+        target's linear chain of flux (CZ) lines is wired (``flux_pairs``
+        overrides the chain default), and per-qubit readout parameters
+        get staggered intermediate frequencies so multiplexed readout of
+        a register can be frequency-discriminated.  Single-qubit-target
+        runs keep the historic shared-readout config bit-for-bit.
+        """
         if self.config is not None:
             return self.config
         kwargs: dict = {"trace_enabled": False}
-        qubits = normalize_qubits(qubits)
-        if qubits is not None:
-            kwargs["qubits"] = qubits
+        targets = normalize_targets(targets, qubits)
+        if targets is not None:
+            wired: dict[int, None] = {}
+            for target in targets:
+                for q in target:
+                    wired.setdefault(q)
+            kwargs["qubits"] = tuple(wired)
+            if flux_pairs is None:
+                flux_pairs = merge_flux_pairs(targets)
+            if flux_pairs:
+                kwargs["flux_pairs"] = tuple(flux_pairs)
+            if any(len(target) > 1 for target in targets):
+                kwargs["readouts"] = staggered_readouts(
+                    len(kwargs["qubits"]), self.MUX_IF_STEP_HZ)
         if self.seed is not None:
             kwargs["seed"] = int(self.seed)
         return MachineConfig(**kwargs)
 
-    def create(self, name: str, *, qubits=None, **params) -> Experiment:
-        """Instantiate a registered experiment bound to this session's config."""
-        return self.registry.create(name, config=self.config_for(qubits),
-                                    qubits=qubits, params=params)
+    def create(self, name: str, *, qubits=None, targets=None,
+               **params) -> Experiment:
+        """Instantiate a registered experiment bound to this session's config.
+
+        With neither ``targets`` nor ``qubits`` named, the experiment
+        class's canonical default register (if any) drives the
+        auto-built config, so ``session.run("bell")`` wires a flux pair
+        without the caller spelling one out.  A session-pinned config
+        instead lets the experiment pick defaults from the wiring.
+        """
+        cls = self.registry.get(name)
+        normalized = normalize_targets(targets, qubits)
+        if normalized is None and self.config is None:
+            normalized = cls.default_session_targets()
+        flux_pairs = None
+        if normalized is not None:
+            flux_pairs = merge_flux_pairs(normalized, cls.flux_pairs_for)
+        config = self.config_for(targets=normalized, flux_pairs=flux_pairs)
+        return cls(config=config, targets=normalized, params=params)
 
     # -- execution -----------------------------------------------------------
 
-    def submit_experiment(self, name: str, *, qubits=None,
+    def submit_experiment(self, name: str, *, qubits=None, targets=None,
                           **params) -> ExperimentFuture:
         """Build the experiment's specs and fan them out; non-blocking."""
-        return self.submit(self.create(name, qubits=qubits, **params))
+        return self.submit(self.create(name, qubits=qubits, targets=targets,
+                                       **params))
 
     def submit(self, experiment: Experiment) -> ExperimentFuture:
         """Submit an already-built experiment instance.
@@ -214,17 +279,21 @@ class Session:
         futures = [self.service.submit(spec, stream=False) for spec in specs]
         return ExperimentFuture(experiment, futures, self.service, t0)
 
-    def run(self, name: str, *, qubits=None,
+    def run(self, name: str, *, qubits=None, targets=None,
             on_result: Callable[[JobResult], None] | None = None,
             on_estimate: Callable[[Estimate], None] | None = None,
             **params):
         """Run one experiment to completion and return its analysis.
 
-        ``on_result`` observes each job in completion order;
+        ``targets`` names register targets (``((0, 1),)`` runs one
+        two-qubit experiment on the 0-1 pair); ``qubits`` is the legacy
+        single-qubit spelling (``(0, 1)`` runs two single-qubit
+        targets).  ``on_result`` observes each job in completion order;
         ``on_estimate`` additionally turns on per-point incremental
         fitting and observes each refined :class:`Estimate`.
         """
-        future = self.submit_experiment(name, qubits=qubits, **params)
+        future = self.submit_experiment(name, qubits=qubits, targets=targets,
+                                        **params)
         return future.result(on_result=on_result, on_estimate=on_estimate)
 
     # -- inspection ----------------------------------------------------------

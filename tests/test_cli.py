@@ -99,9 +99,14 @@ def test_exp_list(capsys):
     rc = main(["exp", "--list"])
     assert rc == 0
     out = capsys.readouterr().out
-    for name in ("rabi", "rb", "allxy", "t1", "ramsey", "echo"):
+    for name in ("rabi", "rb", "allxy", "t1", "ramsey", "echo",
+                 "cz_calibration", "bell", "ghz"):
         assert name in out
     assert "params:" in out
+    # --list shows each experiment's target arity.
+    assert "target: 1 qubit" in out
+    assert "target: 2 qubits (pair)" in out
+    assert "target: register (2+ qubits)" in out
 
 
 def test_exp_without_name_lists(capsys):
@@ -133,6 +138,39 @@ def test_exp_multi_qubit(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "q0:" in out and "q1:" in out
+
+
+def test_parse_targets_register_syntax():
+    from repro.cli import _parse_targets
+
+    assert _parse_targets("0,1") == ((0,), (1,))
+    assert _parse_targets("0-1,1-2") == ((0, 1), (1, 2))
+    assert _parse_targets("0-1-2") == ((0, 1, 2),)
+    assert _parse_targets("2, 0-1") == ((2,), (0, 1))
+
+
+def test_exp_bell_pair(capsys):
+    rc = main(["exp", "bell", "--qubits", "0-1", "--param", "n_rounds=6"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fidelity >=" in out
+    assert "3 jobs | backend=serial" in out
+
+
+def test_exp_pair_sweep(capsys):
+    rc = main(["exp", "bell", "--qubits", "0-1,1-2", "--stream",
+               "--param", "n_rounds=4", "--param", "bases=('ZZ',)"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "q0-1:" in out and "q1-2:" in out
+    assert "fit 2/2" in out
+
+
+def test_exp_ghz_chain(capsys):
+    rc = main(["exp", "ghz", "--qubits", "0-1-2",
+               "--param", "n_rounds=4", "--param", "repeats=1"])
+    assert rc == 0
+    assert "population" in capsys.readouterr().out
 
 
 def test_exp_unknown_name_errors(capsys):

@@ -82,6 +82,13 @@ def test_bell_state(capsys):
     assert "correlated outcomes:" in out
 
 
+def test_entangling_suite(capsys):
+    out = run_example("entangling_suite.py", argv=["8"], capsys=capsys)
+    assert "conditional phase" in out
+    assert "fidelity >=" in out
+    assert "population P(000)+P(111)" in out
+
+
 @pytest.mark.slow
 def test_rabi(capsys):
     out = run_example("rabi_calibration.py", capsys=capsys)

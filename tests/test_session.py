@@ -55,7 +55,8 @@ def fast_config(**kwargs):
 
 def test_registry_names_every_experiment():
     assert set(REGISTRY.names()) == {"rabi", "rb", "allxy",
-                                     "t1", "ramsey", "echo"}
+                                     "t1", "ramsey", "echo",
+                                     "cz_calibration", "bell", "ghz"}
 
 
 def test_unknown_experiment_name_lists_registered():
@@ -286,6 +287,48 @@ def test_int_qubits_accepted():
     with Session(fast_config()) as session:
         result = session.run("allxy", qubits=2, n_rounds=2)
     assert len(result.fidelity) == 42
+
+
+# -- Estimate views (single-target contracts) --------------------------------
+
+
+def test_estimate_values_raises_on_multi_target():
+    """The values convenience view refuses to pick an arbitrary target."""
+    config = MachineConfig(qubits=(0, 1), trace_enabled=False,
+                           calibration=PulseCalibration(kappa=0.7))
+    with Session(config) as session:
+        future = session.submit_experiment("rabi", qubits=(0, 1),
+                                           amplitudes=AMPS, n_rounds=2)
+        future.result()
+        final = future.estimate()
+    assert sorted(final.per_target) == [(0,), (1,)]
+    with pytest.raises(ConfigurationError, match="single-target"):
+        final.values
+    # Explicit per-target indexing is the supported multi-target path.
+    assert final.per_target[(0,)] is not None
+
+
+def test_estimate_per_qubit_raises_on_register_targets():
+    """per_qubit is the legacy flat view; register estimates must not be
+    silently collapsed onto single qubit labels."""
+    from repro.experiments.base import Estimate
+
+    estimate = Estimate(n_results=1, n_specs=1,
+                        per_target={(0, 1): {"fidelity": 1.0}})
+    with pytest.raises(ConfigurationError, match="per_target"):
+        estimate.per_qubit
+    with pytest.raises(ConfigurationError, match="single-target"):
+        Estimate(n_results=2, n_specs=2,
+                 per_target={(0,): {}, (1,): {}}).values
+
+
+def test_estimate_values_single_target():
+    from repro.experiments.base import Estimate
+
+    assert Estimate(n_results=0, n_specs=1).values is None
+    single = Estimate(n_results=1, n_specs=1, per_target={(2,): {"x": 1.0}})
+    assert single.values == {"x": 1.0}
+    assert single.per_qubit == {2: {"x": 1.0}}
 
 
 # -- session plumbing --------------------------------------------------------
