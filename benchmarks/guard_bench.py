@@ -1,0 +1,170 @@
+"""Throughput-regression guard over the committed bench baselines.
+
+Compares freshly generated ``BENCH_replay.json`` / ``BENCH_entangling.json``
+artifacts against the committed baselines and fails (exit 1) when a
+metric regresses beyond the tolerance (default 20%).
+
+CI machines differ wildly in absolute speed, so the default comparisons
+are machine-independent ratios:
+
+* **replay** — the cold/warm replay *speedups* (replay throughput
+  relative to full simulation *on the same machine*) at matched
+  ``n_rounds`` trajectory rows, plus bitwise parity on every row;
+* **entangling** — the GHZ width-scaling ratios (``rounds_per_s`` at
+  width w relative to width 2 *in the same run*), plus process parity.
+
+``--absolute`` adds raw-throughput comparisons (bell ``jobs_per_s``,
+ghz ``rounds_per_s``, replay per-round times) for same-machine runs,
+e.g. refreshing baselines on the reference box.
+
+Usage::
+
+    python benchmarks/guard_bench.py --baseline benchmarks --current /tmp/out
+    python benchmarks/guard_bench.py --baseline benchmarks --current /tmp/out \
+        --tolerance 0.3 --absolute
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _load(directory: str, name: str) -> dict | None:
+    path = os.path.join(directory, name)
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+class Guard:
+    """Collects metric comparisons; any failure fails the run."""
+
+    def __init__(self, tolerance: float):
+        self.tolerance = tolerance
+        self.failures: list[str] = []
+        self.checks = 0
+
+    def ratio(self, label: str, baseline: float, current: float,
+              higher_is_better: bool = True) -> None:
+        """Fail when ``current`` regresses >tolerance against ``baseline``."""
+        self.checks += 1
+        if baseline <= 0:
+            print(f"  skip  {label}: non-positive baseline {baseline}")
+            return
+        change = (current - baseline) / baseline
+        regressed = (change < -self.tolerance if higher_is_better
+                     else change > self.tolerance)
+        marker = "FAIL" if regressed else "ok"
+        print(f"  {marker:<5} {label}: baseline={baseline:.4g} "
+              f"current={current:.4g} ({change:+.1%})")
+        if regressed:
+            self.failures.append(label)
+
+    def require(self, label: str, condition: bool) -> None:
+        self.checks += 1
+        print(f"  {'ok' if condition else 'FAIL':<5} {label}")
+        if not condition:
+            self.failures.append(label)
+
+
+def check_replay(guard: Guard, baseline: dict, current: dict,
+                 absolute: bool) -> None:
+    base_rows = {row["n_rounds"]: row for row in baseline.get("trajectory", [])}
+    cur_rows = {row["n_rounds"]: row for row in current.get("trajectory", [])}
+    matched = sorted(set(base_rows) & set(cur_rows))
+    if not matched:
+        # Bench ran at a different scale than the committed baseline —
+        # nothing comparable, which is a configuration smell, not a
+        # regression; warn loudly instead of vacuously passing.
+        print(f"  warn  no matched n_rounds rows "
+              f"(baseline {sorted(base_rows)}, current {sorted(cur_rows)})")
+        return
+    for n_rounds in matched:
+        base, cur = base_rows[n_rounds], cur_rows[n_rounds]
+        guard.ratio(f"replay speedup_cold @ {n_rounds} rounds",
+                    base["speedup_cold"], cur["speedup_cold"])
+        guard.ratio(f"replay speedup_warm @ {n_rounds} rounds",
+                    base["speedup_warm"], cur["speedup_warm"])
+        guard.require(f"replay parity bitwise @ {n_rounds} rounds",
+                      cur.get("parity") == "bitwise")
+        if absolute:
+            guard.ratio(f"replay per_round_warm_ms @ {n_rounds} rounds",
+                        base["per_round_warm_ms"], cur["per_round_warm_ms"],
+                        higher_is_better=False)
+
+
+def check_entangling(guard: Guard, baseline: dict, current: dict,
+                     absolute: bool) -> None:
+    guard.require("entangling process_parity",
+                  bool(current.get("process_parity")))
+    base_ghz = {row["width"]: row for row in baseline.get("ghz", [])}
+    cur_ghz = {row["width"]: row for row in current.get("ghz", [])}
+    matched = sorted(set(base_ghz) & set(cur_ghz))
+    anchor = matched[0] if matched else None
+    if anchor is None:
+        print("  warn  no matched ghz widths")
+    else:
+        # Width-scaling cost ratios: how much slower width w is than the
+        # narrowest width in the same run. Machine speed cancels out.
+        for width in matched[1:]:
+            base_ratio = (base_ghz[anchor]["rounds_per_s"]
+                          / base_ghz[width]["rounds_per_s"])
+            cur_ratio = (cur_ghz[anchor]["rounds_per_s"]
+                         / cur_ghz[width]["rounds_per_s"])
+            guard.ratio(f"ghz width-{width} cost vs width-{anchor}",
+                        base_ratio, cur_ratio, higher_is_better=False)
+    if absolute:
+        guard.ratio("bell jobs_per_s", baseline["bell"]["jobs_per_s"],
+                    current["bell"]["jobs_per_s"])
+        for width in matched:
+            guard.ratio(f"ghz width-{width} rounds_per_s",
+                        base_ghz[width]["rounds_per_s"],
+                        cur_ghz[width]["rounds_per_s"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="directory holding freshly generated artifacts")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional regression (default 0.2)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also compare machine-dependent raw throughput "
+                             "(same-machine baselines only)")
+    args = parser.parse_args(argv)
+
+    guard = Guard(args.tolerance)
+    compared = 0
+    for name, check in (("BENCH_replay.json", check_replay),
+                        ("BENCH_entangling.json", check_entangling)):
+        baseline = _load(args.baseline, name)
+        current = _load(args.current, name)
+        if baseline is None or current is None:
+            missing = "baseline" if baseline is None else "current"
+            print(f"{name}: skipped (no {missing} artifact)")
+            continue
+        print(f"{name}:")
+        check(guard, baseline, current, args.absolute)
+        compared += 1
+
+    if compared == 0:
+        print("error: no artifact pairs to compare", file=sys.stderr)
+        return 2
+    if guard.failures:
+        print(f"\n{len(guard.failures)}/{guard.checks} checks regressed "
+              f"beyond {args.tolerance:.0%}:", file=sys.stderr)
+        for failure in guard.failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {guard.checks} checks within {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

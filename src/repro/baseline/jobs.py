@@ -21,6 +21,8 @@ import numpy as np
 from repro.baseline.comparison import compare_architectures
 from repro.baseline.spec import ExperimentSpec
 from repro.core.quma import RunResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import STAGE_EXECUTE, JobTelemetry, Span
 from repro.service.job import JobResult, JobSpec
 
 #: Metric order of a baseline job's ``averages`` vector.
@@ -57,7 +59,8 @@ def baseline_job(spec: ExperimentSpec, *,
     )
 
 
-def execute_baseline_job(spec: JobSpec) -> JobResult:
+def execute_baseline_job(spec: JobSpec,
+                         metrics: MetricsRegistry | None = None) -> JobResult:
     """Evaluate one baseline job; deterministic given the spec.
 
     ``averages`` holds the :data:`BASELINE_METRICS` vector so baseline
@@ -78,6 +81,17 @@ def execute_baseline_job(spec: JobSpec) -> JobResult:
         instructions_executed=0,
         averages=averages,
     )
+    execute_s = time.perf_counter() - t0
+    if metrics is not None:
+        metrics.counter("jobs").inc()
+        metrics.histogram("execute_s").observe(execute_s)
+    telemetry = None
+    if spec.telemetry:
+        telemetry = JobTelemetry(
+            spans=(Span(STAGE_EXECUTE, 0.0, execute_s,
+                        meta={"workload": params.get("workload", "")}),),
+            metrics=metrics.snapshot() if metrics is not None else {},
+        )
     return JobResult(
         averages=averages,
         run=run,
@@ -89,7 +103,9 @@ def execute_baseline_job(spec: JobSpec) -> JobResult:
         cache_hit=False,
         machine_reused=False,
         compile_s=0.0,
-        execute_s=time.perf_counter() - t0,
+        execute_s=execute_s,
+        total_s=execute_s,
+        telemetry=telemetry,
         executor="baseline",
     )
 

@@ -9,7 +9,9 @@ Usage::
     python -m repro exp --list
     python -m repro exp rabi --qubits 2 --param n_rounds=16 --stream
     python -m repro exp bell --qubits 0-1 --param n_rounds=64
+    python -m repro exp bell --qubits 0-1 --trace-out trace.json
     python -m repro batch --experiment rabi --points 8 --backend process
+    python -m repro stats metrics.json
 """
 
 from __future__ import annotations
@@ -183,8 +185,13 @@ def cmd_exp(args: argparse.Namespace) -> int:
         print(f"  fit {estimate.n_results}/{estimate.n_specs}: "
               f"{fitted if fitted else '(unconstrained)'}")
 
+    # Telemetry rides on the requested artifacts: spans + metrics
+    # snapshots whenever either output is wanted, the simulator trace
+    # only when a Chrome trace is (its records are the bulky part).
+    telemetry = bool(args.trace_out or args.metrics_out)
     with Session(backend=args.backend, workers=args.workers, seed=args.seed,
-                 cache_dir=args.cache_dir) as session:
+                 cache_dir=args.cache_dir, telemetry=telemetry,
+                 sim_trace=bool(args.trace_out)) as session:
         future = session.submit_experiment(args.name, targets=targets, **params)
         result = future.result(
             on_result=announce if args.stream else None,
@@ -194,7 +201,37 @@ def cmd_exp(args: argparse.Namespace) -> int:
         if args.save:
             future.sweep.save(args.save)
             print(f"sweep artifact -> {args.save}")
+        if args.trace_out:
+            from repro.obs import write_chrome_trace
+
+            n = write_chrome_trace(args.trace_out, future.sweep.jobs)
+            print(f"chrome trace ({n} events) -> {args.trace_out}  "
+                  f"(open at https://ui.perfetto.dev)")
+        if args.metrics_out:
+            from repro.obs import write_metrics_artifact
+
+            write_metrics_artifact(
+                args.metrics_out, session.service.metrics_summary(),
+                stage_stats=future.sweep.stage_stats,
+                context={"command": "exp", "experiment": args.name,
+                         "backend": session.backend,
+                         "jobs": len(future.sweep)})
+            print(f"metrics artifact -> {args.metrics_out}")
     return 0
+
+
+def _fmt_seconds(value) -> str:
+    return "-" if value is None else f"{value * 1e3:8.2f} ms"
+
+
+def _print_stage_stats(stage_stats: dict, indent: str = "  ") -> None:
+    for field in ("queue_wait_s", "compile_s", "execute_s", "total_s"):
+        stats = stage_stats.get(field)
+        if not stats or not stats.get("count"):
+            continue
+        print(f"{indent}{field:<13} p50={_fmt_seconds(stats['p50'])}  "
+              f"p95={_fmt_seconds(stats['p95'])}  "
+              f"max={_fmt_seconds(stats['max'])}")
 
 
 def _print_sweep_stats(sweep) -> None:
@@ -202,6 +239,10 @@ def _print_sweep_stats(sweep) -> None:
           f"{sweep.elapsed_s:.2f} s | {sweep.jobs_per_second:.1f} jobs/s")
     print(f"compile cache hit rate:  {sweep.cache_hit_rate:.0%}")
     print(f"machine reuse rate:      {sweep.machine_reuse_rate:.0%}")
+    stage_stats = getattr(sweep, "stage_stats", None)
+    if stage_stats:
+        print("per-stage latency:")
+        _print_stage_stats(stage_stats)
 
 
 def _run_specs(svc, specs, stream: bool):
@@ -283,6 +324,51 @@ def cmd_batch(args: argparse.Namespace) -> int:
         if args.save:
             sweep.save(args.save)
             print(f"sweep artifact -> {args.save}")
+        if args.metrics_out:
+            from repro.obs import write_metrics_artifact
+
+            write_metrics_artifact(
+                args.metrics_out, svc.metrics_summary(),
+                stage_stats=sweep.stage_stats,
+                context={"command": "batch", "backend": args.backend,
+                         "jobs": len(sweep)})
+            print(f"metrics artifact -> {args.metrics_out}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Render a metrics artifact written by ``--metrics-out``."""
+    from repro.obs import load_metrics_artifact
+
+    try:
+        data = load_metrics_artifact(args.artifact)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    context = data.get("context") or {}
+    if context:
+        print(" | ".join(f"{k}={v}" for k, v in sorted(context.items())))
+    stage_stats = data.get("stage_stats") or {}
+    if stage_stats:
+        print("per-stage latency:")
+        _print_stage_stats(stage_stats)
+    metrics = data.get("metrics") or {}
+    for scope in ("service", "workers_merged"):
+        block = metrics.get(scope)
+        if not block:
+            continue
+        print(f"{scope}:")
+        for name, value in sorted(block.get("counters", {}).items()):
+            print(f"  {name:<26} {value}")
+        for name, value in sorted(block.get("gauges", {}).items()):
+            print(f"  {name:<26} {value:g}")
+        for name, hist in sorted(block.get("histograms", {}).items()):
+            print(f"  {name:<26} n={hist['count']}  "
+                  f"p50={_fmt_seconds(hist['p50'])}  "
+                  f"p95={_fmt_seconds(hist['p95'])}")
+    workers = metrics.get("workers") or {}
+    if workers:
+        print(f"workers: {len(workers)} ({', '.join(sorted(workers))})")
     return 0
 
 
@@ -343,6 +429,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="spill the compile cache to this directory")
     p.add_argument("--save", default=None,
                    help="write the sweep as a JSON artifact to this path")
+    p.add_argument("--trace-out", default=None, dest="trace_out",
+                   help="write a Chrome trace-event JSON of the sweep "
+                        "(service spans + simulator trace; open at "
+                        "https://ui.perfetto.dev)")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   help="write the merged metrics registry + per-stage "
+                        "rollups as JSON (render with 'repro stats')")
     p.set_defaults(func=cmd_exp)
 
     p = sub.add_parser(
@@ -375,9 +468,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "later runs (and worker processes) start warm")
     p.add_argument("--save", default=None,
                    help="write the sweep as a JSON artifact to this path")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   help="write the merged metrics registry + per-stage "
+                        "rollups as JSON (render with 'repro stats')")
     p.add_argument("--qubits", default="2")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "stats",
+        help="render a metrics artifact written by --metrics-out")
+    p.add_argument("artifact", help="metrics JSON path")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

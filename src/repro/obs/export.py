@@ -1,0 +1,183 @@
+"""Exporters: Chrome trace-event JSON and the metrics artifact.
+
+The Chrome trace-event format (one JSON object with a ``traceEvents``
+list) is what Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``
+open directly.  One exported file carries *both* timelines of a sweep:
+
+* **service spans** — per-job lifecycle stages (queue-wait, compile,
+  machine-acquire, execute/replay, collect) as duration (``"X"``) events
+  on wall-clock time, one track per job, grouped under a "service"
+  process;
+* **simulator trace** — the per-job
+  :class:`~repro.sim.tracing.TraceRecord` stream (instruction issue,
+  codeword triggers, pulse starts ... the paper's Table 5 / Figure 3
+  material) as instant (``"i"``) events on *simulation* time, one
+  process group per job so the nanosecond timelines don't interleave
+  with wall-clock microseconds.
+
+Everything operates on plain :class:`~repro.service.job.JobResult`-shaped
+objects (``label`` + ``telemetry``) — this module imports nothing from
+the service layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+#: Chrome trace timestamps are microseconds.
+_US_PER_S = 1e6
+_NS_PER_US = 1e3
+
+#: pid of the service-span process group in exported traces.
+SERVICE_PID = 1
+#: pid offset for per-job simulator process groups.
+SIM_PID_BASE = 100
+
+METRICS_ARTIFACT_FORMAT = "repro.metrics/v1"
+
+
+def _meta(name: str, pid: int, tid: int, value: str) -> dict:
+    return {"ph": "M", "name": name, "pid": pid, "tid": tid,
+            "args": {"name": value}}
+
+
+def _json_safe(detail: dict) -> dict:
+    return {k: (v if isinstance(v, (int, float, str, bool, type(None)))
+                else str(v))
+            for k, v in detail.items()}
+
+
+def chrome_trace_events(jobs: Iterable) -> list[dict]:
+    """Trace events for a batch of telemetry-carrying job results.
+
+    Jobs without telemetry are skipped.  Service-span timestamps are
+    normalized so the earliest span in the batch lands at ``ts = 0``
+    (``perf_counter`` origins are arbitrary); simulator events keep
+    their absolute simulation time.
+    """
+    jobs = [job for job in jobs if getattr(job, "telemetry", None) is not None]
+    origin = min((span.start_s for job in jobs
+                  for span in job.telemetry.spans), default=0.0)
+    events: list[dict] = [_meta("process_name", SERVICE_PID, 0, "service")]
+    sim_units: dict[tuple[int, str], int] = {}
+    for index, job in enumerate(jobs):
+        tel = job.telemetry
+        label = job.label or f"job{index}"
+        tid = index + 1
+        events.append(_meta("thread_name", SERVICE_PID, tid,
+                            f"{label} [{tel.worker}]" if tel.worker else label))
+        for span in tel.spans:
+            events.append({
+                "ph": "X",
+                "name": span.name,
+                "cat": "service",
+                "pid": SERVICE_PID,
+                "tid": tid,
+                "ts": (span.start_s - origin) * _US_PER_S,
+                "dur": max(0.0, span.duration_s) * _US_PER_S,
+                "args": {"job": label, **_json_safe(span.meta)},
+            })
+        if tel.sim_trace:
+            sim_pid = SIM_PID_BASE + index
+            events.append(_meta("process_name", sim_pid, 0,
+                                f"sim {label} (simulation time)"))
+            for rec in tel.sim_trace:
+                key = (sim_pid, rec.unit)
+                sim_tid = sim_units.get(key)
+                if sim_tid is None:
+                    sim_tid = sim_units[key] = (
+                        len([k for k in sim_units if k[0] == sim_pid]))
+                    events.append(_meta("thread_name", sim_pid, sim_tid,
+                                        rec.unit))
+                events.append({
+                    "ph": "i",
+                    "s": "t",
+                    "name": rec.kind,
+                    "cat": "sim",
+                    "pid": sim_pid,
+                    "tid": sim_tid,
+                    "ts": rec.time / _NS_PER_US,
+                    "args": {"job": label, "unit": rec.unit,
+                             **_json_safe(rec.detail)},
+                })
+    return events
+
+
+def write_chrome_trace(path: str, jobs: Iterable,
+                       extra_events: Iterable[dict] = ()) -> int:
+    """Write a Perfetto-loadable trace for a batch; returns event count."""
+    events = chrome_trace_events(jobs)
+    events.extend(extra_events)
+    with open(path, "w") as f:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, f)
+        f.write("\n")
+    return len(events)
+
+
+#: Phases that require a duration.
+_DURATION_PHASES = {"X"}
+#: Phases this exporter emits (the validator accepts exactly these).
+_KNOWN_PHASES = {"X", "i", "M"}
+
+
+def validate_chrome_trace(data) -> int:
+    """Check trace-event schema validity; returns the event count.
+
+    ``data`` is a parsed JSON object or a path to one.  Raises
+    :class:`ValueError` on the first malformed event — the tests (and CI)
+    use this to keep exported traces loadable by Perfetto.
+    """
+    if isinstance(data, str):
+        with open(data) as f:
+            data = json.load(f)
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("trace must be a JSON object with 'traceEvents'")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for i, event in enumerate(events):
+        for key in ("ph", "name", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event {i} missing {key!r}: {event!r}")
+        ph = event["ph"]
+        if ph not in _KNOWN_PHASES:
+            raise ValueError(f"event {i} has unknown phase {ph!r}")
+        if ph != "M":
+            if "ts" not in event:
+                raise ValueError(f"event {i} missing 'ts'")
+            if not isinstance(event["ts"], (int, float)):
+                raise ValueError(f"event {i} 'ts' must be a number")
+        if ph in _DURATION_PHASES:
+            if not isinstance(event.get("dur"), (int, float)):
+                raise ValueError(f"event {i} missing numeric 'dur'")
+            if event["dur"] < 0:
+                raise ValueError(f"event {i} has negative 'dur'")
+    return len(events)
+
+
+def write_metrics_artifact(path: str, metrics: dict, *,
+                           stage_stats: dict | None = None,
+                           context: dict | None = None) -> None:
+    """Write the plain-JSON metrics artifact (`repro stats` renders it)."""
+    data = {
+        "format": METRICS_ARTIFACT_FORMAT,
+        "metrics": metrics,
+    }
+    if stage_stats is not None:
+        data["stage_stats"] = stage_stats
+    if context:
+        data["context"] = context
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True, default=str)
+        f.write("\n")
+
+
+def load_metrics_artifact(path: str) -> dict:
+    """Read an artifact written by :func:`write_metrics_artifact`."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("format") != METRICS_ARTIFACT_FORMAT:
+        raise ValueError(f"{path!r} is not a {METRICS_ARTIFACT_FORMAT} "
+                         f"artifact")
+    return data

@@ -1,0 +1,112 @@
+"""Typed stats views: structured replacements for the ad-hoc stats dicts.
+
+:meth:`ExperimentService.stats` and :meth:`Dispatcher.stats` historically
+returned nested plain dicts with no declared shape.  These views keep
+full dict compatibility (they are :class:`~collections.abc.Mapping`\\ s,
+so ``stats()["routes"]["quma"]["submitted"]`` keeps working) while naming
+the fields — ``stats().routes["quma"].submitted`` — and providing
+``as_dict()`` for JSON serialization.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Iterator
+
+
+class StatsView(Mapping):
+    """An immutable mapping over a stats dict with named accessors."""
+
+    def __init__(self, data: Mapping[str, Any]):
+        self._data = dict(data)
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def as_dict(self) -> dict:
+        """A plain-dict deep copy (nested views flattened), JSON-ready."""
+        def plain(value):
+            if isinstance(value, StatsView):
+                return value.as_dict()
+            if isinstance(value, Mapping):
+                return {k: plain(v) for k, v in value.items()}
+            return value
+        return {k: plain(v) for k, v in self._data.items()}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._data!r})"
+
+
+class BackendStats(StatsView):
+    """One executor backend's counters (see ``ExecutorBackend.stats``)."""
+
+    @property
+    def backend(self) -> str:
+        return self._data["backend"]
+
+    @property
+    def submitted(self) -> int:
+        return self._data["submitted"]
+
+    @property
+    def failed(self) -> int:
+        return self._data["failed"]
+
+    @property
+    def pending(self) -> int:
+        return self._data["pending"]
+
+
+class RouteStats(StatsView):
+    """Per-route backend stats, keyed by dispatch route name."""
+
+    def __init__(self, data: Mapping[str, Any]):
+        super().__init__({route: (stats if isinstance(stats, BackendStats)
+                                  else BackendStats(stats))
+                          for route, stats in data.items()})
+
+    @property
+    def routes(self) -> tuple[str, ...]:
+        return tuple(self._data)
+
+    def route(self, name: str) -> BackendStats:
+        return self._data[name]
+
+
+class ServiceStats(StatsView):
+    """The full service view: routes + caches + pool + metrics registry."""
+
+    @property
+    def backend(self) -> str:
+        return self._data["backend"]
+
+    @property
+    def submitted(self) -> int:
+        return self._data["submitted"]
+
+    @property
+    def routes(self) -> RouteStats:
+        return self._data["routes"]
+
+    @property
+    def cache(self) -> dict:
+        return self._data["cache"]
+
+    @property
+    def pool(self) -> dict:
+        return self._data["pool"]
+
+    @property
+    def replay_cache(self) -> dict:
+        return self._data["replay_cache"]
+
+    @property
+    def metrics(self) -> dict:
+        """Merged metrics summary (see ``ExperimentService.metrics_summary``)."""
+        return self._data["metrics"]

@@ -40,12 +40,14 @@ from repro.service.cache import (
 )
 from repro.service.dispatch import Dispatcher
 from repro.service.job import (
+    STAGE_FIELDS,
     JobFuture,
     JobResult,
     JobSpec,
     LUTUpload,
     SweepResult,
     derive_job_seed,
+    stage_rollup,
 )
 from repro.service.pool import MachinePool, pool_key
 from repro.service.scheduler import (
@@ -68,6 +70,7 @@ __all__ = [
     "MachinePool",
     "ProcessBackend",
     "ReplayCache",
+    "STAGE_FIELDS",
     "SerialBackend",
     "SweepResult",
     "create_backend",
@@ -78,4 +81,5 @@ __all__ = [
     "microprograms_fingerprint",
     "pool_key",
     "program_fingerprint",
+    "stage_rollup",
 ]

@@ -50,6 +50,7 @@ class AsyncBackend(ExecutorBackend):
         self._consumers: list[asyncio.Task] = []
         self._executor: concurrent.futures.ProcessPoolExecutor | None = None
         self._started = threading.Event()
+        self.max_queued = 0
 
     # -- event-loop lifecycle ------------------------------------------------
 
@@ -95,6 +96,9 @@ class AsyncBackend(ExecutorBackend):
 
     async def _enqueue(self, item) -> None:
         await self._queue.put(item)
+        depth = self._queue.qsize()
+        if depth > self.max_queued:
+            self.max_queued = depth
 
     def _post(self, item) -> None:
         asyncio.run_coroutine_threadsafe(self._enqueue(item), self._loop) \
@@ -129,4 +133,5 @@ class AsyncBackend(ExecutorBackend):
         stats["loop_live"] = self._loop is not None
         if self._queue is not None:
             stats["queued"] = self._queue.qsize()
+        stats["max_queued"] = self.max_queued
         return stats

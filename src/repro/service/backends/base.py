@@ -15,6 +15,7 @@ parity tests pin down (see DESIGN.md).
 from __future__ import annotations
 
 import abc
+import os
 import threading
 import time
 
@@ -22,6 +23,16 @@ import numpy as np
 
 from repro.core.quma import check_run_result
 from repro.core.replay import run_with_replay
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import (
+    STAGE_ACQUIRE,
+    STAGE_COLLECT,
+    STAGE_COMPILE,
+    STAGE_EXECUTE,
+    STAGE_REPLAY,
+    JobTelemetry,
+    Span,
+)
 from repro.pulse.waveform import Waveform
 from repro.readout.calibration import joint_outcome_counts
 from repro.service.cache import CompileCache, ReplayCache
@@ -30,8 +41,29 @@ from repro.service.pool import MachinePool
 from repro.utils.errors import ConfigurationError
 
 
+def snapshot_worker_state(metrics: MetricsRegistry, pool: MachinePool,
+                          cache: CompileCache,
+                          replay_cache: ReplayCache | None) -> dict:
+    """Mirror pool/cache internals into gauges and snapshot the registry.
+
+    Called at job end on telemetry-enabled jobs, so the snapshot that
+    rides home on the result reflects this worker's *lifetime* state —
+    the per-worker view that was previously unreachable from the parent
+    process.  Gauges hold absolute values (latest-wins within a worker;
+    the service sums them across workers at merge time).
+    """
+    for prefix, stats in (("pool", pool.stats()), ("cache", cache.stats()),
+                          ("replay_cache", replay_cache.stats()
+                           if replay_cache is not None else {})):
+        for key, value in stats.items():
+            if isinstance(value, (int, float)):
+                metrics.gauge(f"{prefix}.{key}").set(value)
+    return metrics.snapshot()
+
+
 def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
-                replay_cache: ReplayCache | None = None) -> JobResult:
+                replay_cache: ReplayCache | None = None,
+                metrics: MetricsRegistry | None = None) -> JobResult:
     """Run one QuMA job against a pool and cache; deterministic given the spec.
 
     With ``spec.replay`` (the default) eligible programs take the
@@ -40,7 +72,15 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
     uploads, microprograms) replay every round without touching the event
     kernel.  Replayed and fully-simulated jobs produce bit-identical
     averages for the same run seed, so caching never changes results.
+
+    ``metrics`` is the executing context's registry (worker-local for
+    process/async workers); job counters and stage histograms land there.
+    With ``spec.telemetry`` the result additionally carries lifecycle
+    spans, the simulator trace (when the machine traces), and the
+    registry snapshot — none of which touches the RNG streams, so
+    telemetry on/off is bit-identical in ``averages``.
     """
+    telemetry_on = spec.telemetry
     t0 = time.perf_counter()
     resolved = cache.resolve(spec)
     t1 = time.perf_counter()
@@ -54,6 +94,7 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
             waveform = Waveform(upload.op_name, np.asarray(upload.samples))
             machine.ctpgs[f"ctpg{upload.qubit}"].lut.upload(op_id, waveform)
         machine.exec_ctrl.load(resolved.program)
+        t_loaded = time.perf_counter() if telemetry_on else 0.0
         if spec.replay:
             replay_key = (replay_cache.key_for(spec)
                           if replay_cache is not None else None)
@@ -67,6 +108,7 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
         else:
             result = machine.run()
             report = None
+        t_ran = time.perf_counter() if telemetry_on else 0.0
         check_run_result(result)
         scalar_qubit = spec.cal_qubit
         if scalar_qubit is None and spec.cal_targets is not None:
@@ -97,6 +139,42 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
             joint_counts = joint_outcome_counts(
                 raw.reshape(rounds, m),
                 np.asarray([c.threshold for c in register]))
+        t_end = time.perf_counter()
+        compile_s = t1 - t0
+        execute_s = t_end - t1
+        replayed_rounds = report.replayed_rounds if report else 0
+        plan_hit = report.plan_hit if report else False
+        if metrics is not None:
+            metrics.counter("jobs").inc()
+            metrics.counter("cache_hits").inc(int(resolved.cache_hit))
+            metrics.counter("machine_reuses").inc(int(reused))
+            metrics.counter("replay_plan_hits").inc(int(plan_hit))
+            metrics.counter("replayed_rounds").inc(replayed_rounds)
+            metrics.histogram("compile_s").observe(compile_s)
+            metrics.histogram("execute_s").observe(execute_s)
+        telemetry = None
+        if telemetry_on:
+            run_stage = STAGE_REPLAY if replayed_rounds else STAGE_EXECUTE
+            spans = (
+                Span(STAGE_COMPILE, 0.0, compile_s,
+                     meta={"cache_hit": resolved.cache_hit}),
+                Span(STAGE_ACQUIRE, compile_s, t_loaded - t0,
+                     meta={"machine_reused": reused}),
+                Span(run_stage, t_loaded - t0, t_ran - t0,
+                     meta={"replayed_rounds": replayed_rounds,
+                           "plan_hit": plan_hit,
+                           "n_rounds": resolved.n_rounds}),
+                Span(STAGE_COLLECT, t_ran - t0, t_end - t0),
+            )
+            telemetry = JobTelemetry(
+                spans=spans,
+                worker=f"pid:{os.getpid()}",
+                sim_trace=(tuple(machine.trace.records)
+                           if machine.trace.enabled else ()),
+                metrics=(snapshot_worker_state(metrics, pool, cache,
+                                               replay_cache)
+                         if metrics is not None else {}),
+            )
         return JobResult(
             averages=result.averages.copy(),
             run=result,
@@ -107,10 +185,12 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
             label=spec.label,
             cache_hit=resolved.cache_hit,
             machine_reused=reused,
-            compile_s=t1 - t0,
-            execute_s=time.perf_counter() - t1,
-            replayed_rounds=report.replayed_rounds if report else 0,
-            replay_plan_hit=report.plan_hit if report else False,
+            compile_s=compile_s,
+            execute_s=execute_s,
+            total_s=t_end - t0,
+            telemetry=telemetry,
+            replayed_rounds=replayed_rounds,
+            replay_plan_hit=plan_hit,
             cal_targets=cal_targets,
             s_grounds=s_grounds,
             s_exciteds=s_exciteds,

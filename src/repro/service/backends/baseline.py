@@ -9,6 +9,7 @@ its own executor and state.
 
 from __future__ import annotations
 
+from repro.obs.metrics import MetricsRegistry
 from repro.service.backends.base import ExecutorBackend
 from repro.service.job import JobFuture, JobSpec
 
@@ -18,6 +19,10 @@ class BaselineBackend(ExecutorBackend):
 
     name = "baseline"
 
+    def __init__(self):
+        super().__init__()
+        self.metrics = MetricsRegistry()
+
     def _submit(self, spec: JobSpec) -> JobFuture:
         # Imported here: repro.baseline pulls in the full baseline package,
         # which services that never route a baseline spec need not load.
@@ -25,7 +30,12 @@ class BaselineBackend(ExecutorBackend):
 
         future = JobFuture(spec)
         try:
-            future.set_result(execute_baseline_job(spec))
+            future.set_result(execute_baseline_job(spec, self.metrics))
         except Exception as exc:  # surfaces on future.result()
             future.set_exception(exc)
         return future
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["metrics"] = self.metrics.summary()
+        return stats

@@ -13,6 +13,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 
+from repro.obs.metrics import MetricsRegistry
 from repro.service.backends.base import ExecutorBackend, execute_job
 from repro.service.cache import CompileCache, ReplayCache
 from repro.service.job import JobFuture, JobResult, JobSpec
@@ -28,11 +29,12 @@ def _worker_init(cache_dir: str | None = None) -> None:
     _WORKER["pool"] = MachinePool(label=f"worker{os.getpid()}")
     _WORKER["cache"] = CompileCache(persist_dir=cache_dir)
     _WORKER["replay_cache"] = ReplayCache()
+    _WORKER["metrics"] = MetricsRegistry()
 
 
 def _worker_execute(spec: JobSpec) -> JobResult:
     return execute_job(spec, _WORKER["pool"], _WORKER["cache"],
-                       _WORKER["replay_cache"])
+                       _WORKER["replay_cache"], metrics=_WORKER["metrics"])
 
 
 def default_workers() -> int:

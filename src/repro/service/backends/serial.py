@@ -9,6 +9,7 @@ backends against.
 
 from __future__ import annotations
 
+from repro.obs.metrics import MetricsRegistry
 from repro.service.backends.base import ExecutorBackend, execute_job
 from repro.service.cache import CompileCache, ReplayCache
 from repro.service.job import JobFuture, JobSpec
@@ -28,12 +29,14 @@ class SerialBackend(ExecutorBackend):
         self.cache = cache if cache is not None else CompileCache()
         self.replay_cache = (replay_cache if replay_cache is not None
                              else ReplayCache())
+        self.metrics = MetricsRegistry()
 
     def _submit(self, spec: JobSpec) -> JobFuture:
         future = JobFuture(spec)
         try:
             future.set_result(
-                execute_job(spec, self.pool, self.cache, self.replay_cache))
+                execute_job(spec, self.pool, self.cache, self.replay_cache,
+                            metrics=self.metrics))
         except Exception as exc:  # surfaces on future.result()
             future.set_exception(exc)
         return future
@@ -43,4 +46,5 @@ class SerialBackend(ExecutorBackend):
         stats["pool"] = self.pool.stats()
         stats["cache"] = self.cache.stats()
         stats["replay_cache"] = self.replay_cache.stats()
+        stats["metrics"] = self.metrics.summary()
         return stats

@@ -12,6 +12,7 @@ the routes interleave.
 
 from __future__ import annotations
 
+from repro.obs.views import RouteStats
 from repro.service.backends.base import ExecutorBackend
 from repro.service.job import JobFuture, JobSpec
 from repro.utils.errors import ConfigurationError
@@ -47,7 +48,12 @@ class Dispatcher:
         for backend in self.routes.values():
             backend.close()
 
-    def stats(self) -> dict:
-        """Per-route backend stats, keyed by route name."""
-        return {route: backend.stats()
-                for route, backend in self.routes.items()}
+    def stats(self) -> RouteStats:
+        """Per-route backend stats, keyed by route name.
+
+        A :class:`~repro.obs.views.RouteStats` mapping — existing
+        ``stats()["quma"]["submitted"]`` indexing keeps working, with
+        ``stats().route("quma").submitted`` naming the fields.
+        """
+        return RouteStats({route: backend.stats()
+                           for route, backend in self.routes.items()})

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -27,6 +28,8 @@ from repro.compiler.codegen import CompilerOptions
 from repro.compiler.program import QuantumProgram
 from repro.core.config import MachineConfig
 from repro.core.quma import RunResult
+from repro.obs.metrics import summarize_values
+from repro.obs.spans import JobTelemetry, rebase_job_spans
 from repro.utils.errors import ConfigurationError
 
 if TYPE_CHECKING:  # avoid a runtime service <-> baseline import cycle
@@ -123,6 +126,13 @@ class JobSpec:
     executor: str = "quma"
     #: Cost-model workload for ``executor="baseline"`` jobs.
     baseline: "ExperimentSpec | None" = None
+    #: Collect per-stage lifecycle spans (and, when the machine runs with
+    #: tracing enabled, the simulator trace) on the result's
+    #: :class:`~repro.obs.spans.JobTelemetry`.  Off by default: the
+    #: disabled path costs two extra clock reads per job and allocates
+    #: nothing.  Turning it on never changes ``averages`` — the RNG
+    #: streams are untouched (the telemetry parity suite pins this down).
+    telemetry: bool = False
 
     def __post_init__(self):
         if self.executor not in EXECUTORS:
@@ -196,6 +206,9 @@ class JobFuture:
         #: Submission index within the owning service (None for direct
         #: backend submissions).
         self.index = index
+        #: Submitter-clock stamp (``perf_counter``) of job creation —
+        #: the anchor for queue-wait latency and span rebasing.
+        self.submitted_at = time.perf_counter()
         #: Internal exactly-once bookkeeping: set by the owning service's
         #: result streams when this future has been yielded by one, so no
         #: other stream (scoped or service-wide) yields it again.
@@ -218,12 +231,41 @@ class JobFuture:
         with self._lock:
             if self._done.is_set():
                 raise RuntimeError("JobFuture already resolved")
+            if result is not None:
+                # Stamp queue-wait and rebase worker spans *before* the
+                # event is set, so no consumer ever observes a result
+                # with unanchored telemetry.
+                self._finalize(result)
             self._result = result
             self._exception = exception
             callbacks, self._callbacks = self._callbacks, []
             self._done.set()
         for callback in callbacks:
             callback(self)
+
+    def _finalize(self, result: "JobResult") -> None:
+        """Anchor worker-side timings on this (submitting) process's clock.
+
+        ``submitted_at`` and ``resolved_at`` are stamps on the submitter's
+        monotonic clock; ``result.total_s`` is the job's worker-side wall
+        time.  Their difference is the submit-to-start latency (queue
+        wait + dispatch + pickling) — the number that was previously
+        invisible for the process/async backends.
+
+        Duck-typed: futures carrying non-JobResult payloads (tests,
+        ad-hoc uses of set_result) pass through untouched.
+        """
+        if not hasattr(result, "total_s"):
+            return
+        resolved_at = time.perf_counter()
+        elapsed = resolved_at - self.submitted_at
+        result.queue_wait_s = max(0.0, elapsed - result.total_s)
+        telemetry = result.telemetry
+        if telemetry is not None and not telemetry.rebased:
+            telemetry.spans = rebase_job_spans(
+                telemetry.spans, self.submitted_at, resolved_at,
+                result.total_s)
+            telemetry.rebased = True
 
     # -- consumption (caller side) ------------------------------------------
 
@@ -275,6 +317,15 @@ class JobResult:
     machine_reused: bool   #: machine came warm from the pool
     compile_s: float
     execute_s: float
+    #: Worker-side wall time for the whole job (compile through collect).
+    total_s: float = 0.0
+    #: Submit-to-start latency on the submitter's clock, filled in when
+    #: the job's future resolves (~0 for the serial backend; the queue +
+    #: dispatch + pickling overhead for process/async).
+    queue_wait_s: float = 0.0
+    #: Spans / simulator trace / worker metrics snapshot, when the spec
+    #: ran with ``telemetry=True`` (None otherwise — and for artifacts).
+    telemetry: JobTelemetry | None = None
     replayed_rounds: int = 0   #: rounds served by the replay fast path
     replay_plan_hit: bool = False  #: replay plan came from the replay cache
     executor: str = "quma"     #: which dispatch route produced this result
@@ -321,6 +372,27 @@ class JobResult:
         return counts / total
 
 
+#: Per-job timing fields aggregated into :attr:`SweepResult.stage_stats`.
+STAGE_FIELDS = ("queue_wait_s", "compile_s", "execute_s", "total_s")
+
+
+def stage_rollup(jobs: list["JobResult"], elapsed_s: float = 0.0) -> dict:
+    """Per-stage latency rollups for a batch of jobs.
+
+    Turns the per-job timings (which previously vanished from sweep
+    artifacts) into ``{stage: {count, total, mean, p50, p95, max}}``
+    plus the batch throughput, so "where did this sweep's wall-clock
+    go?" is answerable from the artifact alone.
+    """
+    if not jobs:
+        return {}
+    stats = {name: summarize_values([getattr(job, name) for job in jobs])
+             for name in STAGE_FIELDS}
+    stats["throughput_jobs_per_s"] = (
+        len(jobs) / elapsed_s if elapsed_s > 0 else 0.0)
+    return stats
+
+
 #: Artifact format tag written by :meth:`SweepResult.save`.
 SWEEP_ARTIFACT_FORMAT = "repro.sweep/v1"
 
@@ -334,6 +406,9 @@ class SweepResult:
     backend: str
     cache_stats: dict = field(default_factory=dict)
     pool_stats: dict = field(default_factory=dict)
+    #: Per-stage latency rollups over the jobs (total/mean/p50/p95/max
+    #: per stage, plus batch throughput) — see :func:`stage_rollup`.
+    stage_stats: dict = field(default_factory=dict)
 
     @classmethod
     def from_jobs(cls, jobs: list[JobResult], elapsed_s: float,
@@ -353,6 +428,7 @@ class SweepResult:
             backend=backend,
             cache_stats={"hits": hits, "misses": len(jobs) - hits},
             pool_stats={"builds": len(jobs) - reuses, "reuses": reuses},
+            stage_stats=stage_rollup(jobs, elapsed_s),
         )
 
     def __len__(self) -> int:
@@ -423,6 +499,7 @@ class SweepResult:
             "elapsed_s": self.elapsed_s,
             "cache_stats": dict(self.cache_stats),
             "pool_stats": dict(self.pool_stats),
+            "stage_stats": dict(self.stage_stats),
             "rates": {
                 "cache_hit": self.cache_hit_rate,
                 "machine_reuse": self.machine_reuse_rate,
@@ -440,6 +517,8 @@ class SweepResult:
                 "machine_reused": job.machine_reused,
                 "compile_s": job.compile_s,
                 "execute_s": job.execute_s,
+                "total_s": job.total_s,
+                "queue_wait_s": job.queue_wait_s,
                 "replayed_rounds": job.replayed_rounds,
                 "replay_plan_hit": job.replay_plan_hit,
                 "executor": job.executor,
@@ -482,6 +561,8 @@ class SweepResult:
             machine_reused=entry["machine_reused"],
             compile_s=entry["compile_s"],
             execute_s=entry["execute_s"],
+            total_s=entry.get("total_s", 0.0),
+            queue_wait_s=entry.get("queue_wait_s", 0.0),
             replayed_rounds=entry.get("replayed_rounds", 0),
             replay_plan_hit=entry.get("replay_plan_hit", False),
             executor=entry.get("executor", "quma"),
@@ -497,4 +578,9 @@ class SweepResult:
         return cls(jobs=jobs, elapsed_s=data["elapsed_s"],
                    backend=data["backend"],
                    cache_stats=data.get("cache_stats", {}),
-                   pool_stats=data.get("pool_stats", {}))
+                   pool_stats=data.get("pool_stats", {}),
+                   # Pre-telemetry artifacts carry no stage_stats block;
+                   # rebuild it from the per-job timings they do carry.
+                   stage_stats=data.get(
+                       "stage_stats",
+                       stage_rollup(jobs, data["elapsed_s"])))

@@ -27,6 +27,8 @@ import threading
 import time
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.views import ServiceStats
 from repro.service.backends import (
     BaselineBackend,
     SerialBackend,
@@ -100,6 +102,18 @@ class ExperimentService:
         self._submitted = 0
         self._pending: set[JobFuture] = set()
         self._completed: queue.SimpleQueue[JobFuture] = queue.SimpleQueue()
+        # Telemetry: service-side counters/histograms (``service.*`` and
+        # ``stage.*`` names), harvested per resolved future, plus the
+        # latest metrics snapshot each worker shipped home on a
+        # telemetry-enabled job (cumulative, so latest-wins per worker).
+        self.metrics = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._worker_snapshots: dict[str, dict] = {}
+        # Inline run_job execution needs a registry in this process; the
+        # serial route shares cache + pool with the service, so share its
+        # registry too rather than split one process's counts in two.
+        self._inline_metrics = (quma.metrics if isinstance(quma, SerialBackend)
+                                else MetricsRegistry())
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -133,11 +147,40 @@ class ExperimentService:
             self._submitted += 1
             if stream:
                 self._pending.add(future)
+        future.add_done_callback(self._observe)
         if stream:
             # Non-streamed futures never touch the service-wide queue, so
             # the queue retains no reference to them (or their results).
             future.add_done_callback(self._completed.put)
         return future
+
+    def _observe(self, future: JobFuture) -> None:
+        """Harvest one resolved future into the service-side registry.
+
+        Runs as a done-callback (possibly on a pool result thread), after
+        :meth:`JobFuture._finalize` stamped ``queue_wait_s`` and rebased
+        any spans — the registry's own lock makes the counter updates
+        safe from any thread.
+        """
+        if future.exception() is not None:
+            self.metrics.counter("service.failures").inc()
+            return
+        result = future.result()
+        m = self.metrics
+        m.counter("service.jobs").inc()
+        m.counter("service.cache_hits").inc(int(result.cache_hit))
+        m.counter("service.machine_reuses").inc(int(result.machine_reused))
+        m.counter("service.replay_plan_hits").inc(int(result.replay_plan_hit))
+        m.counter("service.replayed_rounds").inc(result.replayed_rounds)
+        m.histogram("stage.queue_wait_s").observe(result.queue_wait_s)
+        m.histogram("stage.compile_s").observe(result.compile_s)
+        m.histogram("stage.execute_s").observe(result.execute_s)
+        m.histogram("stage.total_s").observe(result.total_s)
+        telemetry = result.telemetry
+        if telemetry is not None and telemetry.metrics:
+            with self._metrics_lock:
+                self._worker_snapshots[telemetry.worker or "inline"] = \
+                    telemetry.metrics
 
     def iter_futures(self, futures: Sequence[JobFuture],
                      timeout: float | None = None) -> Iterator[JobFuture]:
@@ -220,7 +263,8 @@ class ExperimentService:
         routes go through their executor synchronously.
         """
         if spec.executor == "quma":
-            return execute_job(spec, self.pool, self.cache, self.replay_cache)
+            return execute_job(spec, self.pool, self.cache, self.replay_cache,
+                               metrics=self._inline_metrics)
         return self.dispatcher.submit(spec).result()
 
     def run_batch(self, specs: Sequence[JobSpec]) -> SweepResult:
@@ -234,10 +278,18 @@ class ExperimentService:
         specs = list(specs)
         t0 = time.perf_counter()
         if len(specs) == 1 and specs[0].executor == "quma":
-            # A lone job never pays worker-pool spin-up.
-            results = [self.run_job(specs[0])]
+            # A lone job never pays worker-pool spin-up.  Wrapped in a
+            # future anyway so queue-wait stamping and the service-side
+            # metrics harvest see it like any other job.
+            future = JobFuture(specs[0])
+            try:
+                future.set_result(self.run_job(specs[0]))
+            except Exception as exc:
+                future.set_exception(exc)
+            self._observe(future)
+            results = [future.result()]
         else:
-            futures = [self.dispatcher.submit(spec) for spec in specs]
+            futures = [self.submit(spec, stream=False) for spec in specs]
             results = [future.result() for future in futures]
         return SweepResult.from_jobs(results, time.perf_counter() - t0,
                                      self.backend)
@@ -266,16 +318,43 @@ class ExperimentService:
 
     # -- inspection ----------------------------------------------------------
 
-    def stats(self) -> dict:
-        """Service-local cache/pool state plus per-route executor stats."""
-        return {
+    def metrics_summary(self) -> dict:
+        """Merged telemetry view: service-side registry + worker snapshots.
+
+        ``service`` holds this process's counters and stage histograms
+        (every resolved future lands there, telemetry on or off);
+        ``workers`` holds the latest per-worker snapshot shipped home on
+        telemetry-enabled jobs; ``workers_merged`` sums/pools those
+        snapshots across workers (see ``MetricsRegistry.merge``).
+        """
+        with self._metrics_lock:
+            snapshots = dict(self._worker_snapshots)
+        summary = {
+            "service": self.metrics.summary(),
+            "workers": {worker: MetricsRegistry.summarize_snapshot(snap)
+                        for worker, snap in sorted(snapshots.items())},
+        }
+        if snapshots:
+            summary["workers_merged"] = MetricsRegistry.summarize_snapshot(
+                MetricsRegistry.merge(list(snapshots.values())))
+        return summary
+
+    def stats(self) -> ServiceStats:
+        """Service-local cache/pool state plus per-route executor stats.
+
+        A :class:`~repro.obs.views.ServiceStats` — a mapping, so existing
+        ``stats()["routes"]`` indexing keeps working, with named
+        accessors (``stats().routes``, ``stats().metrics``) on top.
+        """
+        return ServiceStats({
             "backend": self.backend,
             "submitted": self._submitted,
             "routes": self.dispatcher.stats(),
             "cache": self.cache.stats(),
             "pool": self.pool.stats(),
             "replay_cache": self.replay_cache.stats(),
-        }
+            "metrics": self.metrics_summary(),
+        })
 
 
 # -- shared default service -------------------------------------------------

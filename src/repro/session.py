@@ -151,6 +151,16 @@ class ExperimentFuture:
         """Human-readable lines for the (blocking) result."""
         return self.experiment.summary(self.result())
 
+    def stage_stats(self) -> dict:
+        """Per-stage latency rollup of the (blocking) result's sweep.
+
+        Maps each lifecycle stage field (queue-wait, compile, execute,
+        total) to count/total/mean/p50/p95/max over the sweep's jobs —
+        see :func:`repro.service.job.stage_rollup`.
+        """
+        self.result()
+        return self.sweep.stage_stats
+
 
 class Session:
     """Config/seed/backend plumbing in one place, experiments by name.
@@ -168,7 +178,8 @@ class Session:
                  backend: str = "serial", workers: int | None = None,
                  cache_dir: str | None = None, seed: int | None = None,
                  service: ExperimentService | None = None,
-                 registry: ExperimentRegistry | None = None):
+                 registry: ExperimentRegistry | None = None,
+                 telemetry: bool = False, sim_trace: bool = False):
         self.registry = registry if registry is not None else REGISTRY
         self._own_service = service is None
         self.service = (service if service is not None
@@ -177,6 +188,13 @@ class Session:
                                                cache_dir=cache_dir))
         self.config = config
         self.seed = seed
+        # ``telemetry`` marks every submitted spec so results carry
+        # lifecycle spans and metrics snapshots; ``sim_trace``
+        # additionally enables the machine's TraceRecorder on auto-built
+        # configs so exported traces include simulation-time events.
+        # Neither touches the RNG streams: averages stay bit-identical.
+        self.telemetry = telemetry
+        self.sim_trace = sim_trace
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -220,7 +238,7 @@ class Session:
         """
         if self.config is not None:
             return self.config
-        kwargs: dict = {"trace_enabled": False}
+        kwargs: dict = {"trace_enabled": self.sim_trace}
         targets = normalize_targets(targets, qubits)
         if targets is not None:
             wired: dict[int, None] = {}
@@ -275,6 +293,9 @@ class Session:
         concurrent ``service.iter_completed()`` consumer never sees them.
         """
         specs = experiment.build_specs()
+        if self.telemetry:
+            for spec in specs:
+                spec.telemetry = True
         t0 = time.perf_counter()
         futures = [self.service.submit(spec, stream=False) for spec in specs]
         return ExperimentFuture(experiment, futures, self.service, t0)
