@@ -11,6 +11,8 @@ Usage::
     python -m repro exp bell --qubits 0-1 --param n_rounds=64
     python -m repro exp bell --qubits 0-1 --trace-out trace.json
     python -m repro batch --experiment rabi --points 8 --backend process
+    python -m repro exp rabi --retries 3 --job-timeout 30
+    REPRO_FAULT_SEED=7 python -m repro exp rabi --retries 3 --backend process
     python -m repro stats metrics.json
 """
 
@@ -24,7 +26,7 @@ from repro.core.quma import QuMA
 from repro.isa.assembler import assemble
 from repro.isa.disassembler import disassemble_program
 from repro.isa.program import Program
-from repro.utils.errors import ReproError
+from repro.utils.errors import JobError, ReproError
 
 
 def _parse_qubits(text: str) -> tuple[int, ...]:
@@ -163,6 +165,34 @@ def _print_experiment_list() -> None:
         print(f"{pad}params: {defaults}")
 
 
+def _retry_policy(args):
+    """The :class:`RetryPolicy` a ``--retries N`` flag asks for (or None).
+
+    ``N`` counts *retries* beyond the first attempt, so ``--retries 3``
+    allows four executions total.
+    """
+    if not getattr(args, "retries", 0):
+        return None
+    from repro.service import RetryPolicy
+
+    return RetryPolicy(max_attempts=args.retries + 1)
+
+
+def _print_job_failure(exc: JobError, stats) -> None:
+    """One readable line per terminal failure, plus the quarantine roster."""
+    print(f"error: {exc}", file=sys.stderr)
+    routes = stats.get("routes", {}) if hasattr(stats, "get") else {}
+    entries = [(route, entry) for route, st in routes.items()
+               for entry in st.get("quarantine", [])]
+    if not entries:
+        return
+    print(f"quarantined jobs ({len(entries)}):", file=sys.stderr)
+    for route, entry in entries:
+        print(f"  [{route}] {entry['label'] or entry['seed']}: "
+              f"{entry['exc_type']} after {entry['attempts']} attempt(s)",
+              file=sys.stderr)
+
+
 def cmd_exp(args: argparse.Namespace) -> int:
     """Run any registered experiment through the Session facade."""
     from repro.session import Session
@@ -191,11 +221,16 @@ def cmd_exp(args: argparse.Namespace) -> int:
     telemetry = bool(args.trace_out or args.metrics_out)
     with Session(backend=args.backend, workers=args.workers, seed=args.seed,
                  cache_dir=args.cache_dir, telemetry=telemetry,
-                 sim_trace=bool(args.trace_out)) as session:
+                 sim_trace=bool(args.trace_out), retry=_retry_policy(args),
+                 job_timeout=args.job_timeout) as session:
         future = session.submit_experiment(args.name, targets=targets, **params)
-        result = future.result(
-            on_result=announce if args.stream else None,
-            on_estimate=announce_estimate if args.stream else None)
+        try:
+            result = future.result(
+                on_result=announce if args.stream else None,
+                on_estimate=announce_estimate if args.stream else None)
+        except JobError as exc:
+            _print_job_failure(exc, session.stats())
+            return 1
         print(future.experiment.summary(result))
         _print_sweep_stats(future.sweep)
         if args.save:
@@ -239,6 +274,9 @@ def _print_sweep_stats(sweep) -> None:
           f"{sweep.elapsed_s:.2f} s | {sweep.jobs_per_second:.1f} jobs/s")
     print(f"compile cache hit rate:  {sweep.cache_hit_rate:.0%}")
     print(f"machine reuse rate:      {sweep.machine_reuse_rate:.0%}")
+    retries = getattr(sweep, "total_retries", 0)
+    if retries:
+        print(f"retries recovered:       {retries}")
     stage_stats = getattr(sweep, "stage_stats", None)
     if stage_stats:
         print("per-stage latency:")
@@ -268,58 +306,65 @@ def cmd_batch(args: argparse.Namespace) -> int:
     config = MachineConfig(qubits=_parse_qubits(args.qubits), seed=args.seed,
                            trace_enabled=False)
     with ExperimentService(backend=args.backend, workers=args.workers,
-                           cache_dir=args.cache_dir) as svc:
-        if args.program:
-            with open(args.program) as f:
-                asm = f.read()
-            specs = [JobSpec(config=config, asm=asm,
-                             k_points=args.k_points,
-                             seed=derive_job_seed(args.seed, i),
-                             params={"job": i}, label=f"job{i}",
-                             replay=args.replay)
-                     for i in range(args.repeat)]
-            sweep = _run_specs(svc, specs, args.stream)
-            for job in sweep:
-                values = " ".join(f"{v:8.3f}" for v in job.averages)
-                print(f"{job.label:>8}  seed={job.seed:<12} S = {values}")
-        elif args.experiment == "rabi":
-            from repro.experiments.rabi import rabi_job
-
-            expected_pi = config.calibration.amplitude_for(np.pi)
-            amplitudes = np.linspace(0.0, min(2.2 * expected_pi, 0.999),
-                                     args.points)
-            qubit = config.qubits[0]
-            sweep = _run_specs(
-                svc,
-                [rabi_job(config, qubit, amp, args.rounds, replay=args.replay)
-                 for amp in amplitudes],
-                args.stream)
-            print("amplitude   P(|1>)")
-            for job in sweep:
-                print(f"{job.params['amplitude']:9.4f}   "
-                      f"{float(job.normalized[0]):.3f}")
-        else:  # allxy repeats with derived per-job seeds
-            from repro.experiments.allxy import (
-                allxy_job,
-                rescale_with_calibration_points,
-            )
-
-            specs = []
-            for i in range(args.repeat):
-                spec = allxy_job(config, config.qubits[0], args.rounds,
+                           cache_dir=args.cache_dir,
+                           retry=_retry_policy(args),
+                           job_timeout=args.job_timeout) as svc:
+        try:
+            if args.program:
+                with open(args.program) as f:
+                    asm = f.read()
+                specs = [JobSpec(config=config, asm=asm,
+                                 k_points=args.k_points,
+                                 seed=derive_job_seed(args.seed, i),
+                                 params={"job": i}, label=f"job{i}",
                                  replay=args.replay)
-                spec.seed = derive_job_seed(args.seed, i)
-                spec.label = f"allxy#{i}"
-                specs.append(spec)
-            sweep = _run_specs(svc, specs, args.stream)
-            from repro.experiments.allxy import allxy_ideal_staircase
+                         for i in range(args.repeat)]
+                sweep = _run_specs(svc, specs, args.stream)
+                for job in sweep:
+                    values = " ".join(f"{v:8.3f}" for v in job.averages)
+                    print(f"{job.label:>8}  seed={job.seed:<12} S = {values}")
+            elif args.experiment == "rabi":
+                from repro.experiments.rabi import rabi_job
 
-            ideal = allxy_ideal_staircase()
-            for job in sweep:
-                fidelity = rescale_with_calibration_points(job.averages)
-                deviation = float(np.mean(np.abs(fidelity - ideal)))
-                print(f"{job.label:>10}  seed={job.seed:<12} "
-                      f"deviation={deviation:.4f}")
+                expected_pi = config.calibration.amplitude_for(np.pi)
+                amplitudes = np.linspace(0.0, min(2.2 * expected_pi, 0.999),
+                                         args.points)
+                qubit = config.qubits[0]
+                sweep = _run_specs(
+                    svc,
+                    [rabi_job(config, qubit, amp, args.rounds,
+                              replay=args.replay)
+                     for amp in amplitudes],
+                    args.stream)
+                print("amplitude   P(|1>)")
+                for job in sweep:
+                    print(f"{job.params['amplitude']:9.4f}   "
+                          f"{float(job.normalized[0]):.3f}")
+            else:  # allxy repeats with derived per-job seeds
+                from repro.experiments.allxy import (
+                    allxy_job,
+                    rescale_with_calibration_points,
+                )
+
+                specs = []
+                for i in range(args.repeat):
+                    spec = allxy_job(config, config.qubits[0], args.rounds,
+                                     replay=args.replay)
+                    spec.seed = derive_job_seed(args.seed, i)
+                    spec.label = f"allxy#{i}"
+                    specs.append(spec)
+                sweep = _run_specs(svc, specs, args.stream)
+                from repro.experiments.allxy import allxy_ideal_staircase
+
+                ideal = allxy_ideal_staircase()
+                for job in sweep:
+                    fidelity = rescale_with_calibration_points(job.averages)
+                    deviation = float(np.mean(np.abs(fidelity - ideal)))
+                    print(f"{job.label:>10}  seed={job.seed:<12} "
+                          f"deviation={deviation:.4f}")
+        except JobError as exc:
+            _print_job_failure(exc, svc.stats())
+            return 1
         _print_sweep_stats(sweep)
         if args.save:
             sweep.save(args.save)
@@ -436,6 +481,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, dest="metrics_out",
                    help="write the merged metrics registry + per-stage "
                         "rollups as JSON (render with 'repro stats')")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry transiently failed jobs up to N times "
+                        "(deterministic: a recovered retry's result is "
+                        "bit-identical to a clean run)")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   dest="job_timeout", metavar="SECONDS",
+                   help="per-attempt wall-clock budget per job; overstaying "
+                        "attempts fail (and retry, with --retries)")
     p.set_defaults(func=cmd_exp)
 
     p = sub.add_parser(
@@ -471,6 +524,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, dest="metrics_out",
                    help="write the merged metrics registry + per-stage "
                         "rollups as JSON (render with 'repro stats')")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry transiently failed jobs up to N times "
+                        "(deterministic: a recovered retry's result is "
+                        "bit-identical to a clean run)")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   dest="job_timeout", metavar="SECONDS",
+                   help="per-attempt wall-clock budget per job; overstaying "
+                        "attempts fail (and retry, with --retries)")
     p.add_argument("--qubits", default="2")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_batch)

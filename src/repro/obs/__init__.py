@@ -36,6 +36,7 @@ from repro.obs.metrics import (
 from repro.obs.spans import (
     JOB_STAGES,
     STAGE_ACQUIRE,
+    STAGE_ATTEMPT_FAILED,
     STAGE_COLLECT,
     STAGE_COMPILE,
     STAGE_EXECUTE,
@@ -59,6 +60,7 @@ __all__ = [
     "MetricsRegistry",
     "RouteStats",
     "STAGE_ACQUIRE",
+    "STAGE_ATTEMPT_FAILED",
     "STAGE_COLLECT",
     "STAGE_COMPILE",
     "STAGE_EXECUTE",

@@ -35,8 +35,12 @@ STAGE_ACQUIRE = "machine-acquire"
 STAGE_EXECUTE = "execute"
 STAGE_REPLAY = "replay"
 STAGE_COLLECT = "collect"
+#: A failed execution attempt that a retry recovered from; spans of this
+#: name sit *before* the successful attempt's job epoch on the timeline.
+STAGE_ATTEMPT_FAILED = "attempt-failed"
 JOB_STAGES = (STAGE_QUEUE_WAIT, STAGE_COMPILE, STAGE_ACQUIRE,
-              STAGE_EXECUTE, STAGE_REPLAY, STAGE_COLLECT)
+              STAGE_EXECUTE, STAGE_REPLAY, STAGE_COLLECT,
+              STAGE_ATTEMPT_FAILED)
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,8 @@ from repro.service.backends import (
     SerialBackend,
     create_backend,
     execute_job,
+    execute_with_retry,
+    retry_call,
 )
 from repro.service.cache import (
     CompileCache,
@@ -39,6 +41,7 @@ from repro.service.cache import (
     program_fingerprint,
 )
 from repro.service.dispatch import Dispatcher
+from repro.service.faults import FAULT_KINDS, FAULT_SITES, FaultPlan
 from repro.service.job import (
     STAGE_FIELDS,
     JobFuture,
@@ -48,6 +51,12 @@ from repro.service.job import (
     SweepResult,
     derive_job_seed,
     stage_rollup,
+)
+from repro.service.policy import (
+    DEFAULT_RETRYABLE,
+    NO_RETRY,
+    RetryPolicy,
+    wrap_job_failure,
 )
 from repro.service.pool import MachinePool, pool_key
 from repro.service.scheduler import (
@@ -60,16 +69,22 @@ __all__ = [
     "AsyncBackend",
     "BaselineBackend",
     "CompileCache",
+    "DEFAULT_RETRYABLE",
     "Dispatcher",
     "ExecutorBackend",
     "ExperimentService",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultPlan",
     "JobFuture",
     "JobResult",
     "JobSpec",
     "LUTUpload",
     "MachinePool",
+    "NO_RETRY",
     "ProcessBackend",
     "ReplayCache",
+    "RetryPolicy",
     "STAGE_FIELDS",
     "SerialBackend",
     "SweepResult",
@@ -77,9 +92,12 @@ __all__ = [
     "default_service",
     "derive_job_seed",
     "execute_job",
+    "execute_with_retry",
     "grid",
     "microprograms_fingerprint",
     "pool_key",
     "program_fingerprint",
+    "retry_call",
     "stage_rollup",
+    "wrap_job_failure",
 ]

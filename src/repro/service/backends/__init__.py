@@ -17,7 +17,12 @@ and the service composes them through a
 from __future__ import annotations
 
 from repro.service.backends.async_queue import AsyncBackend
-from repro.service.backends.base import ExecutorBackend, execute_job
+from repro.service.backends.base import (
+    ExecutorBackend,
+    execute_job,
+    execute_with_retry,
+    retry_call,
+)
 from repro.service.backends.baseline import BaselineBackend
 from repro.service.backends.process import ProcessBackend, default_workers
 from repro.service.backends.serial import SerialBackend
@@ -54,4 +59,6 @@ __all__ = [
     "create_backend",
     "default_workers",
     "execute_job",
+    "execute_with_retry",
+    "retry_call",
 ]

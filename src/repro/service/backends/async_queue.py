@@ -13,6 +13,16 @@ as jobs finish rather than in submission order.
 The queue is the backpressure point: jobs wait there (cheap spec objects)
 instead of piling into the executor, and ``queue_size`` can bound it for
 producers that submit faster than the workers drain.
+
+Worker loss is survivable: a dead worker process breaks the whole
+``ProcessPoolExecutor`` (every pending call raises
+``BrokenProcessPool``), so each consumer rebuilds the shared executor
+once and requeues its own job with an advanced base attempt — or, when
+the retry budget is spent, resolves the future with a terminal
+:class:`~repro.utils.errors.JobError`.  Cancelled jobs are skipped
+before they ever reach a worker, and jobs with a ``timeout`` are
+abandoned (future resolved, worker result discarded) once their whole
+attempt budget elapses, so ``drain()`` never hangs on a stuck worker.
 """
 
 from __future__ import annotations
@@ -27,7 +37,10 @@ from repro.service.backends.process import (
     _worker_init,
     default_workers,
 )
+from repro.service.faults import FaultPlan
 from repro.service.job import JobFuture, JobSpec
+from repro.service.policy import NO_RETRY, wrap_job_failure
+from repro.utils.errors import JobTimeout, WorkerLost
 
 #: Queue sentinel that shuts a consumer down.
 _STOP = object()
@@ -38,27 +51,38 @@ class AsyncBackend(ExecutorBackend):
 
     name = "async"
 
+    #: Slack added to a job's whole attempt budget before it is abandoned.
+    GRACE_S = 1.0
+
     def __init__(self, workers: int | None = None,
-                 cache_dir: str | None = None, queue_size: int = 0):
+                 cache_dir: str | None = None, queue_size: int = 0,
+                 faults: FaultPlan | None = None):
         super().__init__()
         self.workers = workers if workers is not None else default_workers()
         self.cache_dir = cache_dir
         self.queue_size = queue_size
+        self.faults = faults
+        self.worker_losses = 0
+        self.abandoned = 0
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._queue: asyncio.Queue | None = None
         self._consumers: list[asyncio.Task] = []
         self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
         self._started = threading.Event()
         self.max_queued = 0
 
     # -- event-loop lifecycle ------------------------------------------------
 
+    def _new_executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_worker_init,
+            initargs=(self.cache_dir, self.faults, None))
+
     def _ensure_loop(self) -> asyncio.AbstractEventLoop:
         if self._loop is None:
-            self._executor = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers, initializer=_worker_init,
-                initargs=(self.cache_dir,))
+            self._executor = self._new_executor()
             self._thread = threading.Thread(
                 target=self._run_loop, name="repro-async-backend", daemon=True)
             self._thread.start()
@@ -79,20 +103,85 @@ class AsyncBackend(ExecutorBackend):
         finally:
             loop.close()
 
+    def _recover_executor(self, broken) -> None:
+        """Replace a broken process pool, exactly once per breakage.
+
+        Every consumer with a pending call sees the same
+        ``BrokenProcessPool``; the first one through the lock swaps the
+        executor, the rest observe the swap already happened.
+        """
+        with self._executor_lock:
+            if self._executor is broken:
+                broken.shutdown(wait=False)
+                self._executor = self._new_executor()
+
+    # -- consumers -----------------------------------------------------------
+
+    @staticmethod
+    def _resolve(future: JobFuture, result=None, exception=None) -> None:
+        try:
+            if exception is not None:
+                future.set_exception(exception)
+            else:
+                future.set_result(result)
+        except RuntimeError:
+            pass  # cancellation/close resolution won the race
+
     async def _consume(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
             item = await self._queue.get()
             if item is _STOP:
                 return
-            spec, future = item
+            spec, future, base_attempt = item
+            if future.done():
+                continue  # cancelled while queued: never reaches a worker
+            policy = spec.retry if spec.retry is not None else NO_RETRY
+            budget = None
+            if spec.timeout is not None:
+                budget = (spec.timeout
+                          * max(1, policy.max_attempts - base_attempt)
+                          + policy.total_backoff_s(base_attempt)
+                          + self.GRACE_S)
+            executor = self._executor
             try:
-                result = await loop.run_in_executor(
-                    self._executor, _worker_execute, spec)
+                call = loop.run_in_executor(
+                    executor, _worker_execute, spec, None, base_attempt)
+                result = await (asyncio.wait_for(call, budget)
+                                if budget is not None else call)
+            except concurrent.futures.process.BrokenProcessPool:
+                self.worker_losses += 1
+                self._recover_executor(executor)
+                loss = WorkerLost(
+                    f"worker died executing job "
+                    f"{spec.label or spec.run_seed} "
+                    f"(attempt {base_attempt})")
+                if future.done():
+                    continue
+                if policy.should_retry(loss, base_attempt):
+                    await self._enqueue((spec, future, base_attempt + 1))
+                else:
+                    self._resolve(future, exception=wrap_job_failure(
+                        loss, attempts=base_attempt + 1, label=spec.label,
+                        seed=spec.run_seed,
+                        quarantined=(policy.is_retryable(loss)
+                                     and policy.max_attempts > 1)))
+            except asyncio.TimeoutError:
+                # The worker may still be running; its late result is
+                # discarded.  Resolving here is what keeps drain() honest
+                # in the face of a stuck worker.
+                self.abandoned += 1
+                hang = JobTimeout(
+                    f"job overstayed its whole {budget:.3f} s attempt "
+                    f"budget on the async backend", stage="attempt",
+                    elapsed_s=budget)
+                self._resolve(future, exception=wrap_job_failure(
+                    hang, attempts=base_attempt + 1, label=spec.label,
+                    seed=spec.run_seed, quarantined=policy.max_attempts > 1))
             except Exception as exc:  # resolve; surfaces on future.result()
-                future.set_exception(exc)
+                self._resolve(future, exception=exc)
             else:
-                future.set_result(result)
+                self._resolve(future, result=result)
 
     async def _enqueue(self, item) -> None:
         await self._queue.put(item)
@@ -109,11 +198,12 @@ class AsyncBackend(ExecutorBackend):
     def _submit(self, spec: JobSpec) -> JobFuture:
         future = JobFuture(spec)
         self._ensure_loop()
-        self._post((spec, future))
+        self._post((spec, future, 0))
         return future
 
     def close(self) -> None:
         if self._loop is None:
+            super().close()
             return
         self.drain()
         for _ in self._consumers:
@@ -126,6 +216,7 @@ class AsyncBackend(ExecutorBackend):
         self._consumers = []
         self._executor = None
         self._started.clear()
+        super().close()  # resolve anything the teardown left behind
 
     def stats(self) -> dict:
         stats = super().stats()
@@ -134,4 +225,8 @@ class AsyncBackend(ExecutorBackend):
         if self._queue is not None:
             stats["queued"] = self._queue.qsize()
         stats["max_queued"] = self.max_queued
+        stats["worker_losses"] = self.worker_losses
+        stats["abandoned"] = self.abandoned
+        if self.faults is not None:
+            stats["faults"] = self.faults.stats()
         return stats

@@ -26,6 +26,7 @@ from repro.core.replay import run_with_replay
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import (
     STAGE_ACQUIRE,
+    STAGE_ATTEMPT_FAILED,
     STAGE_COLLECT,
     STAGE_COMPILE,
     STAGE_EXECUTE,
@@ -36,9 +37,16 @@ from repro.obs.spans import (
 from repro.pulse.waveform import Waveform
 from repro.readout.calibration import joint_outcome_counts
 from repro.service.cache import CompileCache, ReplayCache
+from repro.service.faults import FaultPlan
 from repro.service.job import JobFuture, JobResult, JobSpec
+from repro.service.policy import NO_RETRY, wrap_job_failure
 from repro.service.pool import MachinePool
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import (
+    ConfigurationError,
+    JobCancelled,
+    JobError,
+    JobTimeout,
+)
 
 
 def snapshot_worker_state(metrics: MetricsRegistry, pool: MachinePool,
@@ -61,9 +69,29 @@ def snapshot_worker_state(metrics: MetricsRegistry, pool: MachinePool,
     return metrics.snapshot()
 
 
+def _check_deadline(t0: float, timeout: float | None, stage: str) -> None:
+    """Cooperative per-attempt deadline check at a stage boundary.
+
+    In-process execution cannot be preempted, so the deadline is enforced
+    where the job naturally yields control — after each lifecycle stage.
+    The raised :class:`JobTimeout` is retryable: transient hangs recover
+    on the next attempt, deterministic ones burn their bounded attempt
+    budget and quarantine.
+    """
+    if timeout is None:
+        return
+    elapsed = time.perf_counter() - t0
+    if elapsed > timeout:
+        raise JobTimeout(
+            f"attempt exceeded its {timeout} s budget after {stage} "
+            f"({elapsed:.3f} s elapsed)", stage=stage, elapsed_s=elapsed)
+
+
 def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
                 replay_cache: ReplayCache | None = None,
-                metrics: MetricsRegistry | None = None) -> JobResult:
+                metrics: MetricsRegistry | None = None,
+                faults: FaultPlan | None = None, attempt: int = 0,
+                allow_crash: bool = False) -> JobResult:
     """Run one QuMA job against a pool and cache; deterministic given the spec.
 
     With ``spec.replay`` (the default) eligible programs take the
@@ -79,11 +107,25 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
     spans, the simulator trace (when the machine traces), and the
     registry snapshot — none of which touches the RNG streams, so
     telemetry on/off is bit-identical in ``averages``.
+
+    ``faults`` (a :class:`~repro.service.faults.FaultPlan`) injects the
+    attempt's scheduled chaos at each named lifecycle site;
+    ``spec.timeout`` is enforced cooperatively at stage boundaries.
+    Neither touches the RNG streams: a recovered retry re-runs this same
+    pure function with the same spec, so its result is bit-identical.
     """
     telemetry_on = spec.telemetry
+    job_seed = spec.run_seed
     t0 = time.perf_counter()
+    if faults is not None:
+        faults.check("compile", job_seed, attempt, allow_crash=allow_crash,
+                     metrics=metrics, label=spec.label)
     resolved = cache.resolve(spec)
     t1 = time.perf_counter()
+    _check_deadline(t0, spec.timeout, STAGE_COMPILE)
+    if faults is not None:
+        faults.check("acquire", job_seed, attempt, allow_crash=allow_crash,
+                     metrics=metrics, label=spec.label)
     machine, reused = pool.acquire(spec.config)
     try:
         machine.reset(seed=spec.run_seed, dcu_points=resolved.k_points)
@@ -95,6 +137,11 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
             machine.ctpgs[f"ctpg{upload.qubit}"].lut.upload(op_id, waveform)
         machine.exec_ctrl.load(resolved.program)
         t_loaded = time.perf_counter() if telemetry_on else 0.0
+        _check_deadline(t0, spec.timeout, STAGE_ACQUIRE)
+        if faults is not None:
+            faults.check("execute", job_seed, attempt,
+                         allow_crash=allow_crash, metrics=metrics,
+                         label=spec.label)
         if spec.replay:
             replay_key = (replay_cache.key_for(spec)
                           if replay_cache is not None else None)
@@ -109,6 +156,11 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
             result = machine.run()
             report = None
         t_ran = time.perf_counter() if telemetry_on else 0.0
+        _check_deadline(t0, spec.timeout, STAGE_EXECUTE)
+        if faults is not None:
+            faults.check("collect", job_seed, attempt,
+                         allow_crash=allow_crash, metrics=metrics,
+                         label=spec.label)
         check_run_result(result)
         scalar_qubit = spec.cal_qubit
         if scalar_qubit is None and spec.cal_targets is not None:
@@ -140,6 +192,7 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
                 raw.reshape(rounds, m),
                 np.asarray([c.threshold for c in register]))
         t_end = time.perf_counter()
+        _check_deadline(t0, spec.timeout, STAGE_COLLECT)
         compile_s = t1 - t0
         execute_s = t_end - t1
         replayed_rounds = report.replayed_rounds if report else 0
@@ -200,6 +253,98 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
         pool.release(machine)
 
 
+def _attempt_failure_spans(failures: list, base_attempt: int) -> tuple:
+    """Spans for recovered attempts, job-relative *before* the final epoch.
+
+    The successful attempt's spans use epoch 0 = its own start; earlier
+    failed attempts (and their backoff sleeps) therefore map to negative
+    offsets, walking backwards from the epoch.  After the submit-side
+    rebase they appear in their true place on the timeline, between
+    submit and the job's successful start.
+    """
+    spans = []
+    offset = 0.0
+    for i in range(len(failures) - 1, -1, -1):
+        exc, duration, backoff = failures[i]
+        offset -= backoff
+        spans.append(Span(
+            STAGE_ATTEMPT_FAILED, offset - duration, offset,
+            category="service",
+            meta={"attempt": base_attempt + i,
+                  "error": f"{type(exc).__name__}: {exc}"}))
+        offset -= duration
+    spans.reverse()
+    return tuple(spans)
+
+
+def retry_call(spec: JobSpec, attempt_fn, *,
+               metrics: MetricsRegistry | None = None,
+               base_attempt: int = 0) -> JobResult:
+    """Run ``attempt_fn(attempt)`` under the spec's retry policy.
+
+    The uniform retry loop every in-process execution path shares
+    (serial backend, pool workers, the baseline route): retryable
+    failures back off deterministically and re-run; terminal failures —
+    non-retryable, or attempts exhausted — raise a
+    :class:`~repro.utils.errors.JobError` whose message depends only on
+    the original exception, so every backend surfaces the same error for
+    the same faulty spec.  ``base_attempt`` offsets the attempt numbering
+    when a watchdog resubmits after worker loss, keeping the fault
+    schedule and seeded backoff aligned across respawns.
+
+    On success the result's ``attempts`` counts total executions, and
+    with telemetry enabled each recovered failure becomes an
+    ``attempt-failed`` span ahead of the job's epoch.
+    """
+    policy = spec.retry if spec.retry is not None else NO_RETRY
+    attempt = base_attempt
+    failures: list = []
+    while True:
+        t0 = time.perf_counter()
+        try:
+            result = attempt_fn(attempt)
+        except Exception as exc:
+            duration = time.perf_counter() - t0
+            if policy.should_retry(exc, attempt):
+                if metrics is not None:
+                    metrics.counter("retries").inc()
+                backoff = policy.backoff_for(attempt + 1, spec.run_seed)
+                failures.append((exc, duration, backoff))
+                if backoff > 0:
+                    time.sleep(backoff)
+                attempt += 1
+                continue
+            if metrics is not None:
+                metrics.counter("jobs_failed").inc()
+            raise wrap_job_failure(
+                exc, attempts=attempt + 1, label=spec.label,
+                seed=spec.run_seed,
+                quarantined=(policy.is_retryable(exc)
+                             and attempt + 1 >= policy.max_attempts
+                             and policy.max_attempts > 1)) from exc
+        result.attempts = attempt + 1
+        if failures and getattr(result, "telemetry", None) is not None:
+            result.telemetry.spans = (
+                _attempt_failure_spans(failures, base_attempt)
+                + tuple(result.telemetry.spans))
+        return result
+
+
+def execute_with_retry(spec: JobSpec, pool: MachinePool, cache: CompileCache,
+                       replay_cache: ReplayCache | None = None,
+                       metrics: MetricsRegistry | None = None,
+                       faults: FaultPlan | None = None,
+                       base_attempt: int = 0,
+                       allow_crash: bool = False) -> JobResult:
+    """:func:`execute_job` under the spec's retry policy and fault plan."""
+    return retry_call(
+        spec,
+        lambda attempt: execute_job(
+            spec, pool, cache, replay_cache, metrics=metrics, faults=faults,
+            attempt=attempt, allow_crash=allow_crash),
+        metrics=metrics, base_attempt=base_attempt)
+
+
 class ExecutorBackend(abc.ABC):
     """Asynchronous spec-in, future-out execution engine.
 
@@ -211,11 +356,20 @@ class ExecutorBackend(abc.ABC):
     #: Registry/display name, overridden per subclass.
     name = "?"
 
+    #: Cap on retained quarantine entries (oldest evicted beyond it).
+    MAX_QUARANTINE = 100
+
     def __init__(self):
         self._outstanding: set[JobFuture] = set()
         self._lock = threading.Lock()
         self.submitted = 0
         self.failed = 0
+        self.cancelled = 0
+        #: Terminal failures, newest last: ``{label, seed, error,
+        #: exc_type, attempts, exhausted}`` per poisoned job.  Reported
+        #: via :meth:`stats`; quarantined futures are resolved, so they
+        #: never block :meth:`drain`.
+        self.quarantine: list[dict] = []
 
     # -- submission ----------------------------------------------------------
 
@@ -231,10 +385,25 @@ class ExecutorBackend(abc.ABC):
         return future
 
     def _on_done(self, future: JobFuture) -> None:
+        exception = future.exception()
         with self._lock:
             self._outstanding.discard(future)
-            if future.exception() is not None:
-                self.failed += 1
+            if exception is None:
+                return
+            if isinstance(exception, JobCancelled):
+                self.cancelled += 1
+                return
+            self.failed += 1
+            self.quarantine.append({
+                "label": future.spec.label,
+                "seed": future.spec.run_seed,
+                "error": str(exception),
+                "exc_type": getattr(exception, "exc_type",
+                                    type(exception).__name__),
+                "attempts": getattr(exception, "attempts", 1),
+                "exhausted": getattr(exception, "quarantined", False),
+            })
+            del self.quarantine[:-self.MAX_QUARANTINE]
 
     @abc.abstractmethod
     def _submit(self, spec: JobSpec) -> JobFuture:
@@ -242,19 +411,63 @@ class ExecutorBackend(abc.ABC):
 
     # -- lifecycle -----------------------------------------------------------
 
-    def drain(self) -> None:
+    def drain(self, timeout: float | None = None) -> None:
         """Block until every job submitted so far has resolved.
 
         Does not raise on failed jobs — exceptions surface when the
-        caller takes ``future.result()``.
+        caller takes ``future.result()``.  ``timeout`` bounds the *whole*
+        drain; when it elapses with jobs unresolved a
+        :class:`TimeoutError` reports how many are stuck (the watchdogs
+        resolve worker-loss casualties, so an expired drain means jobs
+        are genuinely still running or hung).
         """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         with self._lock:
             pending = list(self._outstanding)
         for future in pending:
-            future.wait()
+            if deadline is None:
+                future.wait()
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not future.wait(remaining):
+                unresolved = sum(1 for f in pending if not f.done())
+                raise TimeoutError(
+                    f"{self.name} drain timed out after {timeout} s "
+                    f"({unresolved} jobs unresolved)")
+
+    def resolve_outstanding(self, message: str) -> int:
+        """Resolve every still-pending future with a :class:`JobError`.
+
+        The close-time safety net: a backend must never abandon a future
+        its caller may be blocked on.  Returns how many were resolved;
+        races with genuine late resolutions are tolerated (the real
+        outcome wins).
+        """
+        with self._lock:
+            pending = list(self._outstanding)
+        resolved = 0
+        for future in pending:
+            if future.done():
+                continue
+            try:
+                future.set_exception(JobError(
+                    message, exc_type="JobError",
+                    label=future.spec.label, seed=future.spec.run_seed))
+                resolved += 1
+            except RuntimeError:
+                pass  # a real resolution won the race
+        return resolved
 
     def close(self) -> None:
-        """Release worker resources (idempotent; default no-op)."""
+        """Release worker resources (idempotent).
+
+        The base implementation resolves any outstanding futures so no
+        caller is left blocked on an abandoned job; engine-owning
+        subclasses shut their engine down first, then delegate here.
+        """
+        self.resolve_outstanding(
+            f"{self.name} backend closed with the job unresolved")
 
     def __enter__(self) -> "ExecutorBackend":
         return self
@@ -268,5 +481,9 @@ class ExecutorBackend(abc.ABC):
         """Backend counters; subclasses extend with engine-side detail."""
         with self._lock:
             pending = len(self._outstanding)
+            quarantine = list(self.quarantine)
         return {"backend": self.name, "submitted": self.submitted,
-                "failed": self.failed, "pending": pending}
+                "failed": self.failed, "pending": pending,
+                "cancelled": self.cancelled,
+                "quarantined": len(quarantine),
+                "quarantine": quarantine}

@@ -5,12 +5,19 @@ closed-form arithmetic — no machine pool, no compile cache).  Exists so
 the dispatcher can interleave heterogeneous work in one batch: QuMA
 event-kernel sweeps next to Section 6 comparison points, each route with
 its own executor and state.
+
+Failure semantics are uniform with the QuMA routes: jobs run under the
+spec's retry policy, faults inject at the ``execute`` site (crash
+degrades to transient — the route is in-process), and terminal failures
+surface as the same :class:`~repro.utils.errors.JobError` the other
+backends raise.
 """
 
 from __future__ import annotations
 
 from repro.obs.metrics import MetricsRegistry
-from repro.service.backends.base import ExecutorBackend
+from repro.service.backends.base import ExecutorBackend, retry_call
+from repro.service.faults import FaultPlan
 from repro.service.job import JobFuture, JobSpec
 
 
@@ -19,8 +26,9 @@ class BaselineBackend(ExecutorBackend):
 
     name = "baseline"
 
-    def __init__(self):
+    def __init__(self, faults: FaultPlan | None = None):
         super().__init__()
+        self.faults = faults
         self.metrics = MetricsRegistry()
 
     def _submit(self, spec: JobSpec) -> JobFuture:
@@ -28,9 +36,16 @@ class BaselineBackend(ExecutorBackend):
         # which services that never route a baseline spec need not load.
         from repro.baseline.jobs import execute_baseline_job
 
+        def attempt(attempt_no: int):
+            if self.faults is not None:
+                self.faults.check("execute", spec.run_seed, attempt_no,
+                                  metrics=self.metrics, label=spec.label)
+            return execute_baseline_job(spec, self.metrics)
+
         future = JobFuture(spec)
         try:
-            future.set_result(execute_baseline_job(spec, self.metrics))
+            future.set_result(
+                retry_call(spec, attempt, metrics=self.metrics))
         except Exception as exc:  # surfaces on future.result()
             future.set_exception(exc)
         return future
@@ -38,4 +53,6 @@ class BaselineBackend(ExecutorBackend):
     def stats(self) -> dict:
         stats = super().stats()
         stats["metrics"] = self.metrics.summary()
+        if self.faults is not None:
+            stats["faults"] = self.faults.stats()
         return stats

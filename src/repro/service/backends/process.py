@@ -6,18 +6,38 @@ Jobs are dispatched with ``apply_async``, so futures resolve in
 completion order (the pool's result-handler thread fires the callbacks)
 while per-job seed derivation keeps results bit-identical to serial
 execution regardless of which worker ran what.
+
+Worker loss is survivable.  ``multiprocessing.Pool`` respawns dead
+workers on its own, but it silently abandons whatever ``apply_async``
+call the dead worker was running — the future never resolves and
+``drain()`` hangs forever.  This module closes that gap with a parent-
+side watchdog: workers announce job start/finish on a synchronous event
+queue, so when a pid disappears the watchdog knows exactly which job it
+took down, resubmits it with an advanced base attempt (or resolves the
+future with a :class:`~repro.utils.errors.JobError` once the retry
+budget is spent), and evicts the stale pool bookkeeping so ``close()``
+can still join the pool.  Jobs with a ``timeout`` get a hard ceiling
+too: a worker that overstays the job's whole attempt budget is killed
+and treated as lost.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
+import time
+from functools import partial
 
 from repro.obs.metrics import MetricsRegistry
-from repro.service.backends.base import ExecutorBackend, execute_job
+from repro.service.backends.base import ExecutorBackend, execute_with_retry
 from repro.service.cache import CompileCache, ReplayCache
+from repro.service.faults import FaultPlan
 from repro.service.job import JobFuture, JobResult, JobSpec
+from repro.service.policy import NO_RETRY, wrap_job_failure
 from repro.service.pool import MachinePool
+from repro.utils.errors import WorkerLost
 
 # -- worker-process state ----------------------------------------------------
 # Module-level so the initializer/executor pair stays picklable by name.
@@ -25,16 +45,39 @@ from repro.service.pool import MachinePool
 _WORKER: dict = {}
 
 
-def _worker_init(cache_dir: str | None = None) -> None:
+def _worker_init(cache_dir: str | None = None,
+                 faults: FaultPlan | None = None,
+                 events=None) -> None:
     _WORKER["pool"] = MachinePool(label=f"worker{os.getpid()}")
     _WORKER["cache"] = CompileCache(persist_dir=cache_dir)
     _WORKER["replay_cache"] = ReplayCache()
     _WORKER["metrics"] = MetricsRegistry()
+    _WORKER["faults"] = faults if faults is not None else FaultPlan.from_env()
+    _WORKER["events"] = events
 
 
-def _worker_execute(spec: JobSpec) -> JobResult:
-    return execute_job(spec, _WORKER["pool"], _WORKER["cache"],
-                       _WORKER["replay_cache"], metrics=_WORKER["metrics"])
+def _worker_execute(spec: JobSpec, token: int | None = None,
+                    base_attempt: int = 0) -> JobResult:
+    """Run one job on this worker, under its retry policy and fault plan.
+
+    ``token`` identifies the job to the parent watchdog: start/done
+    events bracket the execution on a *synchronous* queue (the write
+    completes before execution begins), so a worker that dies mid-job
+    leaves exactly one started-but-unfinished token behind, and the
+    parent knows which job to recover.  ``allow_crash=True``: workers
+    are expendable, so injected crash faults really SIGKILL here.
+    """
+    events = _WORKER.get("events")
+    if events is not None and token is not None:
+        events.put(("start", os.getpid(), token))
+    try:
+        return execute_with_retry(
+            spec, _WORKER["pool"], _WORKER["cache"], _WORKER["replay_cache"],
+            metrics=_WORKER["metrics"], faults=_WORKER.get("faults"),
+            base_attempt=base_attempt, allow_crash=True)
+    finally:
+        if events is not None and token is not None:
+            events.put(("done", os.getpid(), token))
 
 
 def default_workers() -> int:
@@ -47,41 +90,323 @@ class ProcessBackend(ExecutorBackend):
 
     ``cache_dir`` (optional) points every worker's compile cache at one
     shared disk-spill directory, so even freshly forked workers start
-    warm on previously resolved programs.
+    warm on previously resolved programs.  ``faults`` arms every worker
+    with the same chaos plan; ``degrade_after`` (optional) falls back to
+    inline in-parent execution once that many workers have been lost —
+    the last rung of the degradation ladder, trading parallelism for
+    guaranteed progress.
     """
 
     name = "process"
 
+    #: Watchdog sweep period (seconds).
+    WATCH_INTERVAL_S = 0.02
+    #: Slack added to a job's whole attempt budget before its worker is
+    #: presumed hung and killed.
+    KILL_GRACE_S = 1.0
+
     def __init__(self, workers: int | None = None,
-                 cache_dir: str | None = None):
+                 cache_dir: str | None = None,
+                 faults: FaultPlan | None = None,
+                 degrade_after: int | None = None):
         super().__init__()
         self.workers = workers if workers is not None else default_workers()
         self.cache_dir = cache_dir
+        self.faults = faults
+        self.degrade_after = degrade_after
+        self.worker_losses = 0
+        self.hang_kills = 0
         self._pool: multiprocessing.pool.Pool | None = None
+        self._events = None
+        self._watchdog: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._closing = False
+        self._degraded = False
+        # In-flight bookkeeping (guarded by _mutex, never by the base
+        # class lock — future callbacks re-enter _on_done under it):
+        # token -> {spec, future, base_attempt, handle, pid, started_at}.
+        self._mutex = threading.Lock()
+        self._inflight: dict[int, dict] = {}
+        self._next_token = 0
+        # Lazy in-parent execution state for degraded mode.
+        self._inline: dict | None = None
+
+    # -- pool lifecycle ------------------------------------------------------
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
-            self._pool = multiprocessing.Pool(
+            ctx = multiprocessing.get_context()
+            # SimpleQueue writes synchronously in the putting process (no
+            # feeder thread), so a "start" event is durable before the
+            # job begins — a SIGKILL mid-job cannot lose it.
+            self._events = ctx.SimpleQueue()
+            self._pool = ctx.Pool(
                 processes=self.workers, initializer=_worker_init,
-                initargs=(self.cache_dir,))
+                initargs=(self.cache_dir, self.faults, self._events))
+            self._stop.clear()
+            self._watchdog = threading.Thread(
+                target=self._watch, name="repro-process-watchdog",
+                daemon=True)
+            self._watchdog.start()
         return self._pool
+
+    # -- submission ----------------------------------------------------------
 
     def _submit(self, spec: JobSpec) -> JobFuture:
         future = JobFuture(spec)
-        self._ensure_pool().apply_async(
-            _worker_execute, (spec,),
-            callback=future.set_result,
-            error_callback=future.set_exception)
+        if self._degraded:
+            self._run_inline(spec, future, base_attempt=0)
+            return future
+        self._ensure_pool()
+        with self._mutex:
+            token = self._next_token
+            self._next_token += 1
+            self._inflight[token] = {
+                "spec": spec, "future": future, "base_attempt": 0,
+                "handle": None, "pid": None, "started_at": None,
+            }
+        self._dispatch(token)
         return future
 
+    def _dispatch(self, token: int) -> None:
+        with self._mutex:
+            entry = self._inflight.get(token)
+            if entry is None:
+                return
+            spec, base_attempt = entry["spec"], entry["base_attempt"]
+            entry["pid"] = None
+            entry["started_at"] = time.monotonic()
+        handle = self._pool.apply_async(
+            _worker_execute, (spec, token, base_attempt),
+            callback=partial(self._job_done, token),
+            error_callback=partial(self._job_failed, token))
+        with self._mutex:
+            entry = self._inflight.get(token)
+            if entry is not None:
+                entry["handle"] = handle
+
+    def _pop(self, token: int) -> dict | None:
+        with self._mutex:
+            return self._inflight.pop(token, None)
+
+    def _job_done(self, token: int, result: JobResult) -> None:
+        entry = self._pop(token)
+        if entry is None:
+            return  # the watchdog already recovered (or cancelled) it
+        try:
+            entry["future"].set_result(result)
+        except RuntimeError:
+            pass  # a watchdog/close resolution won the race
+
+    def _job_failed(self, token: int, exc: BaseException) -> None:
+        entry = self._pop(token)
+        if entry is None:
+            return
+        try:
+            entry["future"].set_exception(exc)
+        except RuntimeError:
+            pass
+
+    # -- watchdog ------------------------------------------------------------
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self.WATCH_INTERVAL_S):
+            try:
+                self._sweep()
+            except Exception:
+                # The watchdog must outlive any single bad sweep (pool
+                # internals shifting under it mid-close, for instance).
+                if self._closing:
+                    return
+
+    def _sweep(self) -> None:
+        self._drain_events()
+        pool = self._pool
+        if pool is None:
+            return
+        try:
+            alive = {p.pid for p in pool._pool if p.is_alive()}
+        except Exception:
+            return  # pool is being torn down under us
+        self._kill_overstayers(alive)
+        with self._mutex:
+            lost = [token for token, entry in self._inflight.items()
+                    if entry["pid"] is not None
+                    and entry["pid"] not in alive]
+        for token in lost:
+            self._recover(token)
+
+    def _drain_events(self) -> None:
+        events = self._events
+        if events is None:
+            return
+        try:
+            while not events.empty():
+                kind, pid, token = events.get()
+                with self._mutex:
+                    entry = self._inflight.get(token)
+                    if entry is None:
+                        continue
+                    if kind == "start":
+                        entry["pid"] = pid
+                        entry["started_at"] = time.monotonic()
+                    else:  # "done": completion callback will resolve it
+                        entry["pid"] = None
+        except (OSError, EOFError):
+            pass  # queue closed mid-teardown
+
+    def _kill_overstayers(self, alive: set) -> None:
+        """SIGKILL workers whose job overstayed its whole attempt budget.
+
+        Only jobs with a ``timeout`` get a ceiling: the budget is the
+        per-attempt timeout times the attempts remaining, plus the
+        maximum backoff sleep, plus grace.  The killed worker is then
+        recovered as an ordinary loss on the next sweep.
+        """
+        now = time.monotonic()
+        doomed = []
+        with self._mutex:
+            for entry in self._inflight.values():
+                spec = entry["spec"]
+                if (entry["pid"] is None or entry["pid"] not in alive
+                        or spec.timeout is None
+                        or entry["started_at"] is None):
+                    continue
+                policy = spec.retry if spec.retry is not None else NO_RETRY
+                base = entry["base_attempt"]
+                budget = (spec.timeout
+                          * max(1, policy.max_attempts - base)
+                          + policy.total_backoff_s(base)
+                          + self.KILL_GRACE_S)
+                if now - entry["started_at"] > budget:
+                    doomed.append(entry["pid"])
+        for pid in doomed:
+            try:
+                os.kill(pid, signal.SIGKILL)
+                self.hang_kills += 1
+            except (OSError, ProcessLookupError):
+                pass
+
+    def _recover(self, token: int) -> None:
+        """Resubmit (or terminally resolve) a job whose worker died."""
+        with self._mutex:
+            entry = self._inflight.get(token)
+            if entry is None:
+                return
+            spec = entry["spec"]
+            lost_attempt = entry["base_attempt"]
+            lost_pid = entry["pid"]
+            entry["base_attempt"] = lost_attempt + 1
+            entry["pid"] = None
+            self.worker_losses += 1
+            self._evict_stale_handle(entry)
+        loss = WorkerLost(
+            f"worker died executing job "
+            f"{spec.label or spec.run_seed} (attempt {lost_attempt})",
+            worker=f"pid:{lost_pid}")
+        if entry["future"].cancelled():
+            self._pop(token)
+            return
+        policy = spec.retry if spec.retry is not None else NO_RETRY
+        degrade = (self.degrade_after is not None
+                   and self.worker_losses >= self.degrade_after)
+        if self._closing or not policy.should_retry(loss, lost_attempt):
+            self._pop(token)
+            try:
+                entry["future"].set_exception(wrap_job_failure(
+                    loss, attempts=lost_attempt + 1, label=spec.label,
+                    seed=spec.run_seed,
+                    quarantined=(policy.is_retryable(loss)
+                                 and policy.max_attempts > 1)))
+            except RuntimeError:
+                pass
+            return
+        if degrade:
+            self._degraded = True
+            self._pop(token)
+            self._run_inline(spec, entry["future"],
+                             base_attempt=lost_attempt + 1)
+            return
+        self._dispatch(token)
+
+    def _evict_stale_handle(self, entry: dict) -> None:
+        """Forget the pool's bookkeeping for a lost ``apply_async``.
+
+        The pool's worker-handler thread keeps respawning workers while
+        any dispatched call lacks a result, so a lost call left in the
+        cache would make ``close()``'s join spin forever.
+        """
+        handle = entry.get("handle")
+        entry["handle"] = None
+        if handle is None or self._pool is None:
+            return
+        try:
+            self._pool._cache.pop(handle._job, None)
+        except Exception:
+            pass
+
+    # -- degraded (inline) execution -----------------------------------------
+
+    def _run_inline(self, spec: JobSpec, future: JobFuture,
+                    base_attempt: int) -> None:
+        """Last-rung fallback: run in the parent, no worker involved."""
+        if self._inline is None:
+            self._inline = {
+                "pool": MachinePool(label=f"{self.name}-inline"),
+                "cache": CompileCache(persist_dir=self.cache_dir),
+                "replay_cache": ReplayCache(),
+                "metrics": MetricsRegistry(),
+            }
+        try:
+            result = execute_with_retry(
+                spec, self._inline["pool"], self._inline["cache"],
+                self._inline["replay_cache"],
+                metrics=self._inline["metrics"],
+                faults=self.faults if self.faults is not None
+                else FaultPlan.from_env(),
+                base_attempt=base_attempt, allow_crash=False)
+        except Exception as exc:
+            try:
+                future.set_exception(exc)
+            except RuntimeError:
+                pass
+        else:
+            try:
+                future.set_result(result)
+            except RuntimeError:
+                pass
+
+    # -- lifecycle -----------------------------------------------------------
+
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        self._closing = True
+        try:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool.join()
+                # The watchdog stays up through the join so it can kill
+                # hung workers and evict lost calls that would block it.
+                self._stop.set()
+                if self._watchdog is not None:
+                    self._watchdog.join(timeout=5.0)
+                self._pool = None
+                self._watchdog = None
+                self._events = None
+            with self._mutex:
+                self._inflight.clear()
+            super().close()  # resolve anything the teardown left behind
+        finally:
+            self._closing = False
 
     def stats(self) -> dict:
         stats = super().stats()
         stats["workers"] = self.workers
         stats["pool_live"] = self._pool is not None
+        stats["worker_losses"] = self.worker_losses
+        stats["hang_kills"] = self.hang_kills
+        stats["degraded"] = self._degraded
+        with self._mutex:
+            stats["inflight"] = len(self._inflight)
+        if self.faults is not None:
+            stats["faults"] = self.faults.stats()
         return stats

@@ -10,33 +10,42 @@ backends against.
 from __future__ import annotations
 
 from repro.obs.metrics import MetricsRegistry
-from repro.service.backends.base import ExecutorBackend, execute_job
+from repro.service.backends.base import ExecutorBackend, execute_with_retry
 from repro.service.cache import CompileCache, ReplayCache
+from repro.service.faults import FaultPlan
 from repro.service.job import JobFuture, JobSpec
 from repro.service.pool import MachinePool
 
 
 class SerialBackend(ExecutorBackend):
-    """Run jobs inline, one at a time, sharing cache + pool state."""
+    """Run jobs inline, one at a time, sharing cache + pool state.
+
+    Retries run inline under the spec's policy; injected ``crash``
+    faults degrade to transient exceptions here (chaos must never kill
+    the submitting process).
+    """
 
     name = "serial"
 
     def __init__(self, pool: MachinePool | None = None,
                  cache: CompileCache | None = None,
-                 replay_cache: ReplayCache | None = None):
+                 replay_cache: ReplayCache | None = None,
+                 faults: FaultPlan | None = None):
         super().__init__()
         self.pool = pool if pool is not None else MachinePool(label=self.name)
         self.cache = cache if cache is not None else CompileCache()
         self.replay_cache = (replay_cache if replay_cache is not None
                              else ReplayCache())
+        self.faults = faults
         self.metrics = MetricsRegistry()
 
     def _submit(self, spec: JobSpec) -> JobFuture:
         future = JobFuture(spec)
         try:
             future.set_result(
-                execute_job(spec, self.pool, self.cache, self.replay_cache,
-                            metrics=self.metrics))
+                execute_with_retry(spec, self.pool, self.cache,
+                                   self.replay_cache, metrics=self.metrics,
+                                   faults=self.faults))
         except Exception as exc:  # surfaces on future.result()
             future.set_exception(exc)
         return future

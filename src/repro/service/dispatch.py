@@ -12,6 +12,8 @@ the routes interleave.
 
 from __future__ import annotations
 
+import time
+
 from repro.obs.views import RouteStats
 from repro.service.backends.base import ExecutorBackend
 from repro.service.job import JobFuture, JobSpec
@@ -39,10 +41,25 @@ class Dispatcher:
         """Hand one spec to its route's executor."""
         return self.backend_for(spec).submit(spec)
 
-    def drain(self) -> None:
-        """Block until every route's outstanding work has resolved."""
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every route's outstanding work has resolved.
+
+        ``timeout`` bounds the whole drain across routes (one shared
+        deadline, not per route); :class:`TimeoutError` names the route
+        that exhausted it.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         for backend in self.routes.values():
-            backend.drain()
+            if deadline is None:
+                backend.drain()
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"dispatcher drain timed out after {timeout} s "
+                    f"(at route {backend.name!r})")
+            backend.drain(timeout=remaining)
 
     def close(self) -> None:
         for backend in self.routes.values():

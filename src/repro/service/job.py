@@ -30,7 +30,8 @@ from repro.core.config import MachineConfig
 from repro.core.quma import RunResult
 from repro.obs.metrics import summarize_values
 from repro.obs.spans import JobTelemetry, rebase_job_spans
-from repro.utils.errors import ConfigurationError
+from repro.service.policy import RetryPolicy
+from repro.utils.errors import ConfigurationError, JobCancelled
 
 if TYPE_CHECKING:  # avoid a runtime service <-> baseline import cycle
     from repro.baseline.spec import ExperimentSpec
@@ -133,6 +134,17 @@ class JobSpec:
     #: nothing.  Turning it on never changes ``averages`` — the RNG
     #: streams are untouched (the telemetry parity suite pins this down).
     telemetry: bool = False
+    #: Retry policy for transient failures; None falls back to the
+    #: service default (or no retry).  Retries re-run the *same* spec —
+    #: job execution is a pure function of the spec, so a retried job's
+    #: result is bit-identical to a clean first attempt.
+    retry: RetryPolicy | None = None
+    #: Per-attempt wall-clock budget (seconds); None means unbounded.
+    #: Enforced cooperatively at lifecycle-stage boundaries in-process
+    #: (a :class:`~repro.utils.errors.JobTimeout` is retryable), and by
+    #: the process/async worker watchdogs, which kill-and-respawn a
+    #: worker whose job overstays its whole attempt budget.
+    timeout: float | None = None
 
     def __post_init__(self):
         if self.executor not in EXECUTORS:
@@ -153,6 +165,8 @@ class JobSpec:
                     "JobSpec needs exactly one of program= or asm=")
         if self.k_points < 1:
             raise ConfigurationError("k_points must be at least 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError("timeout must be positive (or None)")
         if (self.cal_qubit is not None and self.config is not None
                 and self.cal_qubit not in self.config.qubits):
             raise ConfigurationError(
@@ -218,6 +232,7 @@ class JobFuture:
         self._exception: BaseException | None = None
         self._callbacks: list[Callable[["JobFuture"], None]] = []
         self._lock = threading.Lock()
+        self._cancelled = False
 
     # -- resolution (backend side) ------------------------------------------
 
@@ -230,6 +245,11 @@ class JobFuture:
     def _resolve(self, result, exception) -> None:
         with self._lock:
             if self._done.is_set():
+                if self._cancelled:
+                    # The backend finished (or failed) a job whose future
+                    # was already cancelled: the late outcome is dropped,
+                    # the cancellation stands.
+                    return
                 raise RuntimeError("JobFuture already resolved")
             if result is not None:
                 # Stamp queue-wait and rebase worker spans *before* the
@@ -267,7 +287,33 @@ class JobFuture:
                 result.total_s)
             telemetry.rebased = True
 
+    def cancel(self) -> bool:
+        """Resolve this future with :class:`JobCancelled` if still pending.
+
+        Returns True when the cancellation won the race.  Semantics per
+        backend: the async backend's consumers skip cancelled jobs before
+        execution; the process backend cannot revoke a dispatched task,
+        so the job may still run on a worker but its late result is
+        discarded (the future stays cancelled).  The serial backend
+        resolves futures eagerly, so cancel always returns False there.
+        """
+        with self._lock:
+            if self._done.is_set():
+                return False
+            self._cancelled = True
+            self._result = None
+            self._exception = JobCancelled(
+                f"job {self.spec.label or self.spec.run_seed} cancelled")
+            callbacks, self._callbacks = self._callbacks, []
+            self._done.set()
+        for callback in callbacks:
+            callback(self)
+        return True
+
     # -- consumption (caller side) ------------------------------------------
+
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     def done(self) -> bool:
         return self._done.is_set()
@@ -329,6 +375,10 @@ class JobResult:
     replayed_rounds: int = 0   #: rounds served by the replay fast path
     replay_plan_hit: bool = False  #: replay plan came from the replay cache
     executor: str = "quma"     #: which dispatch route produced this result
+    #: Total execution attempts this result cost (1 = first try clean).
+    #: Retried attempts re-derive the identical job seed, so the payload
+    #: is bit-identical whatever this counts.
+    attempts: int = 1
     #: Correlated-readout register (mirrors ``JobSpec.cal_targets``).
     cal_targets: tuple[int, ...] | None = None
     #: Per-register-qubit calibration points, parallel to ``cal_targets``.
@@ -482,6 +532,11 @@ class SweepResult:
             return 0.0
         return sum(1 for j in self.jobs if j.replay_plan_hit) / len(self.jobs)
 
+    @property
+    def total_retries(self) -> int:
+        """Extra execution attempts spent recovering transient failures."""
+        return sum(job.attempts - 1 for job in self.jobs)
+
     # -- artifacts -----------------------------------------------------------
 
     def save(self, path: str) -> None:
@@ -522,6 +577,7 @@ class SweepResult:
                 "replayed_rounds": job.replayed_rounds,
                 "replay_plan_hit": job.replay_plan_hit,
                 "executor": job.executor,
+                "attempts": job.attempts,
                 "cal_targets": (list(job.cal_targets)
                                 if job.cal_targets is not None else None),
                 "s_grounds": (list(job.s_grounds)
@@ -566,6 +622,7 @@ class SweepResult:
             replayed_rounds=entry.get("replayed_rounds", 0),
             replay_plan_hit=entry.get("replay_plan_hit", False),
             executor=entry.get("executor", "quma"),
+            attempts=entry.get("attempts", 1),
             cal_targets=(tuple(entry["cal_targets"])
                          if entry.get("cal_targets") is not None else None),
             s_grounds=(tuple(entry["s_grounds"])

@@ -34,10 +34,12 @@ from repro.service.backends import (
     SerialBackend,
     create_backend,
     default_workers,
-    execute_job,
+    execute_with_retry,
 )
 from repro.service.cache import CompileCache, ReplayCache
 from repro.service.dispatch import Dispatcher
+from repro.service.faults import FaultPlan
+from repro.service.policy import RetryPolicy
 from repro.service.job import (
     JobFuture,
     JobResult,
@@ -69,15 +71,26 @@ class ExperimentService:
                  cache: CompileCache | None = None,
                  pool: MachinePool | None = None,
                  replay_cache: ReplayCache | None = None,
-                 cache_dir: str | None = None):
+                 cache_dir: str | None = None,
+                 retry: RetryPolicy | None = None,
+                 faults: FaultPlan | None = None,
+                 job_timeout: float | None = None):
         if backend not in self.BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; choose from {self.BACKENDS}")
         if workers is not None and workers < 1:
             raise ConfigurationError("need at least one worker")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ConfigurationError("job_timeout must be positive (or None)")
         self.backend = backend
         self.workers = workers if workers is not None else default_workers()
         self.cache_dir = cache_dir
+        # Failure semantics: service-wide defaults for specs that carry
+        # none of their own, and the (explicit or ambient-from-env) chaos
+        # plan, armed uniformly on every route's executor.
+        self.retry = retry
+        self.job_timeout = job_timeout
+        self.faults = faults if faults is not None else FaultPlan.from_env()
         # Service-local state: the serial route shares it; run_job always
         # uses it (inline execution even on concurrent backends).
         self.cache = (cache if cache is not None
@@ -87,12 +100,14 @@ class ExperimentService:
                              else ReplayCache())
         if backend == "serial":
             quma = SerialBackend(pool=self.pool, cache=self.cache,
-                                 replay_cache=self.replay_cache)
+                                 replay_cache=self.replay_cache,
+                                 faults=self.faults)
         else:
             quma = create_backend(backend, workers=self.workers,
-                                  cache_dir=cache_dir)
+                                  cache_dir=cache_dir, faults=self.faults)
         self.dispatcher = Dispatcher({"quma": quma,
-                                      "baseline": BaselineBackend()})
+                                      "baseline":
+                                      BaselineBackend(faults=self.faults)})
         # Stream bookkeeping; guarded by the lock because submit may be
         # called from several threads while iter_completed drains.
         # ``_pending`` holds futures submitted but not yet yielded by any
@@ -141,6 +156,7 @@ class ExperimentService:
         with no race against a concurrent service-wide consumer (the
         experiment layer submits this way).
         """
+        self._apply_defaults(spec)
         future = self.dispatcher.submit(spec)
         with self._stream_lock:
             future.index = self._submitted
@@ -154,6 +170,18 @@ class ExperimentService:
             future.add_done_callback(self._completed.put)
         return future
 
+    def _apply_defaults(self, spec: JobSpec) -> None:
+        """Fill a spec's unset failure-semantics fields from the service.
+
+        A spec's own ``retry``/``timeout`` always wins; the service-wide
+        defaults only cover the gaps, so one batch can mix per-job
+        policies with the ambient ones.
+        """
+        if spec.retry is None and self.retry is not None:
+            spec.retry = self.retry
+        if spec.timeout is None and self.job_timeout is not None:
+            spec.timeout = self.job_timeout
+
     def _observe(self, future: JobFuture) -> None:
         """Harvest one resolved future into the service-side registry.
 
@@ -162,12 +190,20 @@ class ExperimentService:
         any spans — the registry's own lock makes the counter updates
         safe from any thread.
         """
-        if future.exception() is not None:
+        exception = future.exception()
+        if exception is not None:
             self.metrics.counter("service.failures").inc()
+            if getattr(exception, "quarantined", False):
+                self.metrics.counter("service.quarantined").inc()
+            attempts = getattr(exception, "attempts", 1)
+            if attempts > 1:
+                self.metrics.counter("service.retries").inc(attempts - 1)
             return
         result = future.result()
         m = self.metrics
         m.counter("service.jobs").inc()
+        if result.attempts > 1:
+            m.counter("service.retries").inc(result.attempts - 1)
         m.counter("service.cache_hits").inc(int(result.cache_hit))
         m.counter("service.machine_reuses").inc(int(result.machine_reused))
         m.counter("service.replay_plan_hits").inc(int(result.replay_plan_hit))
@@ -250,9 +286,15 @@ class ExperimentService:
                 future.stream_collected = True
             yield future.result()
 
-    def drain(self) -> None:
-        """Block until every route's submitted work has resolved."""
-        self.dispatcher.drain()
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every route's submitted work has resolved.
+
+        ``timeout`` bounds the whole drain; an expired one raises
+        :class:`TimeoutError` rather than hanging forever on a stuck
+        worker (the watchdogs resolve worker-loss casualties, so an
+        expired drain means jobs are genuinely still running or hung).
+        """
+        self.dispatcher.drain(timeout=timeout)
 
     # -- execution -----------------------------------------------------------
 
@@ -260,11 +302,15 @@ class ExperimentService:
         """Execute a single job inline (serially, even on process/async).
 
         QuMA specs run against the service-local cache and pool; other
-        routes go through their executor synchronously.
+        routes go through their executor synchronously.  Failure
+        semantics match submitted execution: the spec's (or service's)
+        retry policy, timeout, and fault plan all apply.
         """
+        self._apply_defaults(spec)
         if spec.executor == "quma":
-            return execute_job(spec, self.pool, self.cache, self.replay_cache,
-                               metrics=self._inline_metrics)
+            return execute_with_retry(
+                spec, self.pool, self.cache, self.replay_cache,
+                metrics=self._inline_metrics, faults=self.faults)
         return self.dispatcher.submit(spec).result()
 
     def run_batch(self, specs: Sequence[JobSpec]) -> SweepResult:

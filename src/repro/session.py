@@ -44,8 +44,11 @@ from repro.experiments.base import (
     normalize_targets,
 )
 from repro.readout.multiplex import DEFAULT_IF_STEP_HZ, staggered_readouts
+from repro.service.faults import FaultPlan
 from repro.service.job import JobFuture, JobResult, SweepResult
+from repro.service.policy import RetryPolicy
 from repro.service.scheduler import ExperimentService
+from repro.utils.errors import ConfigurationError
 
 
 def merge_flux_pairs(targets, pairs_for=None) -> tuple[tuple[int, int], ...]:
@@ -179,13 +182,25 @@ class Session:
                  cache_dir: str | None = None, seed: int | None = None,
                  service: ExperimentService | None = None,
                  registry: ExperimentRegistry | None = None,
-                 telemetry: bool = False, sim_trace: bool = False):
+                 telemetry: bool = False, sim_trace: bool = False,
+                 retry: RetryPolicy | None = None,
+                 faults: FaultPlan | None = None,
+                 job_timeout: float | None = None):
         self.registry = registry if registry is not None else REGISTRY
         self._own_service = service is None
+        if service is not None and (retry is not None or faults is not None
+                                    or job_timeout is not None):
+            # A wrapped service already armed its executors; failure
+            # semantics must be configured where the backends are built.
+            raise ConfigurationError(
+                "pass retry=/faults=/job_timeout= to the ExperimentService "
+                "itself when wrapping one with service=")
         self.service = (service if service is not None
                         else ExperimentService(backend=backend,
                                                workers=workers,
-                                               cache_dir=cache_dir))
+                                               cache_dir=cache_dir,
+                                               retry=retry, faults=faults,
+                                               job_timeout=job_timeout))
         self.config = config
         self.seed = seed
         # ``telemetry`` marks every submitted spec so results carry

@@ -31,7 +31,7 @@ from repro.experiments.base import normalize_targets, target_key, target_label
 from repro.readout import ReadoutParams
 from repro.readout.calibration import joint_outcome_counts
 from repro.service import ExperimentService, JobSpec
-from repro.utils.errors import CalibrationError, ConfigurationError
+from repro.utils.errors import CalibrationError, ConfigurationError, JobError
 
 ALL_BACKENDS = ("serial", "process", "async")
 _PINNED = os.environ.get("REPRO_SERVICE_BACKEND")
@@ -253,7 +253,10 @@ def test_desynced_register_stream_fails_loudly():
     spec = JobSpec(config=pair_config(), asm=asm, k_points=2, replay=False,
                    cal_targets=(0, 1))
     with ExperimentService(backend="serial") as service:
-        with pytest.raises(ConfigurationError, match="register rounds"):
+        # Terminal job failures surface uniformly as JobError; the
+        # original type and message are preserved in its text.
+        with pytest.raises(JobError, match="ConfigurationError.*register "
+                                           "rounds"):
             service.run_job(spec)
 
 

@@ -1,0 +1,95 @@
+"""Exception hierarchy: pickle round-trips for every error class.
+
+Job errors cross the process boundary from pool workers back to the
+submitting process, so *every* exception type in ``repro.utils.errors``
+must survive a pickle round-trip with its message and extra attributes
+intact — including subclasses whose constructors mutate the message
+(``AssemblyError`` prefixes the line number), which naive
+``cls(*args)``-style unpickling would double-apply.
+"""
+
+import inspect
+import pickle
+
+import pytest
+
+import repro.utils.errors as errors_mod
+from repro.utils.errors import (
+    AssemblyError,
+    FaultInjected,
+    JobError,
+    JobTimeout,
+    ReproError,
+    TransientJobError,
+    WorkerLost,
+)
+
+#: Constructor calls exercising every extra attribute each class carries.
+#: Classes not listed are built as ``cls("message")``.
+SPECIAL_CONSTRUCTORS = {
+    "AssemblyError": lambda cls: cls("unknown mnemonic 'QWAIT'", line=3),
+    "FaultInjected": lambda cls: cls("injected transient at compile",
+                                     site="compile", attempt=2),
+    "WorkerLost": lambda cls: cls("worker died", worker="pid:4242"),
+    "JobTimeout": lambda cls: cls("attempt exceeded budget",
+                                  stage="execute", elapsed_s=1.25),
+    "JobError": lambda cls: cls(
+        "FaultInjected: injected transient at compile",
+        exc_type="FaultInjected", remote_traceback="Traceback ...\n",
+        attempts=3, label="rabi a=0.5", seed=1234, quarantined=True),
+}
+
+
+def all_error_classes():
+    """Every exception class defined in the errors module."""
+    return [cls for _, cls in inspect.getmembers(errors_mod, inspect.isclass)
+            if issubclass(cls, ReproError)
+            and cls.__module__ == errors_mod.__name__]
+
+
+def build(cls):
+    factory = SPECIAL_CONSTRUCTORS.get(cls.__name__)
+    if factory is not None:
+        return factory(cls)
+    return cls("a readable message")
+
+
+def test_module_defines_the_expected_taxonomy():
+    names = {cls.__name__ for cls in all_error_classes()}
+    assert {"ReproError", "AssemblyError", "TransientJobError",
+            "FaultInjected", "WorkerLost", "JobTimeout", "JobCancelled",
+            "JobError"} <= names
+
+
+@pytest.mark.parametrize("cls", all_error_classes(),
+                         ids=lambda cls: cls.__name__)
+def test_every_error_survives_pickle(cls):
+    original = build(cls)
+    clone = pickle.loads(pickle.dumps(original))
+    assert type(clone) is cls
+    assert str(clone) == str(original)
+    assert clone.args == original.args
+    assert clone.__dict__ == original.__dict__
+
+
+def test_assembly_error_does_not_double_prefix_line():
+    exc = AssemblyError("unknown mnemonic", line=7)
+    clone = pickle.loads(pickle.dumps(exc))
+    assert str(clone) == "line 7: unknown mnemonic"
+    assert clone.line == 7
+
+
+def test_job_error_attributes_and_attempt_suffix():
+    exc = SPECIAL_CONSTRUCTORS["JobError"](JobError)
+    assert "(after 3 attempts)" in str(exc)
+    clone = pickle.loads(pickle.dumps(exc))
+    assert clone.exc_type == "FaultInjected"
+    assert clone.remote_traceback.startswith("Traceback")
+    assert clone.attempts == 3 and clone.quarantined
+    assert clone.label == "rabi a=0.5" and clone.seed == 1234
+
+
+def test_transient_family_classification():
+    for cls in (FaultInjected, WorkerLost, JobTimeout):
+        assert issubclass(cls, TransientJobError)
+    assert not issubclass(JobError, TransientJobError)
