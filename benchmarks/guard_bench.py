@@ -10,8 +10,11 @@ are machine-independent ratios:
 * **replay** — the cold/warm replay *speedups* (replay throughput
   relative to full simulation *on the same machine*) at matched
   ``n_rounds`` trajectory rows, plus bitwise parity on every row;
-* **entangling** — the GHZ width-scaling ratios (``rounds_per_s`` at
-  width w relative to width 2 *in the same run*), plus process parity.
+* **entangling** — the per-width joint-replay speedup *floor* (replay
+  must beat the full event kernel by >=3x on the same machine) with
+  bitwise replay-on/off parity on every width, the GHZ width-scaling
+  ratios (full ``rounds_per_s`` at width w relative to the narrowest
+  width *in the same run*), plus process parity.
 
 ``--absolute`` adds raw-throughput comparisons (bell ``jobs_per_s``,
 ghz ``rounds_per_s``, replay per-round times) for same-machine runs,
@@ -108,22 +111,41 @@ def check_entangling(guard: Guard, baseline: dict, current: dict,
     if anchor is None:
         print("  warn  no matched ghz widths")
     else:
+        for width in matched:
+            # Joint-replay floor at each width: warm replay times are a
+            # few milliseconds at smoke scale, so the exact speedup is
+            # timing-noise-dominated — guard the acceptance floor (the
+            # fast path must beat the event kernel by >=3x) rather than
+            # a brittle run-to-run ratio.  --absolute adds the strict
+            # same-machine comparison below.
+            guard.require(
+                f"ghz width-{width} replay speedup >= 3x "
+                f"(measured {cur_ghz[width]['speedup']:.1f}x)",
+                cur_ghz[width]["speedup"] >= 3.0)
+            guard.require(f"ghz width-{width} replay parity bitwise",
+                          cur_ghz[width].get("parity") == "bitwise")
         # Width-scaling cost ratios: how much slower width w is than the
         # narrowest width in the same run. Machine speed cancels out.
         for width in matched[1:]:
-            base_ratio = (base_ghz[anchor]["rounds_per_s"]
-                          / base_ghz[width]["rounds_per_s"])
-            cur_ratio = (cur_ghz[anchor]["rounds_per_s"]
-                         / cur_ghz[width]["rounds_per_s"])
+            base_ratio = (base_ghz[anchor]["full_rounds_per_s"]
+                          / base_ghz[width]["full_rounds_per_s"])
+            cur_ratio = (cur_ghz[anchor]["full_rounds_per_s"]
+                         / cur_ghz[width]["full_rounds_per_s"])
             guard.ratio(f"ghz width-{width} cost vs width-{anchor}",
                         base_ratio, cur_ratio, higher_is_better=False)
     if absolute:
         guard.ratio("bell jobs_per_s", baseline["bell"]["jobs_per_s"],
                     current["bell"]["jobs_per_s"])
         for width in matched:
-            guard.ratio(f"ghz width-{width} rounds_per_s",
-                        base_ghz[width]["rounds_per_s"],
-                        cur_ghz[width]["rounds_per_s"])
+            guard.ratio(f"ghz width-{width} full_rounds_per_s",
+                        base_ghz[width]["full_rounds_per_s"],
+                        cur_ghz[width]["full_rounds_per_s"])
+            guard.ratio(f"ghz width-{width} replay_rounds_per_s",
+                        base_ghz[width]["replay_rounds_per_s"],
+                        cur_ghz[width]["replay_rounds_per_s"])
+            guard.ratio(f"ghz width-{width} replay speedup",
+                        base_ghz[width]["speedup"],
+                        cur_ghz[width]["speedup"])
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -135,7 +135,10 @@ def _parse_params(pairs: list[str]) -> dict:
     """Parse repeated ``--param key=value`` into experiment parameters.
 
     Values go through ``ast.literal_eval`` (``16``, ``0.5``, ``None``,
-    ``[1, 4, 10]``); anything that doesn't parse stays a string.
+    ``[1, 4, 10]``); the JSON spellings ``true``/``false`` become
+    booleans (a bare string ``"false"`` is truthy, which would make
+    flags like ``replay=false`` silently mean the opposite); anything
+    else that doesn't parse stays a string.
     """
     import ast
 
@@ -147,7 +150,11 @@ def _parse_params(pairs: list[str]) -> dict:
         try:
             params[key] = ast.literal_eval(value)
         except (ValueError, SyntaxError):
-            params[key] = value
+            lowered = value.lower()
+            if lowered in ("true", "false"):
+                params[key] = lowered == "true"
+            else:
+                params[key] = value
     return params
 
 
@@ -206,8 +213,11 @@ def cmd_exp(args: argparse.Namespace) -> int:
     targets = _parse_targets(args.qubits) if args.qubits else None
 
     def announce(job):
+        note = ""
+        if job.replay_fallback_reason is not None:
+            note = f"  [no replay: {job.replay_fallback_reason}]"
         print(f"  done [{job.executor}] {job.label or job.seed}"
-              f"  ({job.execute_s:.3f} s)")
+              f"  ({job.execute_s:.3f} s){note}")
 
     def announce_estimate(estimate):
         fitted = {target_label(t): v for t, v in estimate.per_target.items()
@@ -291,8 +301,11 @@ def _run_specs(svc, specs, stream: bool):
         return svc.run_batch(specs)
 
     def announce(job):
+        note = ""
+        if job.replay_fallback_reason is not None:
+            note = f"  [no replay: {job.replay_fallback_reason}]"
         print(f"  done [{job.executor}] {job.label or job.seed}"
-              f"  ({job.execute_s:.3f} s)")
+              f"  ({job.execute_s:.3f} s){note}")
 
     return run_spec_sweep(svc, specs, on_result=announce)
 

@@ -89,10 +89,10 @@ class MeasurementPath:
             # t0 = 0: the readout demodulation NCO is phase-referenced to
             # the measurement trigger, so the record phase matches the
             # calibrated weight function regardless of absolute time.
+            if self.recorder is not None:
+                self.recorder.trace_template(chip_qubits, duration_ns)
             if len(chip_qubits) == 1:
                 (q,) = chip_qubits
-                if self.recorder is not None:
-                    self.recorder.trace_template(q, duration_ns)
                 record = transmitted_trace(self.config.readout_for(q),
                                            outcomes[q], duration_ns, 0,
                                            self._rng)

@@ -20,14 +20,30 @@ The engine exploits this:
    channels must reproduce every recorded pre-measurement P(|1>)
    *exactly*.  Any mismatch falls back to full simulation, which simply
    continues the interrupted run.
-3. **Replay** — projective measurements collapse product states to exact
-   computational-basis states, so the quantum side of the remaining
-   N - 2 rounds is a two-state Markov chain over measurement outcomes:
-   each K-point's channel is composed once onto both basis inputs,
-   yielding a (K, 2) table of pre-measurement P(|1>).  Outcomes are drawn
-   from the machine's device RNG as one batch, and the readout chain
-   (resonator traces, ADC, weighted integration) runs as vectorized
-   ``(n_rounds, n_samples)`` blocks through the same numpy kernels.
+3. **Replay** — projective measurements collapse the relevant qubits to
+   exact computational-basis states, so the quantum side of the
+   remaining N - 2 rounds is a Markov chain over measurement outcomes.
+   Two plan shapes cover the workloads:
+
+   * **Scalar** (:class:`ReplayPlan`) — one qubit measured per point:
+     each K-point's channel is composed onto both basis inputs, giving a
+     (K, 2) table of pre-measurement P(|1>); the chain state is the
+     previous outcome.
+   * **Joint** (:class:`JointReplayPlan`) — a register measured through
+     one multiplexed record per round: the chain state is the register's
+     post-round computational-basis state, and each round is a
+     conditional-probability tree over the ``2**w`` joint-outcome words
+     (node ``(2**j - 1) + prefix`` holds P(|1>) of register qubit ``j``
+     given the earlier outcomes ``prefix``).  Because every register
+     qubit is projected, the post-round basis state is a function of the
+     outcome word alone — verified at build time — which is what makes
+     the joint chain a small transition table instead of a channel per
+     state.
+
+   Outcomes are drawn from the machine's device RNG as one batch, and
+   the readout chain (resonator or summed multiplexed traces, ADC,
+   weighted integration) runs as vectorized ``(n_rounds, n_samples)``
+   blocks through the same numpy kernels.
 
 Because numpy Generators fill arrays in stream order and every replayed
 operation reuses the recorded objects and scalar-identical kernels, the
@@ -36,9 +52,9 @@ the same derived RNG streams — not just statistically.
 
 Eligibility (checked statically before recording): no ``MD``/``Measure``
 write-back (register-file feedback could change control flow per round),
-no Q-control-store microprogram calls, no multi-qubit (multiplexed)
-readout, zero classical issue jitter, architectural tracing disabled, and
-at least three rounds.  A verified plan is cacheable and reusable across
+no Q-control-store microprogram calls, registers no wider than 8 qubits,
+zero classical issue jitter, architectural tracing disabled, and at
+least three rounds.  A verified plan is cacheable and reusable across
 run seeds (see ``repro.service.cache.ReplayCache``): a warm plan replays
 *all* N rounds without touching the event kernel at all.
 """
@@ -53,8 +69,10 @@ from repro.core.quma import QuMA, RunResult
 from repro.isa import instructions as ins
 from repro.qubit.state import DensityMatrix
 from repro.readout.adc import adc_quantize
-from repro.readout.resonator import ReadoutParams, transmitted_trace_batch
-from repro.readout.weights import integrate_batch
+from repro.readout.multiplex import multiplexed_signal_table
+from repro.readout.resonator import (ReadoutParams, synthesize_trace_batch,
+                                     transmitted_trace_batch)
+from repro.readout.weights import integrate_batch, prepare_weights
 from repro.sim.tracing import ScheduleRecorder
 from repro.utils.errors import ReproError
 
@@ -108,6 +126,46 @@ class ReplayPlan:
 
 
 @dataclass
+class JointReplayPlan:
+    """A verified joint-outcome Markov chain for a measured register.
+
+    Like :class:`ReplayPlan`, a pure function of (machine config,
+    program, LUT uploads) — no RNG state — so one plan serves every run
+    seed.  The chain state is the register's post-round computational-
+    basis index; ``states`` lists the reachable ones (row order of the
+    per-state arrays), and every transition is determined by the round's
+    joint-outcome word alone.
+    """
+
+    k_points: int  #: register width w (== per-round DCU points)
+    n_qubits: int
+    measure_qubits: tuple[int, ...]  #: device indices, projection order
+    chip_qubits: tuple[int, ...]     #: chip indices, same order
+    duration_ns: int
+    noise_std: float          #: shared-line noise (largest per-qubit std)
+    signal_table: np.ndarray  #: (2**w, duration) summed quiet records
+    states: tuple[int, ...]   #: reachable basis indices, row order
+    #: (S, 2**w - 1) conditional-probability tree: entry
+    #: ``[s, (2**j - 1) + prefix]`` is P(|1>) of register qubit ``j``
+    #: given start state ``states[s]`` and earlier outcomes ``prefix``.
+    p1_tree: np.ndarray
+    #: (S, 2**w) True where the word's path crosses a p < 1e-12 branch.
+    bad_word: np.ndarray
+    #: (2**w,) row index of the state a round's word leads to (0 for
+    #: words unreachable from every state — the bad check raises first).
+    next_pos: np.ndarray
+    weights: tuple[np.ndarray, ...]  #: per-qubit prepared, chip order
+    adc_bits: tuple[int, ...]
+    #: extrapolation bookkeeping, measured on the recording run
+    round_period_ns: int
+    round1_end_ns: int
+    round_instr_delta: int
+    round1_instructions: int
+    round_stall_delta: int
+    round1_stall_ns: int
+
+
+@dataclass
 class ReplayReport:
     """What the engine actually did for one run."""
 
@@ -141,8 +199,8 @@ def replay_ineligibility(machine: QuMA, n_rounds: int | None) -> str | None:
             return "register-file feedback (measurement write-back)"
         if isinstance(instr, ins.QCall):
             return "Q-control-store microprogram call"
-        if isinstance(instr, (ins.Mpg, ins.Md)) and len(instr.qubits) > 1:
-            return "multiplexed multi-qubit readout"
+        if isinstance(instr, (ins.Mpg, ins.Md)) and len(instr.qubits) > 8:
+            return "register wider than the 8-qubit joint-replay cap"
     # A raw-asm job's declared n_rounds is only a promise; when the loop
     # bound is statically readable it must agree, or replay would
     # silently execute the wrong number of rounds.
@@ -233,7 +291,10 @@ def _build_plan(machine: QuMA, rec: ScheduleRecorder,
     q = measured.pop()
     if len(set(rec.trace_infos)) != 1 or len(rec.trace_infos) != 2 * k:
         return None, "non-uniform measurement records"
-    chip_qubit, duration_ns = rec.trace_infos[0]
+    chip_group, duration_ns = rec.trace_infos[0]
+    if len(chip_group) != 1:
+        return None, "non-uniform measurement records"
+    (chip_qubit,) = chip_group
 
     # The ISSUE's core safety check: round 2's schedule must match round 1
     # bit-for-bit (which also proves the SSB phase is round-periodic).
@@ -295,6 +356,168 @@ def _build_plan(machine: QuMA, rec: ScheduleRecorder,
         lowprob=lowprob,
         weights=np.asarray(mdu.calibration.weights, dtype=float),
         adc_bits=mdu.adc_bits,
+        round_period_ns=period,
+        round1_end_ns=0,      # filled by the caller from run milestones
+        round_instr_delta=0,
+        round1_instructions=0,
+        round_stall_delta=0,
+        round1_stall_ns=0,
+    ), None
+
+
+def _build_joint_plan(machine: QuMA, rec: ScheduleRecorder,
+                      k: int) -> tuple[JointReplayPlan | None, str | None]:
+    """Compose and verify the joint-outcome chain for a measured register.
+
+    The recorded stream must hold exactly two rounds of one multiplexed
+    record each, covering ``k`` register qubits.  From each reachable
+    start basis state the round's operations are re-applied with a
+    branch per outcome, building the conditional-probability tree; the
+    closure over next states is bounded by ``2**k + 1`` because the
+    full-register collapse makes the next state a function of the
+    outcome word alone (any cross-state disagreement falls back).
+    """
+    segments = _split_segments(rec)
+    if len(segments) != 2 * k:
+        return None, "recorded stream does not hold exactly two rounds"
+    if len(set(rec.trace_infos)) != 1 or len(rec.trace_infos) != 2:
+        return None, "non-uniform measurement records"
+    chip_qubits, duration_ns = rec.trace_infos[0]
+    w = len(chip_qubits)
+    if w != k:
+        return None, "register width does not match per-round points"
+    measure_qubits = tuple(machine.config.device_index(q)
+                           for q in chip_qubits)
+    if len(set(measure_qubits)) != w:
+        return None, "register addresses a qubit twice"
+    for r in (0, 1):
+        if tuple(seg.qubit for seg in segments[r * k:r * k + k]) \
+                != measure_qubits:
+            return None, "measurement order differs from the register"
+
+    # Core safety check, as in the scalar path: round 2's schedule must
+    # match round 1 bit-for-bit (proving round-periodicity, including
+    # the SSB carrier phase).
+    for i in range(1, k):
+        if not _ops_equal(segments[i].ops, segments[k + i].ops):
+            return None, f"round-1/round-2 schedule mismatch at point {i}"
+    if not _seg0_tail_equal(segments[0], segments[k]):
+        return None, "round-boundary schedule mismatch"
+
+    device = machine.device
+    n = device.n_qubits
+    n_words = 1 << w
+    steady = segments[k:]
+
+    def explore(b: int) -> tuple[np.ndarray, np.ndarray, np.ndarray] | str:
+        """One start state's conditional tree, or a fallback reason."""
+        p1_row = np.zeros(n_words - 1)
+        bad_row = np.zeros(n_words, dtype=bool)
+        nxt = np.full(n_words, -1, dtype=np.int64)
+
+        def descend(state: DensityMatrix, j: int, prefix: int) -> str | None:
+            seg = steady[j]
+            for op in seg.ops:
+                if op[0] == "idle":
+                    device.apply_idle(state, op[1])
+                else:
+                    state.apply_unitary(op[2], op[1])
+            value = state.prob_one(seg.qubit)
+            p1_row[(1 << j) - 1 + prefix] = value
+            for outcome in (0, 1):
+                p = value if outcome else 1.0 - value
+                new_prefix = prefix | (outcome << j)
+                if p < _PROJECT_EPS:
+                    for tail in range(1 << (w - 1 - j)):
+                        bad_row[new_prefix | (tail << (j + 1))] = True
+                    continue
+                post = state.copy()
+                post.project(seg.qubit, outcome)
+                if j == w - 1:
+                    index = post.basis_index()
+                    if index is None:
+                        return "collapse does not reach a basis state"
+                    nxt[new_prefix] = index
+                else:
+                    error = descend(post, j + 1, new_prefix)
+                    if error is not None:
+                        return error
+            return None
+
+        error = descend(_basis_state(n, b), 0, 0)
+        return error if error is not None else (p1_row, bad_row, nxt)
+
+    # Breadth-first closure from the ground state.
+    states: list[int] = [0]
+    p1_rows: list[np.ndarray] = []
+    bad_rows: list[np.ndarray] = []
+    next_index = np.full(n_words, -1, dtype=np.int64)
+    i = 0
+    while i < len(states):
+        row = explore(states[i])
+        if isinstance(row, str):
+            return None, row
+        p1_row, bad_row, nxt = row
+        p1_rows.append(p1_row)
+        bad_rows.append(bad_row)
+        for word in range(n_words):
+            if bad_row[word]:
+                continue
+            if next_index[word] == -1:
+                next_index[word] = nxt[word]
+                if nxt[word] not in states:
+                    states.append(int(nxt[word]))
+            elif next_index[word] != nxt[word]:
+                return None, "round outcome does not determine the next state"
+        i += 1
+
+    p1_tree = np.array(p1_rows)
+    bad_word = np.array(bad_rows)
+    next_pos = np.zeros(n_words, dtype=np.int64)
+    for word in range(n_words):
+        if next_index[word] != -1:
+            next_pos[word] = states.index(int(next_index[word]))
+
+    # Exactness verification: the steady-state tree must reproduce every
+    # recorded pre-measurement P(|1>) bit-for-bit across both rounds,
+    # and every recorded round-end collapse must land on the state the
+    # chain predicts.  Round 1 starts from the ground state, which idle
+    # decoherence fixes exactly, so the state-0 row covers its differing
+    # lead-in too.
+    pos = 0
+    for r in (0, 1):
+        prefix = 0
+        for j in range(k):
+            seg = segments[r * k + j]
+            if p1_tree[pos, (1 << j) - 1 + prefix] != seg.p1:
+                return None, "steady channel diverges from recorded P(|1>)"
+            prefix |= seg.outcome << j
+        if bad_word[pos, prefix]:
+            return None, "recorded round crossed a ~zero-probability branch"
+        if segments[r * k + k - 1].basis_index != next_index[prefix]:
+            return None, "recorded collapse index mismatch"
+        pos = int(next_pos[prefix])
+
+    period = segments[2 * k - 1].t_ns - segments[k - 1].t_ns
+    if period <= 0:
+        return None, "non-positive round period"
+    table, noise_std = multiplexed_signal_table(
+        {q: machine.config.readout_for(q) for q in chip_qubits}, duration_ns)
+    return JointReplayPlan(
+        k_points=k,
+        n_qubits=n,
+        measure_qubits=measure_qubits,
+        chip_qubits=chip_qubits,
+        duration_ns=duration_ns,
+        noise_std=noise_std,
+        signal_table=table,
+        states=tuple(states),
+        p1_tree=p1_tree,
+        bad_word=bad_word,
+        next_pos=next_pos,
+        weights=tuple(prepare_weights(machine.mdus[q].calibration.weights,
+                                      duration_ns) for q in chip_qubits),
+        adc_bits=tuple(machine.mdus[q].adc_bits for q in chip_qubits),
         round_period_ns=period,
         round1_end_ns=0,      # filled by the caller from run milestones
         round_instr_delta=0,
@@ -427,7 +650,77 @@ def _replay_rounds(machine: QuMA, plan: ReplayPlan, n_rep: int,
     return outcomes
 
 
-def _synthesize_result(machine: QuMA, plan: ReplayPlan,
+def _replay_joint_rounds(machine: QuMA, plan: JointReplayPlan, n_rep: int,
+                         start_index: int) -> np.ndarray:
+    """Draw ``n_rep`` register rounds of outcome words + statistics.
+
+    Consumes the device RNG (one uniform per register qubit per round,
+    projection order) and the readout-noise RNG (one shared-line noise
+    block per round) in exactly the order the full simulation would, so
+    the DCU stream is bit-identical.
+    """
+    w = plan.k_points
+    uniforms = machine.device._rng.random(n_rep * w).reshape(n_rep, w)
+
+    # Candidate outcome word for every possible current state: w vector
+    # passes walk the conditional tree for all rounds at once.
+    n_states = len(plan.states)
+    cand = np.empty((n_rep, n_states), dtype=np.int64)
+    for s in range(n_states):
+        prefix = np.zeros(n_rep, dtype=np.int64)
+        for j in range(w):
+            p = plan.p1_tree[s, (1 << j) - 1 + prefix]
+            prefix |= (uniforms[:, j] < p).astype(np.int64) << j
+        cand[:, s] = prefix
+    # Wherever every state agrees the chain is memoryless; only the
+    # disagreeing rounds need the sequential fix-up, and each needs just
+    # the previous round's (already-final) word.
+    words = cand[:, 0].copy()
+    agree = (cand == cand[:, :1]).all(axis=1)
+    try:
+        pos0 = plan.states.index(start_index)
+    except ValueError:
+        raise ReproError("replay started from a state outside the verified "
+                         "closure; rerun with replay disabled")
+    for i in np.flatnonzero(~agree):
+        pos = pos0 if i == 0 else plan.next_pos[words[i - 1]]
+        words[i] = cand[i, pos]
+
+    if plan.bad_word.any():
+        pos_arr = np.empty(n_rep, dtype=np.int64)
+        pos_arr[0] = pos0
+        pos_arr[1:] = plan.next_pos[words[:-1]]
+        if plan.bad_word[pos_arr, words].any():
+            raise ReproError(
+                "replay drew a ~zero-probability measurement outcome; "
+                "rerun with replay disabled")
+
+    rng = machine.measurement._rng
+    rows = max(1, _CHUNK_FLOATS // max(plan.duration_ns, 1))
+    depths: list[int] = []
+    for bits in plan.adc_bits:
+        if bits not in depths:
+            depths.append(bits)
+    stats = np.empty((n_rep, w))
+    for start in range(0, n_rep, rows):
+        chunk = words[start:start + rows]
+        traces = synthesize_trace_batch(plan.signal_table, chunk,
+                                        plan.noise_std, rng)
+        # One quantization pass per distinct bit depth serves the whole
+        # register (the last may reuse the trace buffer in place).
+        digitized = {bits: adc_quantize(traces, bits,
+                                        overwrite=(d == len(depths) - 1))
+                     for d, bits in enumerate(depths)}
+        for j, bits in enumerate(plan.adc_bits):
+            stats[start:start + len(chunk), j] = \
+                integrate_batch(digitized[bits], plan.weights[j])
+    # Round-major, register-order interleave — the order the event
+    # kernel's FIFO write-backs reach the DCU.
+    machine.dcu.record_batch(stats.reshape(-1))
+    return words
+
+
+def _synthesize_result(machine: QuMA, plan: ReplayPlan | JointReplayPlan,
                        n_rounds: int, replayed: int) -> RunResult:
     """RunResult for a replayed run.
 
@@ -465,8 +758,9 @@ def _synthesize_result(machine: QuMA, plan: ReplayPlan,
 
 
 def run_with_replay(machine: QuMA, n_rounds: int | None,
-                    plan: ReplayPlan | None = None
-                    ) -> tuple[RunResult, ReplayPlan | None, ReplayReport]:
+                    plan: ReplayPlan | JointReplayPlan | None = None
+                    ) -> tuple[RunResult, ReplayPlan | JointReplayPlan | None,
+                               ReplayReport]:
     """Execute the loaded program, replaying rounds where possible.
 
     Returns ``(result, plan, report)``: ``plan`` is the verified plan
@@ -489,7 +783,10 @@ def run_with_replay(machine: QuMA, n_rounds: int | None,
         # previous outcome of 0 covers it (verified at plan build time).
         report.plan_hit = True
         report.replayed_rounds = n_rounds
-        _replay_rounds(machine, plan, n_rounds, prev=0)
+        if isinstance(plan, JointReplayPlan):
+            _replay_joint_rounds(machine, plan, n_rounds, start_index=0)
+        else:
+            _replay_rounds(machine, plan, n_rounds, prev=0)
         return _synthesize_result(machine, plan, n_rounds, n_rounds), \
             plan, report
 
@@ -530,7 +827,10 @@ def run_with_replay(machine: QuMA, n_rounds: int | None,
         fallback = "measurement/write-back stream out of step"
     new_plan = None
     if fallback is None:
-        new_plan, fallback = _build_plan(machine, rec, k)
+        if all(len(group) == 1 for group, _ in rec.trace_infos):
+            new_plan, fallback = _build_plan(machine, rec, k)
+        else:
+            new_plan, fallback = _build_joint_plan(machine, rec, k)
     if fallback is not None:
         report.fallback_reason = fallback
         return machine.run(), None, report
@@ -541,9 +841,13 @@ def run_with_replay(machine: QuMA, n_rounds: int | None,
     new_plan.round_stall_delta = marks[2][2] - marks[1][2]
     new_plan.round1_stall_ns = marks[1][2]
 
-    last_outcome = _split_segments(rec)[-1].outcome
+    last = _split_segments(rec)[-1]
     replayed = n_rounds - 2
-    _replay_rounds(machine, new_plan, replayed, prev=last_outcome)
+    if isinstance(new_plan, JointReplayPlan):
+        _replay_joint_rounds(machine, new_plan, replayed,
+                             start_index=last.basis_index)
+    else:
+        _replay_rounds(machine, new_plan, replayed, prev=last.outcome)
     report.replayed_rounds = replayed
     return _synthesize_result(machine, new_plan, n_rounds, replayed), \
         new_plan, report

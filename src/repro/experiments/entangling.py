@@ -20,9 +20,14 @@ qubit's own readout calibration.
   register; the joint histogram gives the population term
   P(0...0) + P(1...1) and the all-agree fraction.
 
-All jobs run the full event-driven simulation (multi-qubit readout is
-round-replay-ineligible by design), so serial/process/async backends stay
-bit-identical through the usual pure-function-of-the-spec contract.
+Register jobs take the joint round-replay fast path by default
+(``repro.core.replay.JointReplayPlan``): rounds 1-2 run through the full
+event kernel while the joint-outcome Markov chain is recorded and
+verified, the rest replay as vectorized multiplexed-readout batches, and
+a cached plan replays every round — bit-identical with replay off, so
+serial/process/async backends stay interchangeable through the usual
+pure-function-of-the-spec contract.  Pass ``replay=False`` (a shared
+experiment param) to force the full event-driven simulation.
 """
 
 from __future__ import annotations
@@ -169,9 +174,7 @@ class EntanglingExperiment(Experiment):
             uploads=uploads,
             params=params,
             label=label,
-            # Multi-qubit readout is replay-ineligible; skip the
-            # recording attempt instead of paying it per job.
-            replay=False,
+            replay=bool(self.params.get("replay", True)),
             cal_targets=tuple(sorted(target)),
             seed=seed,
         )
@@ -226,7 +229,7 @@ class CZCalibrationExperiment(EntanglingExperiment):
 
     name = "cz_calibration"
     target_arity = 2
-    defaults = {"phases": None, "n_rounds": 48}
+    defaults = {"phases": None, "n_rounds": 48, "replay": True}
 
     def resolve(self) -> None:
         if self.params["phases"] is None:
@@ -360,7 +363,8 @@ class BellExperiment(EntanglingExperiment):
 
     name = "bell"
     target_arity = 2
-    defaults = {"bases": ("ZZ", "XX", "YY"), "n_rounds": 64, "repeats": 1}
+    defaults = {"bases": ("ZZ", "XX", "YY"), "n_rounds": 64, "repeats": 1,
+                "replay": True}
 
     def resolve(self) -> None:
         bases = tuple(str(b).upper() for b in self.params["bases"])
@@ -484,7 +488,7 @@ class GHZExperiment(EntanglingExperiment):
 
     name = "ghz"
     target_arity = None  #: any width >= 2 (validated below)
-    defaults = {"n_rounds": 32, "repeats": 2}
+    defaults = {"n_rounds": 32, "repeats": 2, "replay": True}
 
     def default_targets(self) -> tuple[Target, ...]:
         if self.config.flux_pairs:

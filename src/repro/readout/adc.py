@@ -6,22 +6,27 @@ import numpy as np
 
 
 def adc_quantize(samples: np.ndarray, bits: int = 8,
-                 full_scale: float = 1.0, overwrite: bool = False) -> np.ndarray:
+                 full_scale: float = 1.0, overwrite: bool = False,
+                 out: np.ndarray | None = None) -> np.ndarray:
     """Quantize to a signed ``bits``-bit grid, clipping at full scale.
 
     Returns float values on the quantized grid (so downstream math stays
     in natural units while resolution and clipping are faithful).  With
     ``overwrite`` a float64 input buffer is reused in place — the replay
     fast path quantizes million-row trace blocks, where the extra
-    allocations dominate.  Both paths produce bit-identical values
-    (``np.rint`` and ``np.round`` share the round-half-even rule).
+    allocations dominate.  ``out`` supplies an explicit same-shape
+    scratch buffer instead, for callers that quantize one trace block at
+    several bit depths and must keep the input intact.  All paths
+    produce bit-identical values (``np.rint`` and ``np.round`` share the
+    round-half-even rule).
     """
     if bits < 1:
         raise ValueError("need at least 1 bit")
     levels = 1 << (bits - 1)
     step = full_scale / levels
     samples = np.asarray(samples, dtype=float)
-    out = samples if overwrite else np.empty_like(samples)
+    if out is None:
+        out = samples if overwrite else np.empty_like(samples)
     np.clip(samples, -full_scale, full_scale - step, out=out)
     np.divide(out, step, out=out)
     np.rint(out, out=out)

@@ -14,7 +14,8 @@ import numpy as np
 
 from repro.readout.adc import adc_quantize
 from repro.readout.resonator import ReadoutParams, mean_trace, transmitted_trace
-from repro.readout.weights import integrate, matched_filter_weights
+from repro.readout.weights import (integrate, matched_filter_weights,
+                                   prepare_weights)
 from repro.utils.errors import CalibrationError
 from repro.utils.rng import derive_rng
 
@@ -59,11 +60,14 @@ def calibrate_readout(params: ReadoutParams, duration_ns: int,
         mean_trace(params, 0, duration_ns, t0_ns=0),
         mean_trace(params, 1, duration_ns, t0_ns=0),
     )
+    # Prepared once for the whole shot loop (bit-identical to per-trace
+    # conversion; integrate() trims to the same common length).
+    w_run = prepare_weights(w, duration_ns)
     stats = {0: [], 1: []}
     for outcome in (0, 1):
         for _ in range(n_shots):
             trace = transmitted_trace(params, outcome, duration_ns, 0, rng)
-            stats[outcome].append(integrate(adc_quantize(trace, adc_bits), w))
+            stats[outcome].append(integrate(adc_quantize(trace, adc_bits), w_run))
     s0 = float(np.mean(stats[0]))
     s1 = float(np.mean(stats[1]))
     if not s1 > s0:

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.readout.adc import adc_quantize
 from repro.readout.calibration import ReadoutCalibration
-from repro.readout.weights import integrate
+from repro.readout.weights import integrate, prepare_weights
 from repro.utils.units import CYCLE_NS
 
 
@@ -41,6 +41,9 @@ class MeasurementDiscriminationUnit:
         self.qubit = qubit
         self.calibration = calibration
         self.adc_bits = adc_bits
+        # Converted once: discriminate() runs per round, and the replay
+        # kernels reuse the same prepared array across whole trace blocks.
+        self._weights = prepare_weights(calibration.weights)
 
     def latency_ns(self, integration_ns: int) -> int:
         """Trigger-to-result latency for a given integration window."""
@@ -49,7 +52,7 @@ class MeasurementDiscriminationUnit:
     def discriminate(self, trace: np.ndarray, trigger_ns: int) -> DiscriminationResult:
         """Run the discrimination pipeline on an analog record."""
         digitized = adc_quantize(trace, self.adc_bits)
-        s = integrate(digitized, self.calibration.weights)
+        s = integrate(digitized, self._weights)
         value = 1 if s > self.calibration.threshold else 0
         ready = trigger_ns + self.latency_ns(len(trace))
         return DiscriminationResult(qubit=self.qubit, statistic=s, value=value,

@@ -14,7 +14,8 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.readout.resonator import ReadoutParams, transmitted_trace
+from repro.readout.resonator import (ReadoutParams, transmitted_signal,
+                                     transmitted_trace)
 from repro.utils.errors import ConfigurationError
 
 #: Default IF spacing between neighboring qubits on one feedline (Hz):
@@ -74,6 +75,39 @@ def multiplexed_trace(params_by_qubit: dict[int, ReadoutParams],
     if noise_std:
         total = total + rng.normal(0.0, noise_std, int(duration_ns))
     return total
+
+
+def multiplexed_signal_table(params_by_qubit: dict[int, ReadoutParams],
+                             duration_ns: int) -> tuple[np.ndarray, float]:
+    """Deterministic summed record for every joint-outcome word.
+
+    Returns ``(table, noise_std)`` where ``table`` has ``2**w`` rows:
+    row ``word`` is the noise-free part of :func:`multiplexed_trace` for
+    the outcome assignment whose bit ``j`` (LSB first, in the dict's
+    iteration order) is qubit ``j``'s outcome.  Per-qubit signals are
+    summed in the identical order and grouping as the per-shot path —
+    including the quiet trace's ``signal + 0.0`` step — so adding one
+    shared-line noise realization to a row reproduces the event kernel's
+    record bit-for-bit.  ``noise_std`` is the shared output line's value
+    (the largest configured per-qubit std), as in the per-shot path.
+    """
+    if not params_by_qubit:
+        raise ConfigurationError("no qubits to multiplex")
+    duration = int(duration_ns)
+    signals: list[tuple[np.ndarray, np.ndarray]] = []
+    noise_std = 0.0
+    for params in params_by_qubit.values():
+        signals.append(tuple(
+            transmitted_signal(params, outcome, duration, 0) + 0.0
+            for outcome in (0, 1)))
+        noise_std = max(noise_std, params.noise_std)
+    table = np.zeros((1 << len(signals), duration))
+    for word in range(table.shape[0]):
+        total = np.zeros(duration)
+        for j, pair in enumerate(signals):
+            total = total + pair[(word >> j) & 1]
+        table[word] = total
+    return table, noise_std
 
 
 def crosstalk_matrix(params_by_qubit: dict[int, ReadoutParams],

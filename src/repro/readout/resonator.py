@@ -76,32 +76,50 @@ def transmitted_trace(params: ReadoutParams, outcome: int, duration_ns: int,
     return transmitted_signal(params, outcome, duration_ns, t0_ns) + noise
 
 
+def synthesize_trace_batch(signal_table: np.ndarray, indices: np.ndarray,
+                           noise_std: float,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Noisy feedline records from a precomputed signal table.
+
+    ``signal_table`` holds one deterministic record per possible signal
+    index (per outcome for plain readout, per joint-outcome word for
+    multiplexed readout); row ``i`` of the result is
+    ``signal_table[indices[i]]`` plus one per-record noise realization.
+    Noise is drawn as one ``(n_shots, duration_ns)`` block from ``rng``;
+    because numpy Generators fill arrays in row-major stream order, row
+    ``i`` is bit-identical to the ``i``-th sequential per-shot synthesis
+    on the same generator — the property the round-replay engine's
+    exact-parity guarantee rests on (IEEE addition is commutative, so
+    ``noise + signal`` equals the event kernel's ``signal + noise``
+    bit-for-bit).
+    """
+    signal_table = np.asarray(signal_table, dtype=float)
+    indices = np.asarray(indices, dtype=np.intp)
+    if not noise_std:
+        return signal_table[indices]
+    # standard_normal + in-place scale draws the identical value stream as
+    # rng.normal(0, std, ...) (loc=0 fast path) with one fewer pass.
+    traces = rng.standard_normal((len(indices), signal_table.shape[1]))
+    traces *= noise_std
+    traces += signal_table[indices]
+    return traces
+
+
 def transmitted_trace_batch(params: ReadoutParams, outcomes: np.ndarray,
                             duration_ns: int, t0_ns: int,
                             rng: np.random.Generator) -> np.ndarray:
     """Synthesize feedline records for a batch of measurements at once.
 
-    Returns an ``(n_shots, duration_ns)`` array.  Noise is drawn as one
-    ``(n_shots, duration_ns)`` block from ``rng``; because numpy
-    Generators fill arrays in row-major stream order, row ``i`` is
+    Returns an ``(n_shots, duration_ns)`` array where row ``i`` is
     bit-identical to the ``i``-th sequential :func:`transmitted_trace`
-    call on the same generator — the property the round-replay engine's
-    exact-parity guarantee rests on.
+    call on the same generator (see :func:`synthesize_trace_batch`).
     """
     duration_ns = int(duration_ns)
     if duration_ns <= 0:
         raise ValueError("duration must be positive")
-    outcomes = np.asarray(outcomes, dtype=np.intp)
     signal = np.stack([transmitted_signal(params, o, duration_ns, t0_ns)
                        for o in (0, 1)])
-    if not params.noise_std:
-        return signal[outcomes]
-    # standard_normal + in-place scale draws the identical value stream as
-    # rng.normal(0, std, ...) (loc=0 fast path) with one fewer pass.
-    traces = rng.standard_normal((len(outcomes), duration_ns))
-    traces *= params.noise_std
-    traces += signal[outcomes]
-    return traces
+    return synthesize_trace_batch(signal, outcomes, params.noise_std, rng)
 
 
 def mean_trace(params: ReadoutParams, outcome: int, duration_ns: int,

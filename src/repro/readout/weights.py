@@ -33,6 +33,24 @@ def demodulation_weights(f_if_hz: float, duration_ns: int,
     return np.cos(2.0 * np.pi * f_if_hz * t * 1e-9 + phase)
 
 
+def prepare_weights(weights: np.ndarray,
+                    n_samples: int | None = None) -> np.ndarray:
+    """Convert a weight function to a contiguous float array once.
+
+    The batched replay kernels integrate one weight function against
+    millions of rows; converting (and optionally trimming to the common
+    ``n_samples`` length, as :func:`integrate` would per call) once per
+    plan keeps the hot loop free of per-trace conversions.
+    ``integrate``/``integrate_batch`` on the prepared array are
+    bit-identical to the unprepared calls — same ``np.dot`` kernel over
+    the same common length.
+    """
+    w = np.ascontiguousarray(weights, dtype=float)
+    if n_samples is not None:
+        w = w[:min(len(w), int(n_samples))]
+    return w
+
+
 def integrate(trace: np.ndarray, weights: np.ndarray) -> float:
     """Weighted integration S = sum V(t) W(t) over the common length."""
     trace = np.asarray(trace, dtype=float)

@@ -197,6 +197,8 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
         execute_s = t_end - t1
         replayed_rounds = report.replayed_rounds if report else 0
         plan_hit = report.plan_hit if report else False
+        fallback_reason = (report.fallback_reason if report
+                           else "replay disabled by spec")
         if metrics is not None:
             metrics.counter("jobs").inc()
             metrics.counter("cache_hits").inc(int(resolved.cache_hit))
@@ -216,7 +218,8 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
                 Span(run_stage, t_loaded - t0, t_ran - t0,
                      meta={"replayed_rounds": replayed_rounds,
                            "plan_hit": plan_hit,
-                           "n_rounds": resolved.n_rounds}),
+                           "n_rounds": resolved.n_rounds,
+                           "replay_fallback_reason": fallback_reason}),
                 Span(STAGE_COLLECT, t_ran - t0, t_end - t0),
             )
             telemetry = JobTelemetry(
@@ -244,6 +247,7 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
             telemetry=telemetry,
             replayed_rounds=replayed_rounds,
             replay_plan_hit=plan_hit,
+            replay_fallback_reason=fallback_reason,
             cal_targets=cal_targets,
             s_grounds=s_grounds,
             s_exciteds=s_exciteds,

@@ -253,13 +253,14 @@ class CompileCache:
 class ReplayCache:
     """Verified replay plans, cached next to the compile cache.
 
-    A :class:`~repro.core.replay.ReplayPlan` is a pure function of the
-    machine configuration (minus run seed), the program, and the LUT
-    uploads — it holds no RNG state — so one verified plan serves every
-    job of a sweep that only varies the run seed.  A hit replays *all*
-    N rounds without touching the event kernel, which is what makes warm
-    service throughput scale with numpy bandwidth instead of per-event
-    Python cost.
+    A :class:`~repro.core.replay.ReplayPlan` (or a register job's
+    :class:`~repro.core.replay.JointReplayPlan` — the cache treats plans
+    as opaque values) is a pure function of the machine configuration
+    (minus run seed), the program, and the LUT uploads — it holds no RNG
+    state — so one verified plan serves every job of a sweep that only
+    varies the run seed.  A hit replays *all* N rounds without touching
+    the event kernel, which is what makes warm service throughput scale
+    with numpy bandwidth instead of per-event Python cost.
 
     Keys build on the existing content fingerprints:
     ``MachineConfig.fingerprint()`` (excluding the fields machine reset

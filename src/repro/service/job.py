@@ -374,6 +374,11 @@ class JobResult:
     telemetry: JobTelemetry | None = None
     replayed_rounds: int = 0   #: rounds served by the replay fast path
     replay_plan_hit: bool = False  #: replay plan came from the replay cache
+    #: Why the job did NOT take the replay fast path (None when it did):
+    #: an eligibility reason, a verify-mismatch reason, or "replay
+    #: disabled by spec".  Surfaces silent fallbacks that would otherwise
+    #: look like cache misses.
+    replay_fallback_reason: str | None = None
     executor: str = "quma"     #: which dispatch route produced this result
     #: Total execution attempts this result cost (1 = first try clean).
     #: Retried attempts re-derive the identical job seed, so the payload
@@ -576,6 +581,7 @@ class SweepResult:
                 "queue_wait_s": job.queue_wait_s,
                 "replayed_rounds": job.replayed_rounds,
                 "replay_plan_hit": job.replay_plan_hit,
+                "replay_fallback_reason": job.replay_fallback_reason,
                 "executor": job.executor,
                 "attempts": job.attempts,
                 "cal_targets": (list(job.cal_targets)
@@ -621,6 +627,7 @@ class SweepResult:
             queue_wait_s=entry.get("queue_wait_s", 0.0),
             replayed_rounds=entry.get("replayed_rounds", 0),
             replay_plan_hit=entry.get("replay_plan_hit", False),
+            replay_fallback_reason=entry.get("replay_fallback_reason"),
             executor=entry.get("executor", "quma"),
             attempts=entry.get("attempts", 1),
             cal_targets=(tuple(entry["cal_targets"])

@@ -208,6 +208,8 @@ class ExperimentService:
         m.counter("service.machine_reuses").inc(int(result.machine_reused))
         m.counter("service.replay_plan_hits").inc(int(result.replay_plan_hit))
         m.counter("service.replayed_rounds").inc(result.replayed_rounds)
+        m.counter("service.replay_fallbacks").inc(
+            int(result.replay_fallback_reason is not None))
         m.histogram("stage.queue_wait_s").observe(result.queue_wait_s)
         m.histogram("stage.compile_s").observe(result.compile_s)
         m.histogram("stage.execute_s").observe(result.execute_s)

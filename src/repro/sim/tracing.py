@@ -59,12 +59,17 @@ class ScheduleRecorder:
     * ``("measure", qubit, p1, outcome, t_ns, basis_index)`` — projective
       measurement with its pre-measurement P(|1>), sampled outcome,
       absolute time, and the post-projection computational-basis index
-      (``None`` if the collapsed state was not exactly a basis state).
+      (``None`` if the collapsed state was not exactly a basis state —
+      legitimate mid-round for entangled registers; the plan builders
+      verify basis collapse where their soundness actually needs it).
     """
 
     def __init__(self):
         self.ops: list[tuple] = []
-        self.trace_infos: list[tuple[int, int]] = []  #: (chip_qubit, duration_ns)
+        #: one entry per feedline record: (chip_qubits, duration_ns) —
+        #: a 1-tuple for plain readout, the whole register for
+        #: multiplexed readout (one shared record for all of them).
+        self.trace_infos: list[tuple[tuple[int, ...], int]] = []
         self.measure_count = 0
         self.ineligible: str | None = None
 
@@ -76,14 +81,13 @@ class ScheduleRecorder:
 
     def measure(self, qubit: int, p1: float, outcome: int, t_ns: int,
                 basis_index: int | None) -> None:
-        if basis_index is None and self.ineligible is None:
-            self.ineligible = "post-measurement state is not a basis state"
         self.ops.append(("measure", qubit, p1, outcome, t_ns, basis_index))
         self.measure_count += 1
 
-    def trace_template(self, chip_qubit: int, duration_ns: int) -> None:
-        """One measurement's feedline-record shape (from the readout path)."""
-        self.trace_infos.append((chip_qubit, duration_ns))
+    def trace_template(self, chip_qubits: tuple[int, ...],
+                       duration_ns: int) -> None:
+        """One feedline record's shape (from the readout path)."""
+        self.trace_infos.append((tuple(chip_qubits), duration_ns))
 
 
 class TraceRecorder:

@@ -149,6 +149,25 @@ def test_parse_targets_register_syntax():
     assert _parse_targets("2, 0-1") == ((2,), (0, 1))
 
 
+def test_parse_params_json_bool_spellings():
+    from repro.cli import _parse_params
+
+    # `replay=false` must not become the (truthy) string "false".
+    assert _parse_params(["replay=false"]) == {"replay": False}
+    assert _parse_params(["replay=True", "stream=true"]) == \
+        {"replay": True, "stream": True}
+    assert _parse_params(["bases=('ZZ',)", "label=falsey"]) == \
+        {"bases": ("ZZ",), "label": "falsey"}
+
+
+def test_exp_stream_reports_replay_fallback(capsys):
+    rc = main(["exp", "ghz", "--qubits", "0-1", "--stream",
+               "--param", "n_rounds=4", "--param", "repeats=1",
+               "--param", "replay=false"])
+    assert rc == 0
+    assert "[no replay: replay disabled by spec]" in capsys.readouterr().out
+
+
 def test_exp_bell_pair(capsys):
     rc = main(["exp", "bell", "--qubits", "0-1", "--param", "n_rounds=6"])
     assert rc == 0

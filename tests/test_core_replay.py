@@ -6,6 +6,7 @@ import pytest
 from repro.core import MachineConfig
 from repro.core.quma import QuMA
 from repro.core.replay import (
+    JointReplayPlan,
     ReplayPlan,
     _chain_outcomes,
     replay_ineligibility,
@@ -165,22 +166,24 @@ class TestIneligibility:
         machine.load(asm)
         assert "microprogram" in replay_ineligibility(machine, 8)
 
-    def test_multiplexed_readout_falls_back(self):
-        config = MachineConfig(qubits=(1, 2), trace_enabled=False,
-                               calibration_shots=20, dcu_points=1)
+    def test_register_wider_than_cap_falls_back(self):
+        qubits = tuple(range(9))
+        config = MachineConfig(qubits=qubits, trace_enabled=False,
+                               calibration_shots=20, dcu_points=9)
         machine = QuMA(config)
-        machine.load("""
+        register = ", ".join(f"q{q}" for q in qubits)
+        machine.load(f"""
             mov r1, 0
             mov r2, 8
         Outer_Loop:
             Wait 4
-            MPG {q1, q2}, 300
-            MD {q1, q2}
+            MPG {{{register}}}, 300
+            MD {{{register}}}
             addi r1, r1, 1
             bne r1, r2, Outer_Loop
             halt
         """)
-        assert "multiplexed" in replay_ineligibility(machine, 8)
+        assert "8-qubit" in replay_ineligibility(machine, 8)
 
     def test_fallback_and_full_run_agree_for_entangled_states(self):
         """A CZ program collapses to non-basis states: the engine must
@@ -215,6 +218,89 @@ class TestIneligibility:
         assert plan is None
         assert report.fallback_reason is not None
         assert np.array_equal(r_base.averages, r_replay.averages)
+
+
+def register_config(**overrides):
+    from repro.readout.multiplex import staggered_readouts
+
+    defaults = dict(qubits=(1, 2), flux_pairs=((1, 2),),
+                    trace_enabled=False, calibration_shots=20,
+                    dcu_points=2, readouts=staggered_readouts(2))
+    defaults.update(overrides)
+    return MachineConfig(**defaults)
+
+
+def register_asm(n_rounds):
+    """A CZ-entangled two-qubit register measured through one record."""
+    return f"""
+        mov r15, 40000
+        mov r1, 0
+        mov r2, {n_rounds}
+    Outer_Loop:
+        QNopReg r15
+        Pulse {{q1}}, Y90
+        Wait 4
+        Pulse {{q1, q2}}, CZ
+        Wait 8
+        MPG {{q1, q2}}, 300
+        MD {{q1, q2}}
+        addi r1, r1, 1
+        bne r1, r2, Outer_Loop
+        halt
+    """
+
+
+class TestJointReplay:
+    """Joint-outcome Markov replay for multiplexed register readout."""
+
+    def test_cold_joint_replay_bitwise_identical(self):
+        config = register_config()
+        m_off = QuMA(config)
+        m_off.load(register_asm(12))
+        r_off = m_off.run()
+        m_on = QuMA(config)
+        m_on.load(register_asm(12))
+        r_on, plan, report = run_with_replay(m_on, 12)
+        assert report.fallback_reason is None
+        assert report.replayed_rounds == 10
+        assert isinstance(plan, JointReplayPlan)
+        # The DCU stream — every per-qubit statistic of every round — is
+        # bit-identical, not just the per-point means.
+        assert m_off.dcu.raw().tolist() == m_on.dcu.raw().tolist()
+        assert np.array_equal(r_off.averages, r_on.averages)
+        assert r_on.measurements == r_off.measurements == 24
+        assert r_on.duration_ns == r_off.duration_ns
+        assert r_on.instructions_executed == r_off.instructions_executed
+
+    def test_warm_joint_replay_and_cross_seed_reuse(self):
+        asm = register_asm(12)
+        m_cold = QuMA(register_config())
+        m_cold.load(asm)
+        _, plan, _ = run_with_replay(m_cold, 12)
+        for seed in (None, 1234):
+            config = (register_config() if seed is None
+                      else register_config(seed=seed))
+            m_off = QuMA(config)
+            m_off.load(asm)
+            m_off.run()
+            m_warm = QuMA(config)
+            m_warm.load(asm)
+            r_warm, _, report = run_with_replay(m_warm, 12, plan=plan)
+            assert report.plan_hit and report.replayed_rounds == 12
+            assert m_off.dcu.raw().tolist() == m_warm.dcu.raw().tolist()
+
+    def test_cold_build_on_nondefault_seed(self):
+        asm = register_asm(8)
+        config = register_config(seed=77)
+        m_off = QuMA(config)
+        m_off.load(asm)
+        m_off.run()
+        m_on = QuMA(config)
+        m_on.load(asm)
+        _, plan, report = run_with_replay(m_on, 8)
+        assert report.fallback_reason is None
+        assert isinstance(plan, JointReplayPlan)
+        assert m_off.dcu.raw().tolist() == m_on.dcu.raw().tolist()
 
 
 class TestChainOutcomes:

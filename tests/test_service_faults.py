@@ -272,6 +272,31 @@ class TestChaosDeterminism:
             service = stats["metrics"]["service"]["counters"]
             assert service["service.retries"] == retries
 
+    def test_replayed_register_job_retries_bit_identical(self):
+        """A transient fault during a joint-replayed register job: the
+        retry re-derives the same job seed, takes the same replay fast
+        path, and every correlated observable lands bit-identical to the
+        fault-free run."""
+        def run(faults):
+            with Session(backend="serial", seed=11, faults=faults,
+                         retry=RETRY) as session:
+                future = session.submit_experiment(
+                    "ghz", targets=((0, 1, 2),), n_rounds=8, repeats=4)
+                future.result()
+                return [f.result() for f in future.futures]
+
+        clean = run(None)
+        chaos = run(FaultPlan(seed=77, rate=0.35))
+        assert sum(j.attempts - 1 for j in chaos) > 0  # the chaos bit
+        assert any(j.replayed_rounds > 0 for j in chaos)
+        for a, b in zip(clean, chaos):
+            assert np.asarray(a.averages).tobytes() \
+                == np.asarray(b.averages).tobytes()
+            assert np.asarray(a.joint_counts).tobytes() \
+                == np.asarray(b.joint_counts).tobytes()
+            assert a.s_grounds == b.s_grounds
+            assert a.s_exciteds == b.s_exciteds
+
     def test_chaos_replays_identically(self):
         """Same plan seed, same retry schedule: two chaos runs agree on
         every attempt count, not just on the averages."""
