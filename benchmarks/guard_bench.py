@@ -148,6 +148,39 @@ def check_entangling(guard: Guard, baseline: dict, current: dict,
                         cur_ghz[width]["speedup"])
 
 
+def check_fleet(guard: Guard, baseline: dict, current: dict,
+                absolute: bool) -> None:
+    guard.require("fleet parity bitwise", current.get("parity") == "bitwise")
+    rows = {r["workers"]: r for r in current.get("fleet", [])}
+    serial = current.get("serial_jobs_per_s", 0)
+    if 1 in rows and serial:
+        # A 1-worker fleet pays protocol overhead, not collapse.
+        guard.require(
+            "fleet x1 throughput sane vs serial "
+            f"({rows[1]['jobs_per_s']:.2f} vs {serial:.2f} jobs/s)",
+            rows[1]["jobs_per_s"] > 0.2 * serial)
+    if (current.get("cpu_count") or 1) >= 2:
+        # Scaling-efficiency floor: a second daemon must actually help.
+        # Gated on the recording machine's cores — a single-core box
+        # time-slices the daemons and can prove nothing about scaling.
+        guard.require(
+            "fleet 2-worker scaling >= 1.1x "
+            f"(measured {current.get('scaling_2w', 0):.2f}x)",
+            current.get("scaling_2w", 0) >= 1.1)
+    else:
+        print("  skip  fleet 2-worker scaling floor (single-core artifact)")
+    if absolute:
+        base_rows = {r["workers"]: r for r in baseline.get("fleet", [])}
+        for workers in sorted(set(rows) & set(base_rows)):
+            guard.ratio(f"fleet x{workers} jobs_per_s",
+                        base_rows[workers]["jobs_per_s"],
+                        rows[workers]["jobs_per_s"])
+        if baseline.get("process") and current.get("process"):
+            guard.ratio("fleet bench process jobs_per_s",
+                        baseline["process"]["jobs_per_s"],
+                        current["process"]["jobs_per_s"])
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -164,7 +197,8 @@ def main(argv: list[str] | None = None) -> int:
     guard = Guard(args.tolerance)
     compared = 0
     for name, check in (("BENCH_replay.json", check_replay),
-                        ("BENCH_entangling.json", check_entangling)):
+                        ("BENCH_entangling.json", check_entangling),
+                        ("BENCH_fleet.json", check_fleet)):
         baseline = _load(args.baseline, name)
         current = _load(args.current, name)
         if baseline is None or current is None:

@@ -200,6 +200,21 @@ def _print_job_failure(exc: JobError, stats) -> None:
               file=sys.stderr)
 
 
+def _parse_fleet_workers(value) -> tuple[str, ...] | None:
+    """``--fleet-workers host:port,host:port`` -> address tuple (or None)."""
+    if not value:
+        return None
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Host a fleet worker daemon until interrupted."""
+    from repro.service.fleet.worker import run_worker
+
+    return run_worker(args.listen, cache_dir=args.cache_dir,
+                      slots=args.slots, name=args.name)
+
+
 def cmd_exp(args: argparse.Namespace) -> int:
     """Run any registered experiment through the Session facade."""
     from repro.session import Session
@@ -232,7 +247,9 @@ def cmd_exp(args: argparse.Namespace) -> int:
     with Session(backend=args.backend, workers=args.workers, seed=args.seed,
                  cache_dir=args.cache_dir, telemetry=telemetry,
                  sim_trace=bool(args.trace_out), retry=_retry_policy(args),
-                 job_timeout=args.job_timeout) as session:
+                 job_timeout=args.job_timeout,
+                 fleet_workers=_parse_fleet_workers(args.fleet_workers)
+                 ) as session:
         future = session.submit_experiment(args.name, targets=targets, **params)
         try:
             result = future.result(
@@ -321,7 +338,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
     with ExperimentService(backend=args.backend, workers=args.workers,
                            cache_dir=args.cache_dir,
                            retry=_retry_policy(args),
-                           job_timeout=args.job_timeout) as svc:
+                           job_timeout=args.job_timeout,
+                           fleet_workers=_parse_fleet_workers(
+                               args.fleet_workers)) as svc:
         try:
             if args.program:
                 with open(args.program) as f:
@@ -475,10 +494,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "result per qubit ('0,1'); '-'-joined registers "
                         "address entangling experiments ('0-1,1-2' sweeps "
                         "two pairs, '0-1-2' one GHZ chain)")
-    p.add_argument("--backend", choices=("serial", "process", "async"),
+    p.add_argument("--backend",
+                   choices=("serial", "process", "async", "fleet"),
                    default="serial")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for the process/async backends")
+    p.add_argument("--fleet-workers", default=None, dest="fleet_workers",
+                   metavar="HOST:PORT,...",
+                   help="worker daemon addresses for --backend fleet "
+                        "(default: $REPRO_FLEET_WORKERS)")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--stream", action="store_true",
                    help="print each job and the refined incremental fit "
@@ -522,10 +546,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-replay", dest="replay", action="store_false",
                    help="disable the round-replay fast path "
                         "(full event-driven simulation of every round)")
-    p.add_argument("--backend", choices=("serial", "process", "async"),
+    p.add_argument("--backend",
+                   choices=("serial", "process", "async", "fleet"),
                    default="serial")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for the process/async backends")
+    p.add_argument("--fleet-workers", default=None, dest="fleet_workers",
+                   metavar="HOST:PORT,...",
+                   help="worker daemon addresses for --backend fleet "
+                        "(default: $REPRO_FLEET_WORKERS)")
     p.add_argument("--stream", action="store_true",
                    help="print jobs as they complete (futures API) instead "
                         "of waiting for the whole batch")
@@ -554,6 +583,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a metrics artifact written by --metrics-out")
     p.add_argument("artifact", help="metrics JSON path")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "worker",
+        help="host a fleet worker daemon (serves jobs to --backend fleet)")
+    p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="bind address; port 0 picks a free port and the "
+                        "chosen one is announced on stdout")
+    p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                   help="spill compile caches here; shared across the "
+                        "fleet via the cache-sync protocol frames")
+    p.add_argument("--slots", type=int, default=1,
+                   help="concurrent job lanes in this daemon")
+    p.add_argument("--name", default=None,
+                   help="worker name reported in job telemetry "
+                        "(default worker:HOST:PORT)")
+    p.set_defaults(func=cmd_worker)
 
     return parser
 

@@ -27,7 +27,9 @@ from repro.service.backends import (
     AsyncBackend,
     BaselineBackend,
     ExecutorBackend,
+    FleetBackend,
     ProcessBackend,
+    RemoteBackend,
     SerialBackend,
     create_backend,
     execute_job,
@@ -76,6 +78,7 @@ __all__ = [
     "FAULT_KINDS",
     "FAULT_SITES",
     "FaultPlan",
+    "FleetBackend",
     "JobFuture",
     "JobResult",
     "JobSpec",
@@ -83,6 +86,7 @@ __all__ = [
     "MachinePool",
     "NO_RETRY",
     "ProcessBackend",
+    "RemoteBackend",
     "ReplayCache",
     "RetryPolicy",
     "STAGE_FIELDS",

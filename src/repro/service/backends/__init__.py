@@ -10,6 +10,9 @@ and the service composes them through a
 * :class:`ProcessBackend` — persistent multiprocessing worker pool;
 * :class:`AsyncBackend` — asyncio job queue over process workers,
   resolving futures in completion order;
+* :class:`FleetBackend` / :class:`RemoteBackend` — remote worker
+  daemons over the fleet socket protocol (``repro worker``), with
+  least-outstanding sharding and cross-host ``WorkerLost`` recovery;
 * :class:`BaselineBackend` — the APS2 cost model as a heterogeneous
   dispatch route.
 """
@@ -26,15 +29,18 @@ from repro.service.backends.base import (
 from repro.service.backends.baseline import BaselineBackend
 from repro.service.backends.process import ProcessBackend, default_workers
 from repro.service.backends.serial import SerialBackend
+from repro.service.fleet.backend import FleetBackend, RemoteBackend
 from repro.utils.errors import ConfigurationError
 
 #: Selectable QuMA execution backends, by ``ExperimentService(backend=...)``
 #: name.  (The baseline route is not selectable here — the dispatcher adds
-#: it to every service.)
+#: it to every service.  RemoteBackend is constructed directly: it wants
+#: one address, not a registry-shaped kwargs set.)
 QUMA_BACKENDS = {
     SerialBackend.name: SerialBackend,
     ProcessBackend.name: ProcessBackend,
     AsyncBackend.name: AsyncBackend,
+    FleetBackend.name: FleetBackend,
 }
 
 
@@ -53,8 +59,10 @@ __all__ = [
     "AsyncBackend",
     "BaselineBackend",
     "ExecutorBackend",
+    "FleetBackend",
     "ProcessBackend",
     "QUMA_BACKENDS",
+    "RemoteBackend",
     "SerialBackend",
     "create_backend",
     "default_workers",

@@ -56,8 +56,9 @@ class AsyncBackend(ExecutorBackend):
 
     def __init__(self, workers: int | None = None,
                  cache_dir: str | None = None, queue_size: int = 0,
-                 faults: FaultPlan | None = None):
-        super().__init__()
+                 faults: FaultPlan | None = None,
+                 max_quarantine: int | None = None):
+        super().__init__(max_quarantine=max_quarantine)
         self.workers = workers if workers is not None else default_workers()
         self.cache_dir = cache_dir
         self.queue_size = queue_size

@@ -360,15 +360,25 @@ class ExecutorBackend(abc.ABC):
     #: Registry/display name, overridden per subclass.
     name = "?"
 
-    #: Cap on retained quarantine entries (oldest evicted beyond it).
+    #: Default cap on retained quarantine entries (oldest evicted beyond
+    #: it); override per instance with ``max_quarantine=``.
     MAX_QUARANTINE = 100
 
-    def __init__(self):
+    def __init__(self, max_quarantine: int | None = None):
+        if max_quarantine is not None and max_quarantine < 1:
+            raise ConfigurationError(
+                "max_quarantine must be at least 1 (or None for the "
+                f"default of {self.MAX_QUARANTINE})")
         self._outstanding: set[JobFuture] = set()
         self._lock = threading.Lock()
         self.submitted = 0
         self.failed = 0
         self.cancelled = 0
+        self.max_quarantine = (max_quarantine if max_quarantine is not None
+                               else self.MAX_QUARANTINE)
+        #: Poisoned-job records dropped past the cap — long fleet runs
+        #: see at a glance that the roster is a tail, not the whole story.
+        self.quarantine_evicted = 0
         #: Terminal failures, newest last: ``{label, seed, error,
         #: exc_type, attempts, exhausted}`` per poisoned job.  Reported
         #: via :meth:`stats`; quarantined futures are resolved, so they
@@ -407,7 +417,10 @@ class ExecutorBackend(abc.ABC):
                 "attempts": getattr(exception, "attempts", 1),
                 "exhausted": getattr(exception, "quarantined", False),
             })
-            del self.quarantine[:-self.MAX_QUARANTINE]
+            overflow = len(self.quarantine) - self.max_quarantine
+            if overflow > 0:
+                self.quarantine_evicted += overflow
+                del self.quarantine[:overflow]
 
     @abc.abstractmethod
     def _submit(self, spec: JobSpec) -> JobFuture:
@@ -490,4 +503,5 @@ class ExecutorBackend(abc.ABC):
                 "failed": self.failed, "pending": pending,
                 "cancelled": self.cancelled,
                 "quarantined": len(quarantine),
+                "quarantine_evicted": self.quarantine_evicted,
                 "quarantine": quarantine}

@@ -26,8 +26,9 @@ class BaselineBackend(ExecutorBackend):
 
     name = "baseline"
 
-    def __init__(self, faults: FaultPlan | None = None):
-        super().__init__()
+    def __init__(self, faults: FaultPlan | None = None,
+                 max_quarantine: int | None = None):
+        super().__init__(max_quarantine=max_quarantine)
         self.faults = faults
         self.metrics = MetricsRegistry()
 

@@ -108,8 +108,9 @@ class ProcessBackend(ExecutorBackend):
     def __init__(self, workers: int | None = None,
                  cache_dir: str | None = None,
                  faults: FaultPlan | None = None,
-                 degrade_after: int | None = None):
-        super().__init__()
+                 degrade_after: int | None = None,
+                 max_quarantine: int | None = None):
+        super().__init__(max_quarantine=max_quarantine)
         self.workers = workers if workers is not None else default_workers()
         self.cache_dir = cache_dir
         self.faults = faults

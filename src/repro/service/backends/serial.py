@@ -30,8 +30,9 @@ class SerialBackend(ExecutorBackend):
     def __init__(self, pool: MachinePool | None = None,
                  cache: CompileCache | None = None,
                  replay_cache: ReplayCache | None = None,
-                 faults: FaultPlan | None = None):
-        super().__init__()
+                 faults: FaultPlan | None = None,
+                 max_quarantine: int | None = None):
+        super().__init__(max_quarantine=max_quarantine)
         self.pool = pool if pool is not None else MachinePool(label=self.name)
         self.cache = cache if cache is not None else CompileCache()
         self.replay_cache = (replay_cache if replay_cache is not None

@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import astuple, dataclass, replace
 from pathlib import Path
@@ -36,6 +37,14 @@ from repro.isa.assembler import assemble
 from repro.isa.operations import DEFAULT_OPERATIONS
 from repro.isa.program import Program
 from repro.service.job import JobSpec
+
+#: Format tag written into every spilled entry and required back on
+#: load.  Spill directories are shared across hosts and across releases
+#: (fleet workers publish entries to each other), so the read side must
+#: never trust bytes blindly: an entry from a different format
+#: generation — or a corrupt/truncated one — is ignored as a miss and
+#: recomputed, never half-parsed.  Bump the suffix on any layout change.
+CACHE_FORMAT = "repro.cache/v1"
 
 
 def program_fingerprint(program: QuantumProgram) -> str:
@@ -116,28 +125,52 @@ class CompileCache:
         self.persist_dir = Path(persist_dir) if persist_dir is not None else None
         if self.persist_dir is not None:
             self.persist_dir.mkdir(parents=True, exist_ok=True)
+        # Reentrant: resolve() holds it across both cache levels.  The
+        # in-process backends touch a cache from one thread, but a fleet
+        # worker with several job lanes shares one instance.
+        self._mutex = threading.RLock()
         self.codegen_hits = 0
         self.codegen_misses = 0
         self.assembly_hits = 0
         self.assembly_misses = 0
         self.disk_hits = 0
         self.disk_writes = 0
+        self.disk_rejects = 0
 
     # -- disk spill ----------------------------------------------------------
 
-    def _spill(self, filename: str, payload: bytes) -> None:
+    def _spill(self, filename: str, entry: dict) -> None:
+        payload = json.dumps({"format": CACHE_FORMAT, **entry}).encode()
         tmp = self.persist_dir / f".{filename}.{os.getpid()}.tmp"
         tmp.write_bytes(payload)
         os.replace(tmp, self.persist_dir / filename)
         self.disk_writes += 1
 
-    def _disk_load(self, filename: str) -> bytes | None:
+    def _disk_load(self, filename: str, keys: tuple[str, ...]) -> dict | None:
+        """A spilled entry, or None — defensively.
+
+        Unreadable bytes, non-JSON content, a missing or mismatched
+        format tag, and absent fields all count as a miss (tallied in
+        ``disk_rejects``) rather than an exception: a shared spill
+        directory may hold entries written by a different release or a
+        writer that died mid-life, and the worst a bad entry may cost is
+        a recompute.
+        """
         try:
             payload = (self.persist_dir / filename).read_bytes()
         except OSError:
             return None
+        try:
+            data = json.loads(payload)
+        except (ValueError, UnicodeDecodeError):
+            self.disk_rejects += 1
+            return None
+        if (not isinstance(data, dict) or data.get("format") != CACHE_FORMAT
+                or any(key not in data for key in keys)):
+            self.disk_rejects += 1
+            return None
         self.disk_hits += 1
-        return payload
+        return data
 
     # -- levels --------------------------------------------------------------
 
@@ -145,27 +178,27 @@ class CompileCache:
                      options: CompilerOptions) -> tuple[str, int]:
         """Assembly text and K for a high-level program (level 1)."""
         key = (program_fingerprint(program), options_fingerprint(options))
-        entry = self._codegen.get_touch(key)
-        if entry is not None:
-            self.codegen_hits += 1
-            return entry
-        filename = f"cg_{key[0][:32]}_{key[1][:32]}.json"
-        if self.persist_dir is not None:
-            payload = self._disk_load(filename)
-            if payload is not None:
-                data = json.loads(payload)
-                entry = (data["asm"], data["k_points"])
+        with self._mutex:
+            entry = self._codegen.get_touch(key)
+            if entry is not None:
                 self.codegen_hits += 1
-                self._codegen.put(key, entry)
                 return entry
-        self.codegen_misses += 1
-        compiled = compile_program(program, options)
-        entry = (compiled.asm, compiled.k_points)
-        self._codegen.put(key, entry)
-        if self.persist_dir is not None:
-            self._spill(filename, json.dumps(
-                {"asm": entry[0], "k_points": entry[1]}).encode())
-        return entry
+            filename = f"cg_{key[0][:32]}_{key[1][:32]}.json"
+            if self.persist_dir is not None:
+                data = self._disk_load(filename, keys=("asm", "k_points"))
+                if data is not None:
+                    entry = (data["asm"], data["k_points"])
+                    self.codegen_hits += 1
+                    self._codegen.put(key, entry)
+                    return entry
+            self.codegen_misses += 1
+            compiled = compile_program(program, options)
+            entry = (compiled.asm, compiled.k_points)
+            self._codegen.put(key, entry)
+            if self.persist_dir is not None:
+                self._spill(filename,
+                            {"asm": entry[0], "k_points": entry[1]})
+            return entry
 
     def assembled_for(self, asm: str, extra_ops: tuple[str, ...] = (),
                       microprograms: tuple[tuple[str, int, str], ...] = ()
@@ -181,36 +214,43 @@ class CompileCache:
         op_names = tuple(DEFAULT_OPERATIONS.names()) + tuple(extra_ops)
         uprog_names = [name for name, _, _ in microprograms]
         key = asm_fingerprint(asm, op_names, tuple(microprograms))
-        program = self._assembly.get_touch(key)
-        if program is not None:
-            self.assembly_hits += 1
-            return program, True
-        table = DEFAULT_OPERATIONS.copy()
-        for name in extra_ops:
-            table.define(name)
-        # The spill records the program's own uprog-name order next to the
-        # binary: QCall operands are encoded as indices into the *used*
-        # microprogram list, which a spec's declaration order cannot
-        # reconstruct.
-        filename = f"as_{key[:48]}.json"
-        if self.persist_dir is not None:
-            payload = self._disk_load(filename)
-            if payload is not None:
-                data = json.loads(payload)
-                program = Program.from_binary(
-                    bytes.fromhex(data["binary"]), op_table=table,
-                    uprog_names=list(data["uprogs"]))
+        with self._mutex:
+            program = self._assembly.get_touch(key)
+            if program is not None:
                 self.assembly_hits += 1
-                self._assembly.put(key, program)
                 return program, True
-        self.assembly_misses += 1
-        program = assemble(asm, op_table=table, uprogs=uprog_names)
-        self._assembly.put(key, program)
-        if self.persist_dir is not None:
-            self._spill(filename, json.dumps(
-                {"binary": program.to_binary().hex(),
-                 "uprogs": list(program.uprog_names)}).encode())
-        return program, False
+            table = DEFAULT_OPERATIONS.copy()
+            for name in extra_ops:
+                table.define(name)
+            # The spill records the program's own uprog-name order next to
+            # the binary: QCall operands are encoded as indices into the
+            # *used* microprogram list, which a spec's declaration order
+            # cannot reconstruct.
+            filename = f"as_{key[:48]}.json"
+            if self.persist_dir is not None:
+                data = self._disk_load(filename, keys=("binary", "uprogs"))
+                if data is not None:
+                    try:
+                        program = Program.from_binary(
+                            bytes.fromhex(data["binary"]), op_table=table,
+                            uprog_names=list(data["uprogs"]))
+                    except Exception:
+                        # Valid envelope, undecodable body (a truncated
+                        # writer, a foreign binary layout): recompute.
+                        self.disk_rejects += 1
+                        program = None
+                    if program is not None:
+                        self.assembly_hits += 1
+                        self._assembly.put(key, program)
+                        return program, True
+            self.assembly_misses += 1
+            program = assemble(asm, op_table=table, uprogs=uprog_names)
+            self._assembly.put(key, program)
+            if self.persist_dir is not None:
+                self._spill(filename,
+                            {"binary": program.to_binary().hex(),
+                             "uprogs": list(program.uprog_names)})
+            return program, False
 
     # -- job resolution ------------------------------------------------------
 
@@ -231,23 +271,26 @@ class CompileCache:
     # -- inspection ----------------------------------------------------------
 
     def stats(self) -> dict:
-        return {
-            "codegen_hits": self.codegen_hits,
-            "codegen_misses": self.codegen_misses,
-            "assembly_hits": self.assembly_hits,
-            "assembly_misses": self.assembly_misses,
-            "disk_hits": self.disk_hits,
-            "disk_writes": self.disk_writes,
-            "entries": len(self._codegen) + len(self._assembly),
-        }
+        with self._mutex:
+            return {
+                "codegen_hits": self.codegen_hits,
+                "codegen_misses": self.codegen_misses,
+                "assembly_hits": self.assembly_hits,
+                "assembly_misses": self.assembly_misses,
+                "disk_hits": self.disk_hits,
+                "disk_writes": self.disk_writes,
+                "disk_rejects": self.disk_rejects,
+                "entries": len(self._codegen) + len(self._assembly),
+            }
 
     def clear(self) -> None:
         """Drop the in-memory levels (the disk spill is left in place)."""
-        self._codegen.clear()
-        self._assembly.clear()
-        self.codegen_hits = self.codegen_misses = 0
-        self.assembly_hits = self.assembly_misses = 0
-        self.disk_hits = self.disk_writes = 0
+        with self._mutex:
+            self._codegen.clear()
+            self._assembly.clear()
+            self.codegen_hits = self.codegen_misses = 0
+            self.assembly_hits = self.assembly_misses = 0
+            self.disk_hits = self.disk_writes = self.disk_rejects = 0
 
 
 class ReplayCache:
@@ -278,6 +321,7 @@ class ReplayCache:
 
     def __init__(self, max_entries: int = 64):
         self._plans = _LRU(max_entries)
+        self._mutex = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -296,20 +340,24 @@ class ReplayCache:
                 microprograms_fingerprint(spec.microprograms))
 
     def get(self, key: tuple):
-        plan = self._plans.get_touch(key)
-        if plan is not None:
-            self.hits += 1
-        else:
-            self.misses += 1
-        return plan
+        with self._mutex:
+            plan = self._plans.get_touch(key)
+            if plan is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+            return plan
 
     def put(self, key: tuple, plan) -> None:
-        self._plans.put(key, plan)
+        with self._mutex:
+            self._plans.put(key, plan)
 
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._plans)}
+        with self._mutex:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._plans)}
 
     def clear(self) -> None:
-        self._plans.clear()
-        self.hits = self.misses = 0
+        with self._mutex:
+            self._plans.clear()
+            self.hits = self.misses = 0

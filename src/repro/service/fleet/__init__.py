@@ -1,0 +1,46 @@
+"""Distributed executor fleet: remote workers behind ``ExecutorBackend``.
+
+The fleet extends the service layer across host boundaries:
+
+* :mod:`repro.service.fleet.protocol` — the length-prefixed socket
+  protocol (hello/welcome handshake with version checks, submit/result,
+  heartbeat, cache-sharing, shutdown frames);
+* :mod:`repro.service.fleet.worker` — :class:`WorkerServer`, the
+  ``repro worker`` daemon hosting a warm machine pool and compile/replay
+  caches;
+* :mod:`repro.service.fleet.client` — :class:`WorkerClient`, one
+  multiplexed connection to a worker with reader + heartbeat threads;
+* :mod:`repro.service.fleet.backend` — :class:`RemoteBackend` (one
+  worker) and :class:`FleetBackend` (least-outstanding-jobs sharding
+  across N workers), both mapping dead connections and missed
+  heartbeats to :class:`~repro.utils.errors.WorkerLost` so the existing
+  retry/quarantine machinery recovers across hosts;
+* :mod:`repro.service.fleet.launch` — subprocess helpers for loopback
+  fleets (tests, benchmarks, examples).
+
+Job execution stays a pure function of the spec, so fleet results are
+bit-identical to every in-process backend — including sweeps that lose
+a worker mid-flight (see DESIGN.md "Fleet").
+"""
+
+from __future__ import annotations
+
+from repro.service.fleet.backend import (
+    FLEET_WORKERS_ENV,
+    FleetBackend,
+    RemoteBackend,
+    fleet_addresses_from_env,
+)
+from repro.service.fleet.client import WorkerClient
+from repro.service.fleet.protocol import PROTOCOL_VERSION
+from repro.service.fleet.worker import WorkerServer
+
+__all__ = [
+    "FLEET_WORKERS_ENV",
+    "FleetBackend",
+    "PROTOCOL_VERSION",
+    "RemoteBackend",
+    "WorkerClient",
+    "WorkerServer",
+    "fleet_addresses_from_env",
+]

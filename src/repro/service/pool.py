@@ -16,6 +16,7 @@ different instruments.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import replace
 
@@ -47,6 +48,10 @@ class MachinePool:
         self.label = label
         self.max_idle_per_key = max_idle_per_key
         self.max_idle_total = max_idle_total
+        # Fleet workers with several job lanes share one pool; machine
+        # *construction* stays outside the lock (it dominates and is
+        # purely local), only the idle bookkeeping is guarded.
+        self._mutex = threading.Lock()
         self._idle: dict[str, list[QuMA]] = {}
         #: release order for cross-key eviction; may hold stale entries
         #: for machines that have since been re-acquired.
@@ -62,39 +67,47 @@ class MachinePool:
         the caller's spec.  The caller must :meth:`release` the machine.
         """
         key = pool_key(config)
-        idle = self._idle.get(key)
-        if idle:
-            self.reuses += 1
-            return idle.pop(), True
-        self.builds += 1
+        with self._mutex:
+            idle = self._idle.get(key)
+            if idle:
+                self.reuses += 1
+                return idle.pop(), True
+            self.builds += 1
         return QuMA(replace(config)), False
 
     def release(self, machine: QuMA) -> None:
         """Return a machine to the idle pool (dropped when the key is full)."""
         key = pool_key(machine.config)
-        idle = self._idle.setdefault(key, [])
-        if len(idle) >= self.max_idle_per_key:
-            return
-        idle.append(machine)
-        self._released.append((key, machine))
-        while self.idle_count() > self.max_idle_total and self._released:
-            old_key, old_machine = self._released.popleft()
-            old_idle = self._idle.get(old_key, [])
-            if old_machine in old_idle:  # skip stale (re-acquired) entries
-                old_idle.remove(old_machine)
-                if not old_idle:
-                    del self._idle[old_key]
+        with self._mutex:
+            idle = self._idle.setdefault(key, [])
+            if len(idle) >= self.max_idle_per_key:
+                return
+            idle.append(machine)
+            self._released.append((key, machine))
+            while self._idle_count() > self.max_idle_total and self._released:
+                old_key, old_machine = self._released.popleft()
+                old_idle = self._idle.get(old_key, [])
+                if old_machine in old_idle:  # skip stale (re-acquired) entries
+                    old_idle.remove(old_machine)
+                    if not old_idle:
+                        del self._idle[old_key]
 
-    def idle_count(self) -> int:
+    def _idle_count(self) -> int:
         return sum(len(v) for v in self._idle.values())
 
+    def idle_count(self) -> int:
+        with self._mutex:
+            return self._idle_count()
+
     def stats(self) -> dict:
-        stats = {"builds": self.builds, "reuses": self.reuses,
-                 "idle": self.idle_count(), "keys": len(self._idle)}
+        with self._mutex:
+            stats = {"builds": self.builds, "reuses": self.reuses,
+                     "idle": self._idle_count(), "keys": len(self._idle)}
         if self.label:
             stats["label"] = self.label
         return stats
 
     def clear(self) -> None:
-        self._idle.clear()
-        self._released.clear()
+        with self._mutex:
+            self._idle.clear()
+            self._released.clear()

@@ -12,7 +12,9 @@ executor backends (see ``repro.service.backends``) and executes
   wrappers: submit everything, gather in submission order.
 
 ``backend=`` selects the QuMA route's executor (``"serial"``,
-``"process"``, ``"async"``); every service additionally routes
+``"process"``, ``"async"``, or ``"fleet"`` — remote ``repro worker``
+daemons named by ``fleet_workers=``/``$REPRO_FLEET_WORKERS``); every
+service additionally routes
 ``executor="baseline"`` specs to the APS2 cost model, so one batch can
 interleave both.  Job execution is a pure function of the spec (per-job
 RNG streams are re-derived from the spec's run seed), so all backends
@@ -65,7 +67,7 @@ def grid(**axes: Iterable) -> list[dict]:
 class ExperimentService:
     """Batched experiment orchestration over cache + pool + dispatcher."""
 
-    BACKENDS = ("serial", "process", "async")
+    BACKENDS = ("serial", "process", "async", "fleet")
 
     def __init__(self, backend: str = "serial", workers: int | None = None,
                  cache: CompileCache | None = None,
@@ -74,7 +76,9 @@ class ExperimentService:
                  cache_dir: str | None = None,
                  retry: RetryPolicy | None = None,
                  faults: FaultPlan | None = None,
-                 job_timeout: float | None = None):
+                 job_timeout: float | None = None,
+                 fleet_workers: Sequence[str] | None = None,
+                 max_quarantine: int | None = None):
         if backend not in self.BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; choose from {self.BACKENDS}")
@@ -85,6 +89,11 @@ class ExperimentService:
         self.backend = backend
         self.workers = workers if workers is not None else default_workers()
         self.cache_dir = cache_dir
+        #: ``host:port`` daemon addresses for ``backend="fleet"`` (falls
+        #: back to ``$REPRO_FLEET_WORKERS`` when None).
+        self.fleet_workers = (tuple(fleet_workers)
+                              if fleet_workers is not None else None)
+        self.max_quarantine = max_quarantine
         # Failure semantics: service-wide defaults for specs that carry
         # none of their own, and the (explicit or ambient-from-env) chaos
         # plan, armed uniformly on every route's executor.
@@ -101,13 +110,18 @@ class ExperimentService:
         if backend == "serial":
             quma = SerialBackend(pool=self.pool, cache=self.cache,
                                  replay_cache=self.replay_cache,
-                                 faults=self.faults)
+                                 faults=self.faults,
+                                 max_quarantine=max_quarantine)
         else:
-            quma = create_backend(backend, workers=self.workers,
-                                  cache_dir=cache_dir, faults=self.faults)
-        self.dispatcher = Dispatcher({"quma": quma,
-                                      "baseline":
-                                      BaselineBackend(faults=self.faults)})
+            kwargs = dict(workers=self.workers, cache_dir=cache_dir,
+                          faults=self.faults, max_quarantine=max_quarantine)
+            if backend == "fleet":
+                kwargs["addresses"] = self.fleet_workers
+            quma = create_backend(backend, **kwargs)
+        self.dispatcher = Dispatcher({
+            "quma": quma,
+            "baseline": BaselineBackend(faults=self.faults,
+                                        max_quarantine=max_quarantine)})
         # Stream bookkeeping; guarded by the lock because submit may be
         # called from several threads while iter_completed drains.
         # ``_pending`` holds futures submitted but not yet yielded by any

@@ -80,6 +80,17 @@ class ConfigurationError(ReproError):
     """Raised for inconsistent machine or device configuration."""
 
 
+class ProtocolError(ReproError):
+    """Raised when the fleet wire protocol is violated.
+
+    Covers handshake failures (version mismatch, rejected hello),
+    malformed frames (bad magic, truncated payload, oversized length),
+    and unexpected frame kinds.  Not a :class:`TransientJobError`:
+    a protocol violation means the two endpoints disagree about the
+    conversation, and retrying the same bytes cannot fix that.
+    """
+
+
 # -- job-failure semantics ----------------------------------------------------
 #
 # The service layer's failure taxonomy (see DESIGN.md "Failure semantics"):

@@ -659,3 +659,52 @@ class TestCLI:
         assert "quarantined jobs" in err
         assert "FaultInjected" in err
         assert "Traceback" not in err  # one-line errors, not raw dumps
+
+
+class TestQuarantineBound:
+    """``max_quarantine``: a configurable cap on retained failure reports.
+
+    Failures beyond the cap evict the oldest entries (counted in
+    ``quarantine_evicted``) so a pathological sweep cannot grow the
+    stats payload without bound.
+    """
+
+    def _poison_service(self, max_quarantine=None):
+        plan = FaultPlan(seed=1, rate=1.0, max_faults_per_site=None)
+        return ExperimentService(backend="serial", faults=plan,
+                                 retry=RetryPolicy(max_attempts=2,
+                                                   backoff_s=0.0),
+                                 max_quarantine=max_quarantine)
+
+    def test_cap_evicts_oldest_and_counts(self):
+        with self._poison_service(max_quarantine=2) as svc:
+            for i in range(5):
+                svc.submit(flip_spec(seed=i, label=f"p{i}"))
+            svc.drain()
+            stats = svc.stats()["routes"]["quma"]
+        assert stats["failed"] == 5
+        assert len(stats["quarantine"]) == 2
+        assert stats["quarantine_evicted"] == 3
+        # Newest entries are the ones retained.
+        assert [e["label"] for e in stats["quarantine"]] == ["p3", "p4"]
+
+    def test_default_cap_reports_zero_evictions(self):
+        with self._poison_service() as svc:
+            svc.submit(flip_spec(seed=0))
+            svc.drain()
+            stats = svc.stats()["routes"]["quma"]
+        assert stats["quarantined"] == 1
+        assert stats["quarantine_evicted"] == 0
+
+    def test_invalid_cap_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="max_quarantine"):
+            ExperimentService(backend="serial", max_quarantine=0)
+
+    def test_session_passes_the_cap_through(self):
+        from repro.session import Session
+
+        with Session(max_quarantine=7) as session:
+            stats = session.service.stats()["routes"]["quma"]
+            assert stats["quarantine_evicted"] == 0
+            route = session.service.dispatcher.routes["quma"]
+            assert route.max_quarantine == 7

@@ -1,0 +1,529 @@
+"""Distributed executor fleet: remote workers behind ExecutorBackend.
+
+The acceptance contract of the fleet subsystem (DESIGN.md "Fleet"):
+
+* the wire protocol is length-prefixed, magic-tagged, and version
+  checked in both directions — a mismatched peer is refused with a
+  ``REJECT`` frame (worker side) or :class:`ProtocolError` (client
+  side), never half-spoken to;
+* a sweep through ``backend="fleet"`` (and the single-address
+  :class:`RemoteBackend`) is bit-identical to the serial backend,
+  including failing jobs, which surface the same ``JobError`` type and
+  message;
+* a SIGKILLed worker daemon maps to :class:`WorkerLost`: retryable
+  specs resubmit to a surviving worker and the sweep still lands
+  bit-identical, non-retryable specs fail their futures without ever
+  hanging ``drain()``;
+* a silent (SIGSTOPped) worker is detected by missed heartbeats, not
+  just socket death;
+* compile caches are content-addressed and shared: workers' disk
+  spills union through ``CACHE_LIST``/``GET``/``PUT`` frames.
+
+Set ``REPRO_FLEET_WORKERS=host:port,host:port`` to aim the fleet at
+already-running daemons (the CI loopback job does); these tests launch
+their own, in-process or as subprocesses, and never rely on the env.
+"""
+
+import os
+import signal
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, QuantumProgram
+from repro.core import MachineConfig
+from repro.pulse import PulseCalibration
+from repro.service import (
+    ExperimentService,
+    JobSpec,
+    RetryPolicy,
+)
+from repro.service.fleet import (
+    FLEET_WORKERS_ENV,
+    FleetBackend,
+    PROTOCOL_VERSION,
+    RemoteBackend,
+    WorkerClient,
+    WorkerServer,
+    fleet_addresses_from_env,
+)
+from repro.service.fleet import protocol
+from repro.service.fleet.client import parse_address
+from repro.service.fleet.launch import launch_worker, stop_worker
+from repro.service.fleet.protocol import recv_frame, send_frame
+from repro.service.fleet.worker import parse_listen
+from repro.utils.errors import (
+    ConfigurationError,
+    JobError,
+    ProtocolError,
+    WorkerLost,
+)
+
+RETRY = RetryPolicy(max_attempts=3, backoff_s=0.001, max_backoff_s=0.01)
+
+
+def fast_config(**kwargs):
+    kwargs.setdefault("qubits", (2,))
+    kwargs.setdefault("trace_enabled", False)
+    kwargs.setdefault("calibration", PulseCalibration(kappa=0.7))
+    return MachineConfig(**kwargs)
+
+
+def flip_program():
+    p = QuantumProgram("flip", qubits=(2,))
+    p.new_kernel("k").prepz(2).x(2).measure(2)
+    return p
+
+
+def flip_spec(seed=None, retry=None, label=None, n_rounds=2, replay=True,
+              telemetry=False):
+    return JobSpec(config=fast_config(), program=flip_program(),
+                   compiler_options=CompilerOptions(n_rounds=n_rounds),
+                   seed=seed, retry=retry, label=label, replay=replay,
+                   telemetry=telemetry)
+
+
+def slow_spec(seed, label=None, n_rounds=400, retry=None):
+    """Deliberately slow: no replay fast path, so a mid-sweep kill
+    reliably catches jobs in flight."""
+    return flip_spec(seed=seed, retry=retry, label=label,
+                     n_rounds=n_rounds, replay=False)
+
+
+def addr_of(worker: WorkerServer) -> str:
+    return "%s:%d" % worker.address
+
+
+@pytest.fixture(scope="module")
+def worker_pair():
+    """Two in-process worker daemons shared across this module's tests."""
+    workers = [WorkerServer().start(), WorkerServer().start()]
+    yield workers
+    for w in workers:
+        w.stop()
+
+
+@pytest.fixture(scope="module")
+def fleet_addrs(worker_pair):
+    return [addr_of(w) for w in worker_pair]
+
+
+# -- address parsing and configuration ----------------------------------------
+
+
+class TestAddresses:
+    def test_parse_address_and_listen(self):
+        assert parse_address("127.0.0.1:80") == ("127.0.0.1", 80)
+        assert parse_listen("0.0.0.0:0") == ("0.0.0.0", 0)
+        for bad in ("no-port", ":1234", "host:", "host:abc"):
+            with pytest.raises(ProtocolError):
+                parse_address(bad)
+            with pytest.raises(ProtocolError):
+                parse_listen(bad)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(FLEET_WORKERS_ENV,
+                           " 127.0.0.1:9001, 127.0.0.1:9002 ,")
+        assert fleet_addresses_from_env() == ("127.0.0.1:9001",
+                                              "127.0.0.1:9002")
+        monkeypatch.delenv(FLEET_WORKERS_ENV)
+        assert fleet_addresses_from_env() == ()
+
+    def test_no_addresses_is_a_configuration_error(self, monkeypatch):
+        monkeypatch.delenv(FLEET_WORKERS_ENV, raising=False)
+        with pytest.raises(ConfigurationError, match="worker"):
+            FleetBackend().submit(flip_spec(seed=1))
+
+    def test_unreachable_worker_is_a_configuration_error(self):
+        # A port nothing listens on: bind-then-close guarantees it's free.
+        probe = socket.create_server(("127.0.0.1", 0))
+        dead = "%s:%d" % probe.getsockname()[:2]
+        probe.close()
+        backend = FleetBackend([dead], connect_timeout=2.0)
+        with pytest.raises(ConfigurationError, match="connect"):
+            backend.submit(flip_spec(seed=1))
+
+
+# -- wire protocol ------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, protocol.PING, {"rid": 7})
+            assert recv_frame(b) == (protocol.PING, {"rid": 7})
+        finally:
+            a.close()
+            b.close()
+
+    def test_bad_magic_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"XXXX" + bytes(4))
+            with pytest.raises(ProtocolError, match="magic"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversize_frame_rejected_before_send(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ProtocolError, match="refusing"):
+                send_frame(a, protocol.SUBMIT,
+                           {"blob": bytes(protocol.MAX_FRAME_BYTES + 1)})
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_at_frame_boundary_is_eof_not_protocol_error(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(EOFError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_worker_rejects_version_mismatch(self, worker_pair):
+        host, port = worker_pair[0].address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            send_frame(sock, protocol.HELLO,
+                       {"version": PROTOCOL_VERSION + 1, "client": "test"})
+            kind, body = recv_frame(sock)
+        assert kind == protocol.REJECT
+        assert body["version"] == PROTOCOL_VERSION
+
+    def test_worker_rejects_non_hello_opening(self, worker_pair):
+        host, port = worker_pair[0].address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            send_frame(sock, protocol.PING, {"rid": 0})
+            kind, _ = recv_frame(sock)
+        assert kind == protocol.REJECT
+
+    def test_client_rejects_version_mismatch(self):
+        # A fake worker speaking a future protocol: the client must
+        # refuse its welcome.  (Patching PROTOCOL_VERSION in-process
+        # would change both sides at once — they share the module.)
+        import threading
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        addr = "%s:%d" % listener.getsockname()[:2]
+
+        def fake_worker():
+            conn, _ = listener.accept()
+            with conn:
+                recv_frame(conn)  # the client's hello
+                send_frame(conn, protocol.WELCOME,
+                           {"version": PROTOCOL_VERSION + 1,
+                            "worker": "fake"})
+
+        thread = threading.Thread(target=fake_worker, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(ProtocolError, match="protocol"):
+                WorkerClient(addr).connect()
+        finally:
+            listener.close()
+            thread.join(timeout=5.0)
+
+    def test_ping_and_stats_requests(self, worker_pair):
+        client = WorkerClient(addr_of(worker_pair[0])).connect()
+        try:
+            assert client.ping(timeout=10.0)["active"] >= 0
+            stats = client.stats(timeout=10.0)
+            assert stats["worker"] == worker_pair[0].name
+            assert stats["slots"] == 1
+            assert "pool" in stats and "cache" in stats
+        finally:
+            client.close()
+
+    def test_deliberate_close_is_not_a_loss(self, worker_pair):
+        losses = []
+        client = WorkerClient(addr_of(worker_pair[0]),
+                              on_lost=lambda c, r: losses.append(r))
+        client.connect()
+        client.close()
+        time.sleep(0.1)
+        assert losses == [] and client.lost_reason is None
+
+
+# -- bit-identical sweeps through the fleet -----------------------------------
+
+
+class TestFleetParity:
+    def _reference(self, specs):
+        with ExperimentService(backend="serial") as svc:
+            return svc.run_batch(specs)
+
+    def test_two_worker_sweep_matches_serial(self, fleet_addrs):
+        specs = [flip_spec(seed=i + 1, label=f"j{i}") for i in range(8)]
+        ref = self._reference(specs)
+        with ExperimentService(backend="fleet",
+                               fleet_workers=fleet_addrs) as svc:
+            got = svc.run_batch(specs)
+            stats = svc.stats()["routes"]["quma"]
+        for a, b in zip(ref, got):
+            assert a.seed == b.seed
+            np.testing.assert_array_equal(a.averages, b.averages)
+        assert stats["backend"] == "fleet"
+        assert sum(w["shipped"] for w in stats["workers"]) == len(specs)
+
+    def test_remote_backend_single_worker_matches_serial(self, worker_pair):
+        specs = [flip_spec(seed=i + 1) for i in range(4)]
+        ref = self._reference(specs)
+        backend = RemoteBackend(addr_of(worker_pair[0]))
+        try:
+            futures = [backend.submit(s) for s in specs]
+            got = [f.result(timeout=60.0) for f in futures]
+        finally:
+            backend.close()
+        for a, b in zip(ref, got):
+            np.testing.assert_array_equal(a.averages, b.averages)
+
+    def test_failing_spec_same_error_as_serial(self, fleet_addrs):
+        bad = JobSpec(config=fast_config(), asm="bogus q0\n", seed=3,
+                      label="bad")
+        with ExperimentService(backend="serial") as svc:
+            with pytest.raises(JobError) as serial_exc:
+                svc.submit(bad).result(timeout=60.0)
+        with ExperimentService(backend="fleet",
+                               fleet_workers=fleet_addrs) as svc:
+            with pytest.raises(JobError) as fleet_exc:
+                svc.submit(bad).result(timeout=60.0)
+        assert str(fleet_exc.value) == str(serial_exc.value)
+        assert fleet_exc.value.exc_type == serial_exc.value.exc_type
+
+    def test_results_carry_worker_telemetry(self, fleet_addrs,
+                                            worker_pair):
+        with ExperimentService(backend="fleet",
+                               fleet_workers=fleet_addrs) as svc:
+            sweep = svc.run_batch([flip_spec(seed=i + 1, telemetry=True)
+                                   for i in range(4)])
+        names = {job.telemetry.worker for job in sweep
+                 if job.telemetry is not None}
+        assert names <= {w.name for w in worker_pair}
+        assert names  # at least one job reported which daemon ran it
+
+
+# -- sharding -----------------------------------------------------------------
+
+
+class TestSharding:
+    def test_least_outstanding_spreads_a_burst(self, fleet_addrs):
+        backend = FleetBackend(fleet_addrs)
+        try:
+            futures = [backend.submit(slow_spec(i + 1, n_rounds=150))
+                       for i in range(6)]
+            for f in futures:
+                f.result(timeout=120.0)
+            shipped = [w["shipped"] for w in backend.stats()["workers"]]
+        finally:
+            backend.close()
+        # 6 sequential submits against 2 idle workers alternate 3/3 —
+        # least-outstanding with ties to the lowest index.
+        assert sorted(shipped) == [3, 3]
+
+
+# -- worker loss --------------------------------------------------------------
+
+
+class TestWorkerLoss:
+    def test_sigkill_mid_sweep_recovers_bit_identical(self):
+        specs = [slow_spec(i + 1, label=f"r{i}", retry=RETRY)
+                 for i in range(8)]
+        with ExperimentService(backend="serial") as svc:
+            ref = svc.run_batch(specs)
+        p1, a1 = launch_worker()
+        p2, a2 = launch_worker()
+        try:
+            with ExperimentService(backend="fleet",
+                                   fleet_workers=[a1, a2]) as svc:
+                futures = [svc.submit(s) for s in specs]
+                time.sleep(0.6)
+                os.kill(p1.pid, signal.SIGKILL)
+                got = [f.result(timeout=120.0) for f in futures]
+                stats = svc.stats()["routes"]["quma"]
+        finally:
+            stop_worker(p1)
+            stop_worker(p2)
+        for a, b in zip(ref, got):
+            np.testing.assert_array_equal(a.averages, b.averages)
+        assert stats["worker_losses"] >= 1
+        assert stats["failed"] == 0
+
+    def test_no_retry_death_fails_futures_and_drains(self):
+        from repro.service import FaultPlan
+
+        proc, addr = launch_worker()
+        # NO_RETRY semantics under test: pin chaos off (a client plan
+        # overrides the daemons' ambient env) so the only failure mode
+        # in play is the worker's death.
+        backend = FleetBackend([addr], faults=FaultPlan(seed=0, rate=0.0))
+        try:
+            futures = [backend.submit(slow_spec(i + 1, n_rounds=600))
+                       for i in range(3)]
+            time.sleep(0.4)
+            os.kill(proc.pid, signal.SIGKILL)
+            outcomes = []
+            for f in futures:
+                try:
+                    f.result(timeout=60.0)
+                    outcomes.append("ok")
+                except JobError as exc:
+                    outcomes.append(exc.exc_type)
+            backend.drain(timeout=30.0)
+            stats = backend.stats()
+        finally:
+            backend.close()
+            stop_worker(proc)
+        assert "WorkerLost" in outcomes
+        assert stats["pending"] == 0
+        assert stats["failed"] == outcomes.count("WorkerLost")
+        # NO_RETRY losses are terminal, not "transiently recoverable":
+        # they land in the quarantine report un-exhausted.
+        assert all(not entry["exhausted"] for entry in stats["quarantine"])
+
+    def test_heartbeat_detects_silent_worker(self):
+        from repro.service import FaultPlan
+
+        proc, addr = launch_worker()
+        try:
+            backend = FleetBackend([addr], heartbeat_s=0.1,
+                                   heartbeat_misses=3,
+                                   faults=FaultPlan(seed=0, rate=0.0))
+            future = backend.submit(slow_spec(1, n_rounds=3000))
+            time.sleep(0.3)
+            os.kill(proc.pid, signal.SIGSTOP)  # alive but silent
+            with pytest.raises(JobError) as exc:
+                future.result(timeout=30.0)
+            assert exc.value.exc_type == "WorkerLost"
+            assert "silent" in str(exc.value)
+            backend.close()
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            stop_worker(proc)
+
+    def test_remote_backend_reconnects_to_restarted_address(self,
+                                                            worker_pair):
+        # RemoteBackend defaults reconnect_lost=True: a loss re-dials the
+        # same address before resolving victims, so a still-listening
+        # daemon picks the work straight back up.
+        backend = RemoteBackend(addr_of(worker_pair[0]))
+        assert backend.address == addr_of(worker_pair[0])
+        try:
+            first = backend.submit(flip_spec(seed=1, retry=RETRY))
+            first.result(timeout=60.0)
+            backend._clients[0].mark_lost("synthetic loss for test")
+            second = backend.submit(flip_spec(seed=2, retry=RETRY))
+            assert second.result(timeout=60.0) is not None
+            assert backend.stats()["reconnects"] >= 1
+        finally:
+            backend.close()
+
+
+# -- cache sharing ------------------------------------------------------------
+
+
+class TestCacheSharing:
+    def test_sync_unions_spills_across_fleet(self, tmp_path):
+        dirs = [tmp_path / name for name in ("w1", "w2", "client")]
+        for d in dirs:
+            d.mkdir()
+        w1 = WorkerServer(cache_dir=dirs[0]).start()
+        w2 = WorkerServer(cache_dir=dirs[1]).start()
+        backend = FleetBackend([addr_of(w1), addr_of(w2)],
+                               cache_dir=dirs[2])
+        try:
+            # Pin both jobs to w1 by draining between submissions: its
+            # spills exist, w2's cache dir is empty.
+            backend.submit(flip_spec(seed=1)).result(timeout=60.0)
+            report = backend.sync_compile_caches()
+            assert report["workers"] == 2
+            assert report["entries"] >= 1
+            names = {f.name for f in dirs[0].iterdir()}
+            assert names  # w1 spilled
+            assert {f.name for f in dirs[1].iterdir()} == names  # pushed
+            assert {f.name for f in dirs[2].iterdir()} == names  # pulled
+        finally:
+            backend.close()
+            w1.stop()
+            w2.stop()
+
+    def test_close_syncs_best_effort(self, tmp_path):
+        wdir, cdir = tmp_path / "w", tmp_path / "c"
+        wdir.mkdir()
+        cdir.mkdir()
+        worker = WorkerServer(cache_dir=wdir).start()
+        backend = FleetBackend([addr_of(worker)], cache_dir=cdir)
+        backend.submit(flip_spec(seed=5)).result(timeout=60.0)
+        backend.close()
+        worker.stop()
+        assert list(cdir.iterdir())  # worker spills arrived at close
+
+    def test_cache_put_refuses_foreign_names(self, worker_pair, tmp_path):
+        worker = WorkerServer(cache_dir=tmp_path / "w").start()
+        client = WorkerClient(addr_of(worker)).connect()
+        try:
+            for name in ("../escape.json", "cg_upper-CASE.json", "x" * 300):
+                assert not client.cache_put(name, b"{}", timeout=10.0)
+            assert client.cache_get("../escape.json", timeout=10.0) is None
+        finally:
+            client.close()
+            worker.stop()
+
+
+# -- daemon lifecycle and CLI -------------------------------------------------
+
+
+class TestDaemon:
+    def test_launch_worker_announces_bound_address(self):
+        proc, addr = launch_worker(slots=2)
+        try:
+            host, port = parse_address(addr)
+            assert host == "127.0.0.1" and port > 0
+            client = WorkerClient(addr).connect()
+            assert client.welcome["slots"] == 2
+            client.close()
+        finally:
+            stop_worker(proc)
+
+    def test_shutdown_frame_stops_daemon(self):
+        proc, addr = launch_worker()
+        try:
+            client = WorkerClient(addr).connect()
+            client.request_shutdown(timeout=10.0)
+            client.close()
+            assert proc.wait(timeout=15.0) == 0
+        finally:
+            stop_worker(proc)
+
+    def test_cli_exp_fleet_backend(self, capsys):
+        from repro.cli import main
+
+        proc, addr = launch_worker()
+        try:
+            rc = main(["exp", "rabi", "--backend", "fleet",
+                       "--fleet-workers", addr,
+                       "--param", "n_rounds=8", "--param",
+                       "amplitudes=[0.2, 0.5, 0.8]", "--seed", "7"])
+        finally:
+            stop_worker(proc)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backend=fleet" in out
+
+    def test_service_stats_roll_up_remote_workers(self, fleet_addrs):
+        with ExperimentService(backend="fleet",
+                               fleet_workers=fleet_addrs) as svc:
+            svc.run_batch([flip_spec(seed=i + 1) for i in range(4)])
+            workers = svc.stats()["routes"]["quma"]["workers"]
+        assert len(workers) == 2
+        for entry in workers:
+            assert entry["alive"]
+            remote = entry["remote"]
+            assert remote["worker"].startswith("worker:")
+            assert "pool" in remote and "cache" in remote
