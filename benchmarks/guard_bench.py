@@ -181,6 +181,35 @@ def check_fleet(guard: Guard, baseline: dict, current: dict,
                         current["process"]["jobs_per_s"])
 
 
+def check_mitigation(guard: Guard, baseline: dict, current: dict,
+                     absolute: bool) -> None:
+    bell, ghz = current.get("bell", {}), current.get("ghz", {})
+    # The point of the subsystem: on the pinned degraded-readout config,
+    # mitigation must strictly beat the raw experiment, with margin.
+    guard.require(
+        "bell mitigated > unmitigated + 0.1 "
+        f"({bell.get('zne_readout', 0):.3f} vs {bell.get('unmitigated', 0):.3f})",
+        bell.get("zne_readout", 0) > bell.get("unmitigated", 1) + 0.1)
+    guard.require(
+        "bell readout-only > unmitigated + 0.1 "
+        f"({bell.get('readout', 0):.3f} vs {bell.get('unmitigated', 0):.3f})",
+        bell.get("readout", 0) > bell.get("unmitigated", 1) + 0.1)
+    guard.require(
+        "ghz mitigated > unmitigated + 0.1 "
+        f"({ghz.get('zne_readout', 0):.3f} vs {ghz.get('unmitigated', 0):.3f})",
+        ghz.get("zne_readout", 0) > ghz.get("unmitigated", 1) + 0.1)
+    guard.require("mitigation process_parity",
+                  bool(current.get("process_parity")))
+    # Recovery is a physics number on a pinned config+seed, not a
+    # machine-speed number: compare against the committed baseline.
+    guard.ratio("bell mitigation recovery",
+                baseline.get("bell", {}).get("recovery", 0),
+                bell.get("recovery", 0))
+    guard.ratio("ghz mitigation recovery",
+                baseline.get("ghz", {}).get("recovery", 0),
+                ghz.get("recovery", 0))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -198,7 +227,8 @@ def main(argv: list[str] | None = None) -> int:
     compared = 0
     for name, check in (("BENCH_replay.json", check_replay),
                         ("BENCH_entangling.json", check_entangling),
-                        ("BENCH_fleet.json", check_fleet)):
+                        ("BENCH_fleet.json", check_fleet),
+                        ("BENCH_mitigation.json", check_mitigation)):
         baseline = _load(args.baseline, name)
         current = _load(args.current, name)
         if baseline is None or current is None:

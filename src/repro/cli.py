@@ -9,6 +9,7 @@ Usage::
     python -m repro exp --list
     python -m repro exp rabi --qubits 2 --param n_rounds=16 --stream
     python -m repro exp bell --qubits 0-1 --param n_rounds=64
+    python -m repro exp bell --qubits 0-1 --mitigation zne,readout
     python -m repro exp bell --qubits 0-1 --trace-out trace.json
     python -m repro batch --experiment rabi --points 8 --backend process
     python -m repro exp rabi --retries 3 --job-timeout 30
@@ -226,6 +227,13 @@ def cmd_exp(args: argparse.Namespace) -> int:
         return 0
     params = _parse_params(args.param)
     targets = _parse_targets(args.qubits) if args.qubits else None
+    name = args.name
+    if args.mitigation and name != "mitigated":
+        # `repro exp bell --mitigation zne,readout` wraps the named
+        # experiment in the registered mitigated wrapper; its own params
+        # keep flowing to the wrapped experiment untouched.
+        params = {"experiment": name, "mitigation": args.mitigation, **params}
+        name = "mitigated"
 
     def announce(job):
         note = ""
@@ -237,8 +245,11 @@ def cmd_exp(args: argparse.Namespace) -> int:
     def announce_estimate(estimate):
         fitted = {target_label(t): v for t, v in estimate.per_target.items()
                   if v is not None}
+        errors = {target_label(t): v for t, v in estimate.stderr.items()
+                  if v}
+        note = f"  ±{errors}" if errors else ""
         print(f"  fit {estimate.n_results}/{estimate.n_specs}: "
-              f"{fitted if fitted else '(unconstrained)'}")
+              f"{fitted if fitted else '(unconstrained)'}{note}")
 
     # Telemetry rides on the requested artifacts: spans + metrics
     # snapshots whenever either output is wanted, the simulator trace
@@ -250,7 +261,7 @@ def cmd_exp(args: argparse.Namespace) -> int:
                  job_timeout=args.job_timeout,
                  fleet_workers=_parse_fleet_workers(args.fleet_workers)
                  ) as session:
-        future = session.submit_experiment(args.name, targets=targets, **params)
+        future = session.submit_experiment(name, targets=targets, **params)
         try:
             result = future.result(
                 on_result=announce if args.stream else None,
@@ -275,7 +286,7 @@ def cmd_exp(args: argparse.Namespace) -> int:
             write_metrics_artifact(
                 args.metrics_out, session.service.metrics_summary(),
                 stage_stats=future.sweep.stage_stats,
-                context={"command": "exp", "experiment": args.name,
+                context={"command": "exp", "experiment": name,
                          "backend": session.backend,
                          "jobs": len(future.sweep)})
             print(f"metrics artifact -> {args.metrics_out}")
@@ -489,6 +500,12 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="KEY=VALUE",
                    help="experiment parameter (repeatable), e.g. "
                         "--param n_rounds=16 --param 'lengths=[1, 4, 10]'")
+    p.add_argument("--mitigation", default=None, metavar="TECHNIQUES",
+                   help="run the experiment error-mitigated: a comma-"
+                        "separated subset of 'zne,readout' (zero-noise "
+                        "extrapolation via gate folding, confusion-matrix "
+                        "readout inversion); tune with --param scales=... "
+                        "--param extrapolator=... --param ridge=...")
     p.add_argument("--qubits", default=None,
                    help="comma-separated targets: single qubits sweep one "
                         "result per qubit ('0,1'); '-'-joined registers "

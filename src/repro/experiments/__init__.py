@@ -63,6 +63,9 @@ from repro.experiments.entangling import (
     GHZResult,
     ghz_width_config,
 )
+# Imported last: the mitigated wrapper composes over the registry the
+# imports above populate.
+from repro.mitigation.experiment import MitigatedExperiment
 
 __all__ = [
     "ALLXY_PAIRS",
@@ -109,4 +112,5 @@ __all__ = [
     "GHZExperiment",
     "GHZResult",
     "ghz_width_config",
+    "MitigatedExperiment",
 ]

@@ -39,6 +39,8 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar, Iterable, Mapping
 
+import numpy as np
+
 from repro.core.config import MachineConfig
 from repro.service.job import JobResult, JobSpec, SweepResult
 from repro.utils.errors import CalibrationError, ConfigurationError
@@ -135,6 +137,11 @@ class Estimate:
     n_results: int                       #: results observed so far
     n_specs: int                         #: sweep size
     per_target: dict[Target, dict | None] = field(default_factory=dict)
+    #: Optional per-target standard errors on the fitted values (same
+    #: keys as the target's ``per_target`` dict, or None when the
+    #: experiment provides no error model) — see
+    #: :meth:`Experiment.stderr_target`.
+    stderr: dict[Target, dict | None] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -188,6 +195,9 @@ class ExperimentState:
         self.results: dict[int, JobResult] = {}
         #: Last computed fit per target (carried forward between updates).
         self.estimates: dict[Target, dict | None] = {
+            target: None for target in experiment.targets}
+        #: Last computed error bars per target (same carry-forward rule).
+        self.stderrs: dict[Target, dict | None] = {
             target: None for target in experiment.targets}
 
     def add(self, index: int, result: JobResult) -> int:
@@ -290,6 +300,18 @@ class Experiment(abc.ABC):
         the flux topology and multiplexed readout it needs.
         """
         return None
+
+    @classmethod
+    def default_session_targets_for(cls, params=None
+                                    ) -> tuple[Target, ...] | None:
+        """Params-aware spelling of :meth:`default_session_targets`.
+
+        The session resolves register defaults through this hook so
+        wrapper experiments whose shape depends on a parameter (the
+        mitigated wrapper's inner experiment) can delegate; the base
+        implementation ignores ``params``.
+        """
+        return cls.default_session_targets()
 
     @classmethod
     def flux_pairs_for(cls, target: Target) -> tuple[tuple[int, int], ...]:
@@ -413,6 +435,18 @@ class Experiment(abc.ABC):
         """Legacy single-qubit hook behind :meth:`estimate_target`."""
         return None
 
+    def stderr_target(self, indexed_jobs: list[tuple[int, JobResult]],
+                      target: Target) -> dict | None:
+        """Optional standard errors for :meth:`estimate_target`'s values.
+
+        Same call shape as ``estimate_target``; keys should match the
+        fitted dict's (a subset is fine).  None — the default — means
+        the experiment provides no error model; experiments with simple
+        shot-noise statistics (Bell correlations, GHZ populations)
+        override.
+        """
+        return None
+
     def analyze(self, sweep: SweepResult):
         """The experiment's result from a finished sweep.
 
@@ -450,18 +484,24 @@ class Experiment(abc.ABC):
         index = state.add(index, job_result)
         target = self.target_of(index)
         state.estimates[target] = self._fit_target_state(state, target)
+        state.stderrs[target] = self._fit_target_state(state, target,
+                                                       self.stderr_target)
         return Estimate(n_results=len(state), n_specs=state.n_specs,
-                        per_target=dict(state.estimates))
+                        per_target=dict(state.estimates),
+                        stderr=dict(state.stderrs))
 
     def estimate_state(self, state: ExperimentState) -> Estimate:
         """The current :class:`Estimate`, refitting every target."""
         for target in self.targets:
             state.estimates[target] = self._fit_target_state(state, target)
+            state.stderrs[target] = self._fit_target_state(
+                state, target, self.stderr_target)
         return Estimate(n_results=len(state), n_specs=state.n_specs,
-                        per_target=dict(state.estimates))
+                        per_target=dict(state.estimates),
+                        stderr=dict(state.stderrs))
 
-    def _fit_target_state(self, state: ExperimentState,
-                          target: Target) -> dict | None:
+    def _fit_target_state(self, state: ExperimentState, target: Target,
+                          fit=None) -> dict | None:
         arrived = state.target_results(target)
         if not arrived:
             return None
@@ -471,7 +511,8 @@ class Experiment(abc.ABC):
                 # (e.g. unconstrained covariance); the estimate is
                 # advisory, so keep the stream quiet.
                 warnings.simplefilter("ignore")
-                return self.estimate_target(arrived, target)
+                return (fit if fit is not None
+                        else self.estimate_target)(arrived, target)
         except FIT_ERRORS:
             return None
 
@@ -498,6 +539,38 @@ class Experiment(abc.ABC):
             f"{target_label(target)}: "
             f"{self.summarize_target(result[target_key(target)], target)}"
             for target in self.targets)
+
+
+def _jsonable(value):
+    """Recursively strip numpy types so a fit dict JSON-serializes."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): _jsonable(v) for key, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def estimate_artifact(estimate: Estimate) -> dict:
+    """An :class:`Estimate` as a plain JSON-serializable dict.
+
+    The shape :meth:`~repro.service.job.SweepResult.save` embeds under
+    the artifact's ``estimate`` key: per-target fitted values plus their
+    optional standard errors, with targets spelled as qubit lists.
+    """
+    return {
+        "n_results": estimate.n_results,
+        "n_specs": estimate.n_specs,
+        "complete": estimate.complete,
+        "per_target": [{
+            "target": [int(q) for q in target],
+            "fit": _jsonable(fit),
+            "stderr": _jsonable(estimate.stderr.get(target)),
+        } for target, fit in estimate.per_target.items()],
+    }
 
 
 class ExperimentRegistry:

@@ -42,7 +42,7 @@ from repro.experiments.base import (Experiment, Target, register_experiment,
 from repro.pulse.envelopes import gaussian
 from repro.service import JobSpec, LUTUpload
 from repro.service.job import JobResult, derive_job_seed
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import CalibrationError, ConfigurationError
 
 #: Scratch operation name for the swept-phase recovery pulse.
 CZ_RECOVERY_OP = "CZREC"
@@ -103,10 +103,25 @@ def stream_position(target: Target, qubit: int) -> int:
     return sorted(target).index(qubit)
 
 
+def _joint_total(counts: np.ndarray) -> float:
+    """A joint histogram's total, guarded against empty streams.
+
+    A calibration or measurement stream with zero complete rounds must
+    surface as a clear :class:`CalibrationError`, not as NaN marginals
+    silently poisoning the parity estimators downstream.
+    """
+    total = float(counts.sum())
+    if total <= 0:
+        raise CalibrationError(
+            "joint-outcome histogram has zero total counts; cannot "
+            "normalize outcome probabilities")
+    return total
+
+
 def _marginal_one(counts: np.ndarray, position: int) -> float:
     """P(register qubit at ``position`` read 1) from a joint histogram."""
     counts = np.asarray(counts, dtype=float)
-    total = counts.sum()
+    total = _joint_total(counts)
     indices = np.arange(len(counts))
     return float(counts[(indices >> position) & 1 == 1].sum() / total)
 
@@ -114,7 +129,7 @@ def _marginal_one(counts: np.ndarray, position: int) -> float:
 def _correlation(counts: np.ndarray) -> float:
     """Two-qubit parity correlator <AB> = P(even) - P(odd)."""
     counts = np.asarray(counts, dtype=float)
-    total = counts.sum()
+    total = _joint_total(counts)
     indices = np.arange(len(counts))
     parity = ((indices & 1) ^ ((indices >> 1) & 1))
     return float((counts[parity == 0].sum() - counts[parity == 1].sum())
@@ -448,6 +463,33 @@ class BellExperiment(EntanglingExperiment):
         return {"correlations": reduced["correlations"],
                 "fidelity": reduced["fidelity"]}
 
+    def stderr_target(self, indexed_jobs, target: Target) -> dict | None:
+        """Binomial error bars on the parity correlators and fidelity.
+
+        A parity correlator over N rounds has variance (1 - <AB>^2)/N;
+        the fidelity bound combines the three independent bases as
+        sqrt(var_ZZ + var_XX + var_YY)/4.
+        """
+        if not indexed_jobs:
+            return None
+        reduced = self._reduce(indexed_jobs)
+        errors: dict[str, float] = {}
+        variances: dict[str, float] = {}
+        for basis, histogram in reduced["counts"].items():
+            total = float(np.asarray(histogram).sum())
+            if total <= 0:
+                continue
+            corr = reduced["correlations"][basis]
+            variance = max(1.0 - corr * corr, 0.0) / total
+            variances[basis] = variance
+            errors[f"corr_{basis}"] = float(np.sqrt(variance))
+        if not errors:
+            return None
+        if reduced["fidelity"] is not None:
+            errors["fidelity"] = float(np.sqrt(sum(
+                variances[b] for b in ("ZZ", "XX", "YY"))) / 4.0)
+        return errors
+
     def summarize_target(self, result: BellResult, target: Target) -> str:
         correlations = ", ".join(f"<{b}> = {result.correlations[b]:+.3f}"
                                  for b in result.bases)
@@ -544,6 +586,18 @@ class GHZExperiment(EntanglingExperiment):
         return {"population": reduced["p_all_zero"] + reduced["p_all_one"],
                 "p_all_zero": reduced["p_all_zero"],
                 "p_all_one": reduced["p_all_one"]}
+
+    def stderr_target(self, indexed_jobs, target: Target) -> dict | None:
+        """Binomial error bar on the population term P(0..0) + P(1..1)."""
+        if not indexed_jobs:
+            return None
+        reduced = self._reduce(indexed_jobs, target)
+        total = float(reduced["n_shots"])
+        if total <= 0:
+            return None
+        population = reduced["p_all_zero"] + reduced["p_all_one"]
+        variance = max(population * (1.0 - population), 0.0) / total
+        return {"population": float(np.sqrt(variance))}
 
     def summarize_target(self, result: GHZResult, target: Target) -> str:
         return (f"population P(0..0)+P(1..1) = {result.population:.3f} "

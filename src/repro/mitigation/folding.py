@@ -1,0 +1,181 @@
+"""Unitary gate folding: the zero-noise extrapolation noise amplifier.
+
+Folding replaces a gate ``G`` with ``G · G† · G`` — the identity on the
+ideal machine, but three times the gate's physical duration (and hence
+decoherence exposure) on the simulated device.  Applied to a fraction of
+a circuit's gates it dials the effective noise level to a chosen *scale*
+λ ≥ 1 without touching the program's logic, which is exactly what
+zero-noise extrapolation needs: run the same experiment at several
+scales and extrapolate the estimator back to λ = 0.
+
+Two entry points share one fold-selection rule:
+
+* :func:`fold_ops` — the compiler-IR pass, over
+  :class:`~repro.compiler.ir.Op` lists (``OpKind.PULSE`` gates with a
+  known inverse are foldable).
+* :func:`fold_asm` — the QIS+QuMIS text bridge for raw-``asm`` specs:
+  each foldable ``Pulse {…}, OP`` line (with its grid-keeping ``Wait``
+  follower) is duplicated as the ``OP† · OP`` tail, so folded programs
+  stay on the 4-cycle SSB grid and remain replay-eligible.
+
+Fold selection is deterministic: with ``n`` foldable gates and scale λ,
+``d = round((λ - 1) · n / 2)`` extra folds are distributed uniformly
+(``d // n`` folds on every gate) with the remainder assigned by a seeded
+``Generator.choice`` — a pure function of ``(seed, n, λ)``, so every
+backend (and every fleet worker) folds the identical program text and
+the compile cache shares one entry per (spec, scale).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.compiler.ir import Op, OpKind
+from repro.utils.errors import ConfigurationError
+
+#: Self-contained inverse table of the machine's fixed gate set.  Gates
+#: not listed (scratch uploads like the CZ recovery pulse, microprogram
+#: mnemonics) have no known inverse and are never folded.
+INVERSES = {
+    "I": "I",
+    "X180": "X180",
+    "Y180": "Y180",
+    "CZ": "CZ",
+    "X90": "mX90",
+    "mX90": "X90",
+    "Y90": "mY90",
+    "mY90": "Y90",
+}
+
+_PULSE_RE = re.compile(r"^(\s*)Pulse\s+(\{[^}]*\})\s*,\s*(\S+)\s*$")
+_WAIT_RE = re.compile(r"^\s*Wait\s+\d+\s*$")
+
+
+def fold_counts(n_foldable: int, scale: float,
+                rng: np.random.Generator) -> np.ndarray:
+    """Per-gate fold counts realizing noise scale ``scale``.
+
+    Returns an int array of length ``n_foldable``: entry ``i`` is how
+    many ``G† · G`` tails gate ``i`` receives.  Each fold adds two gate
+    durations, so ``d`` total folds over ``n`` gates realize an
+    effective scale of ``1 + 2d/n``; ``d = round((scale - 1) · n / 2)``
+    is the closest achievable match.  The remainder after uniform
+    distribution goes to gates drawn without replacement from ``rng``.
+    """
+    if scale < 1.0:
+        raise ConfigurationError(
+            f"noise scale must be >= 1 (got {scale}); folding can only "
+            "amplify noise")
+    counts = np.zeros(int(n_foldable), dtype=np.int64)
+    if n_foldable == 0:
+        return counts
+    extra_folds = int(round((float(scale) - 1.0) * n_foldable / 2.0))
+    base, remainder = divmod(extra_folds, n_foldable)
+    counts += base
+    if remainder:
+        chosen = rng.choice(n_foldable, size=remainder, replace=False)
+        counts[chosen] += 1
+    return counts
+
+
+def fold_rng(seed: int, scale_index: int) -> np.random.Generator:
+    """The deterministic fold-selection stream for one noise scale.
+
+    Derived from the *config* seed (not the per-job run seed) so every
+    spec of an experiment folds identically at a given scale whatever
+    its run seed — repeats then share one folded program text, hence one
+    compile-cache entry and one replay plan.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence([int(seed) & 0xFFFFFFFF, 0x5A4E,
+                                int(scale_index)]))
+
+
+def foldable_ops(ops: list[Op]) -> list[int]:
+    """Indices of the IR operations folding may touch."""
+    return [i for i, op in enumerate(ops)
+            if op.kind is OpKind.PULSE and op.name in INVERSES]
+
+
+def fold_ops(ops: list[Op], scale: float,
+             rng: np.random.Generator) -> list[Op]:
+    """The IR-level folding pass: fold PULSE ops with known inverses.
+
+    Each selected gate ``G`` gains a ``G† · G`` tail immediately after
+    it (same qubits, same slot duration), leaving every other op —
+    measures, waits, prep, unknown pulses — untouched and in order.
+    """
+    sites = foldable_ops(ops)
+    counts = fold_counts(len(sites), scale, rng)
+    per_index = dict(zip(sites, counts))
+    folded: list[Op] = []
+    for i, op in enumerate(ops):
+        folded.append(op)
+        for _ in range(int(per_index.get(i, 0))):
+            folded.append(Op(INVERSES[op.name], op.qubits, OpKind.PULSE,
+                             duration_cycles=op.duration_cycles))
+            folded.append(Op(op.name, op.qubits, OpKind.PULSE,
+                             duration_cycles=op.duration_cycles))
+    return folded
+
+
+def fold_program(program, scale: float, rng: np.random.Generator):
+    """Fold a :class:`~repro.compiler.program.QuantumProgram` kernelwise.
+
+    The IR entry point for program-carrying specs: every kernel's op
+    list goes through :func:`fold_ops`; structure, names, and qubit set
+    are preserved.
+    """
+    from repro.compiler.program import QuantumProgram
+
+    folded = QuantumProgram(program.name, program.qubits)
+    for kernel in program.kernels:
+        new = folded.new_kernel(kernel.name)
+        new.ops = fold_ops(list(kernel.ops), scale, rng)
+    return folded
+
+
+def fold_asm(asm: str, scale: float, rng: np.random.Generator) -> str:
+    """Fold a raw QIS+QuMIS program's foldable ``Pulse`` lines.
+
+    The text bridge over the same selection rule as :func:`fold_ops`:
+    a foldable pulse line and its immediately following ``Wait`` line
+    (the grid-keeping idle every scaffold emits) are treated as one
+    block, and each fold appends the inverse block plus a copy of the
+    original block — so timing stays on the SSB phase grid and the
+    folded program remains replay-eligible.  Control flow, measurement,
+    and unknown operations pass through verbatim.
+    """
+    lines = asm.splitlines()
+    sites: list[int] = []     # line index of each foldable pulse
+    ops: list[str] = []
+    for i, line in enumerate(lines):
+        match = _PULSE_RE.match(line)
+        if match and match.group(3) in INVERSES:
+            sites.append(i)
+            ops.append(match.group(3))
+    counts = fold_counts(len(sites), scale, rng)
+    per_line = dict(zip(sites, counts))
+    out: list[str] = []
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        out.append(line)
+        folds = int(per_line.get(i, 0))
+        if folds:
+            match = _PULSE_RE.match(line)
+            indent, register, op = match.groups()
+            block = [line]
+            if i + 1 < len(lines) and _WAIT_RE.match(lines[i + 1]):
+                out.append(lines[i + 1])
+                block.append(lines[i + 1])
+                i += 1
+            inverse_line = f"{indent}Pulse {register}, {INVERSES[op]}"
+            for _ in range(folds):
+                out.append(inverse_line)
+                out.extend(block[1:])   # the inverse keeps the grid idle too
+                out.extend(block)
+        i += 1
+    return "\n".join(out)

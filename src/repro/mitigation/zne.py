@@ -1,0 +1,144 @@
+"""Zero-noise extrapolators over per-scale estimates.
+
+Given estimator values measured at noise scales λ₁ < λ₂ < … (λ₁ = 1,
+the unfolded circuit), each extrapolator predicts the zero-noise value
+at λ = 0.  All three operate elementwise over arbitrary-shape arrays —
+the mitigated experiments extrapolate whole joint-probability vectors
+and per-qubit population vectors, not just scalars.
+
+* ``richardson`` — exact polynomial (Lagrange) extrapolation through
+  every point; the highest-order choice, and the classic ZNE default.
+* ``linear`` — least-squares line ``a + bλ``, evaluated at λ = 0;
+  lower variance than Richardson when scales outnumber the trend's
+  curvature.
+* ``exponential`` — ``a + b·rᵏ`` through three equally spaced scales,
+  solved in closed form by Aitken's Δ² (``a = y₀ − Δ²/Δ²y``); entries
+  whose second difference vanishes fall back to the linear fit
+  elementwise, keeping the whole vector finite.
+
+``richardson`` and ``linear`` are linear in the measured values, so
+they expose their combination weights (:func:`extrapolation_weights`);
+:func:`noise_amplification` turns those into the shot-noise
+amplification factor ``sqrt(Σ cᵢ²)`` the error bars scale by.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+#: Second differences below this are treated as "no curvature" by the
+#: exponential extrapolator (falls back to the linear fit elementwise).
+_AITKEN_EPS = 1e-12
+
+
+def _check_scales(scales) -> np.ndarray:
+    scales = np.asarray(scales, dtype=float)
+    if scales.ndim != 1 or len(scales) < 2:
+        raise ConfigurationError(
+            "zero-noise extrapolation needs at least 2 noise scales")
+    if len(set(scales.tolist())) != len(scales):
+        raise ConfigurationError(f"duplicate noise scales in {scales}")
+    return scales
+
+
+def richardson_weights(scales) -> np.ndarray:
+    """Lagrange weights evaluating the interpolating polynomial at λ=0."""
+    scales = _check_scales(scales)
+    weights = np.empty(len(scales))
+    for i in range(len(scales)):
+        others = np.delete(scales, i)
+        weights[i] = np.prod(others / (others - scales[i]))
+    return weights
+
+
+def linear_weights(scales) -> np.ndarray:
+    """Least-squares weights for the fitted line's λ=0 intercept."""
+    scales = _check_scales(scales)
+    design = np.column_stack([np.ones_like(scales), scales])
+    return np.linalg.pinv(design)[0]
+
+
+def _stack(scales, values) -> tuple[np.ndarray, np.ndarray]:
+    scales = _check_scales(scales)
+    values = np.asarray(values, dtype=float)
+    if values.shape[0] != len(scales):
+        raise ConfigurationError(
+            f"need one value block per scale: got {values.shape[0]} blocks "
+            f"for {len(scales)} scales")
+    return scales, values
+
+
+def extrapolate_richardson(scales, values) -> np.ndarray:
+    scales, values = _stack(scales, values)
+    return np.tensordot(richardson_weights(scales), values, axes=1)
+
+
+def extrapolate_linear(scales, values) -> np.ndarray:
+    scales, values = _stack(scales, values)
+    return np.tensordot(linear_weights(scales), values, axes=1)
+
+
+def extrapolate_exponential(scales, values) -> np.ndarray:
+    """Aitken's Δ² on three equally spaced scales, linear fallback."""
+    scales, values = _stack(scales, values)
+    if len(scales) != 3 or not np.isclose(scales[1] - scales[0],
+                                          scales[2] - scales[1]):
+        raise ConfigurationError(
+            "the exponential extrapolator needs exactly 3 equally spaced "
+            f"noise scales, got {tuple(scales)}")
+    y0, y1, y2 = values
+    denom = y2 - 2.0 * y1 + y0
+    delta = y1 - y0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        aitken = y0 - np.where(np.abs(denom) > _AITKEN_EPS,
+                               delta * delta / denom, 0.0)
+    fallback = extrapolate_linear(scales, values)
+    return np.where(np.abs(denom) > _AITKEN_EPS, aitken, fallback)
+
+
+EXTRAPOLATORS = {
+    "richardson": extrapolate_richardson,
+    "linear": extrapolate_linear,
+    "exponential": extrapolate_exponential,
+}
+
+
+def extrapolate_to_zero(scales, values, method: str = "richardson"):
+    """Dispatch one zero-noise extrapolation by method name."""
+    try:
+        fn = EXTRAPOLATORS[method]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown extrapolator {method!r}; choose from "
+            f"{sorted(EXTRAPOLATORS)}") from None
+    return fn(scales, values)
+
+
+def extrapolation_weights(scales, method: str) -> np.ndarray | None:
+    """The linear combination weights, when the method is linear in y.
+
+    None for the exponential extrapolator (nonlinear in the measured
+    values) — its error bars are not a fixed rescaling of the per-scale
+    shot noise.
+    """
+    if method == "richardson":
+        return richardson_weights(scales)
+    if method == "linear":
+        return linear_weights(scales)
+    return None
+
+
+def noise_amplification(scales, method: str) -> float | None:
+    """Shot-noise amplification ``sqrt(Σ cᵢ²)`` of a linear extrapolator.
+
+    The price of extrapolation: independent, equal-variance per-scale
+    estimates combine into a zero-noise estimate whose standard error is
+    this factor times a single scale's.  None when the method exposes no
+    fixed weights.
+    """
+    weights = extrapolation_weights(scales, method)
+    if weights is None:
+        return None
+    return float(np.sqrt(np.sum(weights ** 2)))

@@ -210,16 +210,22 @@ def execute_job(spec: JobSpec, pool: MachinePool, cache: CompileCache,
         telemetry = None
         if telemetry_on:
             run_stage = STAGE_REPLAY if replayed_rounds else STAGE_EXECUTE
+            run_meta = {"replayed_rounds": replayed_rounds,
+                        "plan_hit": plan_hit,
+                        "n_rounds": resolved.n_rounds,
+                        "replay_fallback_reason": fallback_reason}
+            # Mitigated sweeps tag their variants so traces show which
+            # spans belong to folded (noise-scaled) executions.
+            if spec.params.get("mitigation"):
+                run_meta["mitigation"] = spec.params["mitigation"]
+            if spec.params.get("zne_scale") is not None:
+                run_meta["zne_scale"] = spec.params["zne_scale"]
             spans = (
                 Span(STAGE_COMPILE, 0.0, compile_s,
                      meta={"cache_hit": resolved.cache_hit}),
                 Span(STAGE_ACQUIRE, compile_s, t_loaded - t0,
                      meta={"machine_reused": reused}),
-                Span(run_stage, t_loaded - t0, t_ran - t0,
-                     meta={"replayed_rounds": replayed_rounds,
-                           "plan_hit": plan_hit,
-                           "n_rounds": resolved.n_rounds,
-                           "replay_fallback_reason": fallback_reason}),
+                Span(run_stage, t_loaded - t0, t_ran - t0, meta=run_meta),
                 Span(STAGE_COLLECT, t_ran - t0, t_end - t0),
             )
             telemetry = JobTelemetry(

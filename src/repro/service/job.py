@@ -464,6 +464,11 @@ class SweepResult:
     #: Per-stage latency rollups over the jobs (total/mean/p50/p95/max
     #: per stage, plus batch throughput) — see :func:`stage_rollup`.
     stage_stats: dict = field(default_factory=dict)
+    #: JSON-ready snapshot of the experiment's final incremental fit
+    #: (per-target values and error bars) — see
+    #: :func:`repro.experiments.base.estimate_artifact`.  None for raw
+    #: batch sweeps that never went through an experiment.
+    estimate: dict | None = None
 
     @classmethod
     def from_jobs(cls, jobs: list[JobResult], elapsed_s: float,
@@ -560,6 +565,7 @@ class SweepResult:
             "cache_stats": dict(self.cache_stats),
             "pool_stats": dict(self.pool_stats),
             "stage_stats": dict(self.stage_stats),
+            "estimate": self.estimate,
             "rates": {
                 "cache_hit": self.cache_hit_rate,
                 "machine_reuse": self.machine_reuse_rate,
@@ -643,6 +649,7 @@ class SweepResult:
                    backend=data["backend"],
                    cache_stats=data.get("cache_stats", {}),
                    pool_stats=data.get("pool_stats", {}),
+                   estimate=data.get("estimate"),
                    # Pre-telemetry artifacts carry no stage_stats block;
                    # rebuild it from the per-job timings they do carry.
                    stage_stats=data.get(

@@ -216,6 +216,10 @@ class ExperimentService:
         result = future.result()
         m = self.metrics
         m.counter("service.jobs").inc()
+        if result.params.get("mitigation"):
+            m.counter("service.mitigated_jobs").inc()
+        if result.params.get("zne_scale") is not None:
+            m.counter("service.zne_jobs").inc()
         if result.attempts > 1:
             m.counter("service.retries").inc(result.attempts - 1)
         m.counter("service.cache_hits").inc(int(result.cache_hit))

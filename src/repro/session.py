@@ -41,6 +41,7 @@ from repro.experiments.base import (
     Estimate,
     Experiment,
     ExperimentRegistry,
+    estimate_artifact,
     normalize_targets,
 )
 from repro.readout.multiplex import DEFAULT_IF_STEP_HZ, staggered_readouts
@@ -147,6 +148,11 @@ class ExperimentFuture:
             self.sweep = SweepResult.from_jobs(
                 jobs, time.perf_counter() - self._t0, self.service.backend)
             self._result = self.experiment.analyze(self.sweep)
+            # Persist the final fit (values + error bars) on the sweep so
+            # ``SweepResult.save`` artifacts carry the estimate alongside
+            # the raw jobs.
+            self.sweep.estimate = estimate_artifact(
+                self.experiment.estimate_state(self.state))
             self._analyzed = True
         return self._result
 
@@ -292,7 +298,7 @@ class Session:
         cls = self.registry.get(name)
         normalized = normalize_targets(targets, qubits)
         if normalized is None and self.config is None:
-            normalized = cls.default_session_targets()
+            normalized = cls.default_session_targets_for(params)
         flux_pairs = None
         if normalized is not None:
             flux_pairs = merge_flux_pairs(normalized, cls.flux_pairs_for)

@@ -51,6 +51,8 @@ FAST_PARAMS = {
                        dict(phases=[0.0, 1.5, 3.0, 4.5], n_rounds=4)),
     "bell": (((0, 1),), dict(n_rounds=4)),
     "ghz": (((0, 1, 2),), dict(n_rounds=4, repeats=2)),
+    "mitigated": (((0, 1),), dict(experiment="bell", n_rounds=4,
+                                  scales=(1.0, 2.0), cal_shots=8)),
 }
 
 

@@ -56,7 +56,8 @@ def fast_config(**kwargs):
 def test_registry_names_every_experiment():
     assert set(REGISTRY.names()) == {"rabi", "rb", "allxy",
                                      "t1", "ramsey", "echo",
-                                     "cz_calibration", "bell", "ghz"}
+                                     "cz_calibration", "bell", "ghz",
+                                     "mitigated"}
 
 
 def test_unknown_experiment_name_lists_registered():
